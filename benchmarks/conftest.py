@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Each figure benchmark runs its workload once (simulated time is
+deterministic, so repeated rounds add nothing) and records both the
+paper's reported numbers and the measured ones in ``extra_info``.
+"""

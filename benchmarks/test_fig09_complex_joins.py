@@ -1,0 +1,69 @@
+"""Figure 9: complex join queries (Q5, 7, 8, 9, 10, 18) at 1.6 TB.
+
+Paper: HAWQ ~40x faster — cost-based planning, pipelined motions and the
+interconnect dominate here; some Stinger runs OOM outright.
+"""
+
+import math
+
+from repro.bench.harness import (
+    BenchConfig,
+    NOMINAL_1600GB,
+    default_scale_factor,
+    get_hawq,
+    get_stinger,
+)
+from repro.bench.reporting import print_figure
+from repro.tpch.queries import COMPLEX_JOIN_QUERIES
+
+
+def _config() -> BenchConfig:
+    return BenchConfig(
+        nominal_bytes=NOMINAL_1600GB,
+        scale_factor=default_scale_factor(),
+        storage_format="co",
+        compression="none",
+        io_cached=False,
+    )
+
+
+def run_figure():
+    hawq = get_hawq(_config())
+    stinger = get_stinger(_config())
+    per_query = {}
+    for n in COMPLEX_JOIN_QUERIES:
+        h = hawq.run_query(n).cost.seconds
+        result, status = stinger.run_query(n)
+        s = result.seconds if status == "ok" else float("nan")
+        per_query[n] = (h, s, status)
+    return per_query
+
+
+def test_fig09_complex_joins(benchmark):
+    per_query = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    rows = [
+        (f"Q{n}", h, s if status == "ok" else "OOM", (s / h if status == "ok" else "-"))
+        for n, (h, s, status) in per_query.items()
+    ]
+    print_figure(
+        "Figure 9: complex join queries, 1.6TB",
+        ["query", "HAWQ s", "Stinger s", "speedup"],
+        rows,
+        notes=["paper: HAWQ ~40x faster on complex joins"],
+    )
+    ratios = [s / h for h, s, status in per_query.values() if status == "ok"]
+    mean = sum(ratios) / len(ratios)
+    benchmark.extra_info["mean_speedup"] = mean
+    assert mean > 12, f"expected ~40x on complex joins, got {mean:.0f}x"
+    # Complex joins must show a larger gap than simple selections (Fig 8).
+    from repro.tpch.queries import SIMPLE_SELECTION_QUERIES
+
+    hawq = get_hawq(_config())
+    stinger = get_stinger(_config())
+    simple_ratios = []
+    for n in SIMPLE_SELECTION_QUERIES:
+        h = hawq.run_query(n).cost.seconds
+        result, status = stinger.run_query(n)
+        if status == "ok":
+            simple_ratios.append(result.seconds / h)
+    assert mean > sum(simple_ratios) / len(simple_ratios)

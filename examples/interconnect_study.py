@@ -1,0 +1,89 @@
+"""Driving the UDP interconnect protocol directly (paper Section 4).
+
+Streams tuples between two endpoints over an increasingly hostile
+network and shows the protocol's machinery at work: retransmissions,
+duplicate suppression, out-of-order NAKs, and the flow-control window.
+Then opens a thousand concurrent streams on TCP vs UDP to show why HAWQ
+multiplexes one socket.
+
+Run with:  python examples/interconnect_study.py
+"""
+
+from repro.interconnect import (
+    StreamKey,
+    TcpEndpoint,
+    TcpFabric,
+    UdpEndpoint,
+)
+from repro.network import NetworkConditions, SimNetwork
+
+
+def one_stream(loss_rate: float) -> None:
+    net = SimNetwork(NetworkConditions(loss_rate=loss_rate, dup_rate=0.02), seed=7)
+    sender_ep = UdpEndpoint(net, ("alpha", 4000))
+    receiver_ep = UdpEndpoint(net, ("beta", 4000))
+    key = StreamKey(1, 1, 1, 0, 1)
+    recv = receiver_ep.create_receiver(key, ("alpha", 4000))
+    send = sender_ep.create_sender(key, ("beta", 4000))
+    for i in range(400):
+        send.send(("tuple", i), size=128)
+    send.finish()
+    elapsed = net.run(until=lambda: send.done and recv.done, max_time=300)
+    ordered = [p[1] for p in recv.received] == list(range(400))
+    print(
+        f"loss={loss_rate:4.0%}  time={elapsed * 1000:7.2f} ms  "
+        f"retransmits={send.retransmits:4d}  dups_seen={recv.duplicates:4d}  "
+        f"ooo_naks={recv.out_of_order_events:4d}  ordered={ordered}"
+    )
+
+
+def many_streams(num_streams: int = 1000) -> None:
+    # UDP: every stream multiplexes over one socket pair.
+    net = SimNetwork(NetworkConditions(), seed=3)
+    a = UdpEndpoint(net, ("alpha", 4000))
+    b = UdpEndpoint(net, ("beta", 4000))
+    pairs = []
+    for i in range(num_streams):
+        key = StreamKey(1, 1, 1, i, 10_000 + i)
+        recv = b.create_receiver(key, ("alpha", 4000))
+        send = a.create_sender(key, ("beta", 4000))
+        send.send(i, size=256)
+        send.finish()
+        pairs.append((send, recv))
+    udp_time = net.run(
+        until=lambda: all(s.done and r.done for s, r in pairs), max_time=600
+    )
+
+    # TCP: one real connection per stream; handshakes queue per host.
+    net2 = SimNetwork(NetworkConditions(), seed=3)
+    fabric = TcpFabric(net2)
+    ta = TcpEndpoint(fabric, ("alpha", 0))
+    tb = TcpEndpoint(fabric, ("beta", 0))
+    tcp_pairs = []
+    for i in range(num_streams):
+        key = StreamKey(1, 1, 1, i, 10_000 + i)
+        recv = tb.create_receiver(key)
+        send = ta.create_sender(key, tb)
+        recv.attach_sender(send)
+        send.send(i, size=256)
+        send.finish()
+        tcp_pairs.append((send, recv))
+    tcp_time = net2.run(
+        until=lambda: all(s.done and r.done for s, r in tcp_pairs), max_time=600
+    )
+    print(f"\n{num_streams} concurrent tuple streams:")
+    print(f"  UDP (one multiplexed socket): {udp_time * 1000:8.1f} ms")
+    print(f"  TCP (one connection each):    {tcp_time * 1000:8.1f} ms")
+    print(f"  -> TCP is {tcp_time / udp_time:.1f}x slower at this fan-out, "
+          "which is the paper's case for the UDP interconnect")
+
+
+def main() -> None:
+    print("=== one stream under increasing loss ===")
+    for loss in (0.0, 0.05, 0.15, 0.30):
+        one_stream(loss)
+    many_streams()
+
+
+if __name__ == "__main__":
+    main()

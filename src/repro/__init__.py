@@ -1,0 +1,16 @@
+"""repro: a from-scratch reproduction of HAWQ (SIGMOD 2014).
+
+A massively parallel processing SQL engine over a simulated HDFS, with
+the paper's UDP interconnect, transaction model, read-optimized storage
+formats, PXF extension framework, and a Stinger/MapReduce baseline for
+the evaluation. See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the reproduced figures.
+"""
+
+from repro.engine import Engine, Session
+from repro.executor.runner import QueryResult
+from repro.simtime import CostModel, QueryCost
+
+__version__ = "1.0.0"
+
+__all__ = ["CostModel", "Engine", "QueryCost", "QueryResult", "Session"]

@@ -1,0 +1,17 @@
+"""Baselines the paper compares against: Stinger (Hive 0.12) on a
+simulated MapReduce/YARN substrate with an ORC-like columnar format."""
+
+from repro.baselines.mapreduce import (
+    JobStats,
+    MapReduceCluster,
+    ReducerOutOfMemory,
+)
+from repro.baselines.stinger import StingerEngine, StingerResult
+
+__all__ = [
+    "JobStats",
+    "MapReduceCluster",
+    "ReducerOutOfMemory",
+    "StingerEngine",
+    "StingerResult",
+]

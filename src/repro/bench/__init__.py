@@ -1,0 +1,20 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 8)."""
+
+from repro.bench.harness import (
+    BenchConfig,
+    HawqBench,
+    StingerBench,
+    rows_match,
+    suite_seconds,
+)
+from repro.bench.reporting import format_table, print_figure
+
+__all__ = [
+    "BenchConfig",
+    "HawqBench",
+    "StingerBench",
+    "format_table",
+    "print_figure",
+    "rows_match",
+    "suite_seconds",
+]

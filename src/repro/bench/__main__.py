@@ -1,0 +1,148 @@
+"""Run the paper's figures from the command line, without pytest.
+
+    python -m repro.bench            # all figures
+    python -m repro.bench fig6 fig12 # a subset
+    REPRO_TPCH_SF=0.005 python -m repro.bench fig7
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import (
+    BenchConfig,
+    NOMINAL_160GB,
+    NOMINAL_1600GB,
+    default_scale_factor,
+    get_hawq,
+    get_stinger,
+    suite_seconds,
+)
+from repro.bench.reporting import print_figure
+
+
+def fig6() -> None:
+    measured = {}
+    for fmt in ("ao", "co", "parquet"):
+        config = BenchConfig(
+            nominal_bytes=NOMINAL_160GB,
+            scale_factor=default_scale_factor(),
+            storage_format=fmt,
+            io_cached=True,
+        )
+        measured[fmt] = suite_seconds(get_hawq(config).run_suite())
+    stinger_config = BenchConfig(
+        nominal_bytes=NOMINAL_160GB,
+        scale_factor=default_scale_factor(),
+        io_cached=True,
+    )
+    measured["stinger"] = suite_seconds(get_stinger(stinger_config).run_suite())
+    paper = {"stinger": 7935, "ao": 239, "co": 211, "parquet": 172}
+    print_figure(
+        "Figure 6: overall TPC-H time, 160GB (CPU-bound)",
+        ["system", "paper s", "measured s"],
+        [(k, paper[k], measured[k]) for k in ("stinger", "ao", "co", "parquet")],
+    )
+
+
+def fig7() -> None:
+    measured = {}
+    for fmt in ("ao", "co", "parquet"):
+        config = BenchConfig(
+            nominal_bytes=NOMINAL_1600GB,
+            scale_factor=default_scale_factor(),
+            storage_format=fmt,
+            io_cached=False,
+        )
+        measured[fmt] = suite_seconds(get_hawq(config).run_suite())
+    stinger_config = BenchConfig(
+        nominal_bytes=NOMINAL_1600GB,
+        scale_factor=default_scale_factor(),
+        io_cached=False,
+    )
+    results = get_stinger(stinger_config).run_suite()
+    oom = sorted(n for n, (_, s) in results.items() if s == "oom")
+    measured["stinger"] = suite_seconds(results)
+    paper = {"stinger": 95502, "ao": 5115, "co": 2490, "parquet": 2950}
+    print_figure(
+        "Figure 7: overall TPC-H time, 1.6TB (IO-bound)",
+        ["system", "paper s", "measured s"],
+        [(k, paper[k], measured[k]) for k in ("stinger", "ao", "co", "parquet")],
+        notes=[f"Stinger OOM queries: {oom} (paper reports 3, unnamed)"],
+    )
+
+
+def fig12() -> None:
+    out = {}
+    for distribution in ("hash", "random"):
+        for transport in ("udp", "tcp"):
+            config = BenchConfig(
+                nominal_bytes=NOMINAL_160GB,
+                scale_factor=default_scale_factor(),
+                storage_format="co",
+                distribution=distribution,
+                interconnect=transport,
+                io_cached=True,
+            )
+            out[(distribution, transport)] = suite_seconds(
+                get_hawq(config).run_suite()
+            )
+    rows = []
+    for distribution in ("hash", "random"):
+        udp, tcp = out[(distribution, "udp")], out[(distribution, "tcp")]
+        rows.append((distribution, udp, tcp, (tcp - udp) / udp))
+    print_figure(
+        "Figure 12: TCP vs UDP interconnect, 160GB",
+        ["distribution", "UDP s", "TCP s", "TCP slower by"],
+        rows,
+        notes=["paper: ~tie on hash; UDP 54% better on random"],
+    )
+
+
+def fig13() -> None:
+    rows_a, rows_b = [], []
+    for nodes in (4, 8, 12, 16):
+        config = BenchConfig(
+            nominal_bytes=40e9 * nodes,
+            scale_factor=default_scale_factor(),
+            storage_format="co",
+            io_cached=True,
+            sim_segments=nodes,
+            paper_segments=nodes * 6,
+        )
+        rows_a.append((nodes, suite_seconds(get_hawq(config).run_suite())))
+        config_b = BenchConfig(
+            nominal_bytes=160e9,
+            scale_factor=default_scale_factor(),
+            storage_format="co",
+            io_cached=True,
+            sim_segments=nodes,
+            paper_segments=nodes * 6,
+        )
+        rows_b.append((nodes, suite_seconds(get_hawq(config_b).run_suite())))
+    print_figure(
+        "Figure 13(a): 40GB/node scale-up", ["nodes", "suite s"], rows_a
+    )
+    print_figure(
+        "Figure 13(b): fixed 160GB speed-up", ["nodes", "suite s"], rows_b
+    )
+
+
+FIGURES = {"fig6": fig6, "fig7": fig7, "fig12": fig12, "fig13": fig13}
+
+
+def main(argv) -> int:
+    chosen = argv or sorted(FIGURES)
+    unknown = [name for name in chosen if name not in FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; available: {sorted(FIGURES)}")
+        print("(figures 8-11 and the ablations run via "
+              "`pytest benchmarks/ --benchmark-only`)")
+        return 2
+    for name in chosen:
+        FIGURES[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

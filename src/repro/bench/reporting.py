@@ -1,0 +1,56 @@
+"""Formatting helpers for benchmark output.
+
+Every figure benchmark prints a table comparing the paper's reported
+numbers to the measured (simulated) ones, plus the derived shape metrics
+(speedup factors, scaling ratios) that the reproduction is judged on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_figure(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Optional[Sequence[str]] = None,
+) -> str:
+    """Print one figure's reproduction table and return the text."""
+    lines = ["", "=" * 72, title, "=" * 72]
+    lines.append(format_table(headers, rows))
+    for note in notes or []:
+        lines.append(f"  * {note}")
+    text = "\n".join(lines)
+    print(text)
+    return text

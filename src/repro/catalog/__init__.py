@@ -1,0 +1,29 @@
+"""Catalog: types, schemas, the Unified Catalog Service, and CaQL."""
+
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    Distribution,
+    PartitionSpec,
+    TableSchema,
+    TypeKind,
+)
+from repro.catalog.caql import CaqlResult, execute_caql, parse_caql
+from repro.catalog.service import CatalogService, CatalogTable
+from repro.catalog.stats import ColumnStats, TableStats
+
+__all__ = [
+    "CaqlResult",
+    "CatalogService",
+    "CatalogTable",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "Distribution",
+    "PartitionSpec",
+    "TableSchema",
+    "TableStats",
+    "TypeKind",
+    "execute_caql",
+    "parse_caql",
+]

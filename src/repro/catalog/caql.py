@@ -1,0 +1,252 @@
+"""CaQL: the catalog query language (paper Section 2.2).
+
+All internal catalog access in HAWQ goes through CaQL, a deliberately
+tiny subset of SQL that replaces hand-coded C primitive lookups. Per the
+paper, CaQL supports exactly:
+
+* basic single-table ``SELECT`` (equality predicates, ``ORDER BY``),
+* ``SELECT COUNT(*)``,
+* multi-row ``DELETE``,
+* single-row ``INSERT`` and ``UPDATE``.
+
+No joins, no planning — most catalog operations are OLTP-style lookups
+on fixed indexes, so anything richer would be wasted machinery.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CaqlSyntaxError
+from repro.txn.mvcc import Snapshot
+
+_IDENT = r"[a-zA-Z_][a-zA-Z0-9_]*"
+
+
+@dataclass
+class CaqlStatement:
+    """A parsed CaQL statement."""
+
+    op: str  # select | count | delete | insert | update
+    table: str
+    where: List[Tuple[str, str]] = field(default_factory=list)  # (col, valspec)
+    order_by: Optional[str] = None
+    columns: List[str] = field(default_factory=list)  # insert column list
+    values: List[str] = field(default_factory=list)  # insert value specs
+    sets: List[Tuple[str, str]] = field(default_factory=list)  # update SET
+
+
+@dataclass
+class CaqlResult:
+    """Result of executing a CaQL statement."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    count: int = 0
+
+
+def parse_caql(text: str) -> CaqlStatement:
+    """Parse one CaQL statement; raises :class:`CaqlSyntaxError` otherwise."""
+    stripped = text.strip().rstrip(";").strip()
+    for parser in (_parse_select, _parse_delete, _parse_insert, _parse_update):
+        stmt = parser(stripped)
+        if stmt is not None:
+            return stmt
+    raise CaqlSyntaxError(f"not a CaQL statement: {text!r}")
+
+
+def execute_caql(
+    service,
+    text: str,
+    params: Sequence[object] = (),
+    *,
+    snapshot: Snapshot,
+    xid: int,
+) -> CaqlResult:
+    """Parse and run a CaQL statement against a CatalogService."""
+    stmt = parse_caql(text)
+    table = service.table(stmt.table)
+    predicate = _predicate(stmt.where, params)
+    if stmt.op == "select":
+        rows = table.scan(snapshot, predicate)
+        if stmt.order_by is not None:
+            key = stmt.order_by
+            rows.sort(key=lambda r: (r.get(key) is None, r.get(key)))
+        return CaqlResult(rows=rows, count=len(rows))
+    if stmt.op == "count":
+        count = table.count(snapshot, predicate)
+        return CaqlResult(count=count)
+    if stmt.op == "delete":
+        if not stmt.where:
+            raise CaqlSyntaxError("CaQL DELETE requires a WHERE clause")
+        count = table.delete(snapshot, predicate, xid)
+        return CaqlResult(count=count)
+    if stmt.op == "insert":
+        row = {
+            col: _resolve(spec, params) for col, spec in zip(stmt.columns, stmt.values)
+        }
+        table.insert(row, xid)
+        return CaqlResult(count=1)
+    if stmt.op == "update":
+        if not stmt.where:
+            raise CaqlSyntaxError("CaQL UPDATE requires a WHERE clause")
+        changes = {col: _resolve(spec, params) for col, spec in stmt.sets}
+        matched = table.scan(snapshot, predicate)
+        if len(matched) > 1:
+            raise CaqlSyntaxError(
+                f"CaQL UPDATE matched {len(matched)} rows; only single-row "
+                "updates are supported"
+            )
+        count = table.update(snapshot, predicate, changes, xid)
+        return CaqlResult(count=count)
+    raise CaqlSyntaxError(f"unsupported CaQL op {stmt.op!r}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------- parse
+def _parse_select(text: str) -> Optional[CaqlStatement]:
+    match = re.fullmatch(
+        rf"SELECT\s+(?P<what>\*|COUNT\(\*\))\s+FROM\s+(?P<table>{_IDENT})"
+        rf"(?:\s+WHERE\s+(?P<where>.+?))?"
+        rf"(?:\s+ORDER\s+BY\s+(?P<order>{_IDENT}))?",
+        text,
+        re.IGNORECASE | re.DOTALL,
+    )
+    if match is None:
+        return None
+    op = "count" if match.group("what").upper().startswith("COUNT") else "select"
+    return CaqlStatement(
+        op=op,
+        table=match.group("table").lower(),
+        where=_parse_where(match.group("where")),
+        order_by=(match.group("order") or None),
+    )
+
+
+def _parse_delete(text: str) -> Optional[CaqlStatement]:
+    match = re.fullmatch(
+        rf"DELETE\s+FROM\s+(?P<table>{_IDENT})(?:\s+WHERE\s+(?P<where>.+))?",
+        text,
+        re.IGNORECASE | re.DOTALL,
+    )
+    if match is None:
+        return None
+    return CaqlStatement(
+        op="delete",
+        table=match.group("table").lower(),
+        where=_parse_where(match.group("where")),
+    )
+
+
+def _parse_insert(text: str) -> Optional[CaqlStatement]:
+    match = re.fullmatch(
+        rf"INSERT\s+INTO\s+(?P<table>{_IDENT})\s*\((?P<cols>[^)]+)\)\s*"
+        rf"VALUES\s*\((?P<vals>.+)\)",
+        text,
+        re.IGNORECASE | re.DOTALL,
+    )
+    if match is None:
+        return None
+    columns = [c.strip().lower() for c in match.group("cols").split(",")]
+    values = _split_commas(match.group("vals"))
+    if len(columns) != len(values):
+        raise CaqlSyntaxError("INSERT column/value count mismatch")
+    return CaqlStatement(
+        op="insert",
+        table=match.group("table").lower(),
+        columns=columns,
+        values=values,
+    )
+
+
+def _parse_update(text: str) -> Optional[CaqlStatement]:
+    match = re.fullmatch(
+        rf"UPDATE\s+(?P<table>{_IDENT})\s+SET\s+(?P<sets>.+?)"
+        rf"(?:\s+WHERE\s+(?P<where>.+))?",
+        text,
+        re.IGNORECASE | re.DOTALL,
+    )
+    if match is None:
+        return None
+    sets = []
+    for part in _split_commas(match.group("sets")):
+        eq = re.fullmatch(rf"({_IDENT})\s*=\s*(.+)", part.strip(), re.DOTALL)
+        if eq is None:
+            raise CaqlSyntaxError(f"bad SET clause: {part!r}")
+        sets.append((eq.group(1).lower(), eq.group(2).strip()))
+    return CaqlStatement(
+        op="update",
+        table=match.group("table").lower(),
+        sets=sets,
+        where=_parse_where(match.group("where")),
+    )
+
+
+def _parse_where(text: Optional[str]) -> List[Tuple[str, str]]:
+    if not text:
+        return []
+    conditions = []
+    for part in re.split(r"\s+AND\s+", text.strip(), flags=re.IGNORECASE):
+        match = re.fullmatch(rf"({_IDENT})\s*=\s*(.+)", part.strip(), re.DOTALL)
+        if match is None:
+            raise CaqlSyntaxError(
+                f"CaQL supports only `col = value` conjunctions, got {part!r}"
+            )
+        conditions.append((match.group(1).lower(), match.group(2).strip()))
+    return conditions
+
+
+def _split_commas(text: str) -> List[str]:
+    """Split on commas not inside single quotes."""
+    parts, depth_quote, current = [], False, []
+    for char in text:
+        if char == "'":
+            depth_quote = not depth_quote
+            current.append(char)
+        elif char == "," and not depth_quote:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current).strip())
+    return parts
+
+
+# ------------------------------------------------------------------- execute
+def _resolve(spec: str, params: Sequence[object]) -> object:
+    """Turn a value spec ($n, 'string', number, true/false, null) into a value."""
+    spec = spec.strip()
+    if spec.startswith("$"):
+        index = int(spec[1:]) - 1
+        if index < 0 or index >= len(params):
+            raise CaqlSyntaxError(f"missing parameter {spec}")
+        return params[index]
+    if spec.startswith("'") and spec.endswith("'"):
+        return spec[1:-1]
+    lowered = spec.lower()
+    if lowered == "null":
+        return None
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(spec)
+    except ValueError:
+        pass
+    try:
+        return float(spec)
+    except ValueError:
+        raise CaqlSyntaxError(f"unintelligible value: {spec!r}")
+
+
+def _predicate(
+    where: List[Tuple[str, str]], params: Sequence[object]
+) -> Optional[Callable[[Dict], bool]]:
+    if not where:
+        return None
+    resolved = [(col, _resolve(spec, params)) for col, spec in where]
+
+    def predicate(row: Dict) -> bool:
+        return all(row.get(col) == value for col, value in resolved)
+
+    return predicate

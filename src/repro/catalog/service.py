@@ -1,0 +1,388 @@
+"""The Unified Catalog Service (UCS, paper Section 2.2).
+
+The catalog is the brain of the system: database objects, segment
+configuration, statistics and the per-table segment-file registry that
+transaction visibility of user data depends on (Section 5.4).
+
+Catalog rows are MVCC-versioned: every version carries ``xmin``/``xmax``
+stamps and scans are filtered through a :class:`~repro.txn.Snapshot`.
+All mutation goes through :class:`CatalogTable`'s insert/update/delete so
+that WAL hooks and the standby's log shipping see every change.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.catalog.stats import TableStats
+from repro.errors import CatalogError, DuplicateObject, UndefinedObject
+from repro.txn.mvcc import Snapshot
+
+
+@dataclass
+class VersionedRow:
+    """One MVCC version of a catalog row."""
+
+    data: Dict[str, object]
+    xmin: int
+    xmax: Optional[int] = None
+
+
+class CatalogTable:
+    """A versioned heap of dict-rows with simple predicate scans."""
+
+    def __init__(self, name: str, on_change: Optional[Callable] = None):
+        self.name = name
+        self._rows: List[VersionedRow] = []
+        self._on_change = on_change
+
+    def _log(self, op: str, data: Dict[str, object], xid: int) -> None:
+        if self._on_change is not None:
+            self._on_change(self.name, op, copy.deepcopy(data), xid)
+
+    # ----------------------------------------------------------------- scans
+    def scan(
+        self, snapshot: Snapshot, predicate: Optional[Callable[[Dict], bool]] = None
+    ) -> List[Dict[str, object]]:
+        """All visible rows (copies) matching the predicate."""
+        out = []
+        for version in self._rows:
+            if not snapshot.row_visible(version.xmin, version.xmax):
+                continue
+            if predicate is None or predicate(version.data):
+                out.append(copy.deepcopy(version.data))
+        return out
+
+    def count(
+        self, snapshot: Snapshot, predicate: Optional[Callable[[Dict], bool]] = None
+    ) -> int:
+        return len(self.scan(snapshot, predicate))
+
+    # ------------------------------------------------------------- mutations
+    def insert(self, data: Dict[str, object], xid: int) -> None:
+        self._rows.append(VersionedRow(data=copy.deepcopy(data), xmin=xid))
+        self._log("insert", data, xid)
+
+    def delete(
+        self, snapshot: Snapshot, predicate: Callable[[Dict], bool], xid: int
+    ) -> int:
+        """Mark matching visible versions deleted; returns rows deleted."""
+        deleted = 0
+        for version in self._rows:
+            if not snapshot.row_visible(version.xmin, version.xmax):
+                continue
+            if predicate(version.data):
+                version.xmax = xid
+                deleted += 1
+                self._log("delete", version.data, xid)
+        return deleted
+
+    def update(
+        self,
+        snapshot: Snapshot,
+        predicate: Callable[[Dict], bool],
+        changes: Dict[str, object],
+        xid: int,
+    ) -> int:
+        """MVCC update: old version gets xmax, a new version is inserted."""
+        updated = 0
+        new_rows = []
+        for version in self._rows:
+            if not snapshot.row_visible(version.xmin, version.xmax):
+                continue
+            if predicate(version.data):
+                version.xmax = xid
+                data = {**copy.deepcopy(version.data), **changes}
+                new_rows.append(VersionedRow(data=data, xmin=xid))
+                updated += 1
+                # Log as delete+insert so a standby can replay exactly.
+                self._log("delete", version.data, xid)
+                self._log("insert", data, xid)
+        self._rows.extend(new_rows)
+        return updated
+
+    def vacuum(self, horizon_snapshot: Snapshot) -> int:
+        """Drop versions invisible to everyone at/after the horizon."""
+        before = len(self._rows)
+        self._rows = [
+            v
+            for v in self._rows
+            if v.xmax is None or not horizon_snapshot.sees_xid(v.xmax)
+        ]
+        return before - len(self._rows)
+
+
+#: Names of the built-in catalog tables (subset of HAWQ's, same roles).
+SYSTEM_TABLES = (
+    "pg_class",  # tables, views, external tables
+    "gp_segment_configuration",  # segments and their status
+    "gp_segfile",  # per-table per-segment data files + logical lengths
+    "pg_statistic",  # ANALYZE output
+    "pg_depend",  # object dependencies (views on tables)
+)
+
+
+class CatalogService:
+    """The unified catalog service living on the master."""
+
+    def __init__(self, on_change: Optional[Callable] = None):
+        """``on_change(table, op, row, xid)`` is the WAL/log-shipping hook."""
+        self._on_change = on_change
+        self.tables: Dict[str, CatalogTable] = {
+            name: CatalogTable(name, on_change) for name in SYSTEM_TABLES
+        }
+
+    def table(self, name: str) -> CatalogTable:
+        tbl = self.tables.get(name)
+        if tbl is None:
+            raise UndefinedObject(f"no catalog table {name!r}")
+        return tbl
+
+    # --------------------------------------------------------- object access
+    def create_table(
+        self,
+        schema: TableSchema,
+        xid: int,
+        snapshot: Snapshot,
+        kind: str = "table",
+        view_def: Optional[object] = None,
+        pxf: Optional[Dict[str, object]] = None,
+        children: Optional[List] = None,
+        owner: str = "gpadmin",
+    ) -> None:
+        """``children``: [(child_table_name, Partition)] for partitioned
+        parents (the inheritance relationship from paper Section 2.3)."""
+        if self.lookup_relation(schema.name, snapshot) is not None:
+            raise DuplicateObject(f"relation {schema.name!r} already exists")
+        self.table("pg_class").insert(
+            {
+                "name": schema.name,
+                "kind": kind,
+                "schema": schema,
+                "view_def": view_def,
+                "pxf": pxf,
+                "children": children or [],
+                "owner": owner,
+            },
+            xid,
+        )
+
+    def drop_table(self, name: str, xid: int, snapshot: Snapshot) -> None:
+        name = name.lower()
+        if self.lookup_relation(name, snapshot) is None:
+            raise UndefinedObject(f"relation {name!r} does not exist")
+        self.table("pg_class").delete(snapshot, lambda r: r["name"] == name, xid)
+        self.table("gp_segfile").delete(snapshot, lambda r: r["table"] == name, xid)
+        self.table("pg_statistic").delete(snapshot, lambda r: r["table"] == name, xid)
+        # A dropped object's own dependencies disappear with it.
+        self.table("pg_depend").delete(snapshot, lambda r: r["dependent"] == name, xid)
+
+    def lookup_relation(
+        self, name: str, snapshot: Snapshot
+    ) -> Optional[Dict[str, object]]:
+        name = name.lower()
+        rows = self.table("pg_class").scan(snapshot, lambda r: r["name"] == name)
+        return rows[0] if rows else None
+
+    def get_schema(self, name: str, snapshot: Snapshot) -> TableSchema:
+        rel = self.lookup_relation(name, snapshot)
+        if rel is None:
+            raise UndefinedObject(f"relation {name!r} does not exist")
+        return rel["schema"]
+
+    def relations(self, snapshot: Snapshot) -> List[Dict[str, object]]:
+        return self.table("pg_class").scan(snapshot)
+
+    # ------------------------------------------------------------- segments
+    def register_segment(self, segment_id: int, host: str, xid: int) -> None:
+        self.table("gp_segment_configuration").insert(
+            {"segment_id": segment_id, "host": host, "status": "up"}, xid
+        )
+
+    def set_segment_status(
+        self, segment_id: int, status: str, xid: int, snapshot: Snapshot
+    ) -> None:
+        self.table("gp_segment_configuration").update(
+            snapshot,
+            lambda r: r["segment_id"] == segment_id,
+            {"status": status},
+            xid,
+        )
+
+    def segments(
+        self, snapshot: Snapshot, status: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        return self.table("gp_segment_configuration").scan(
+            snapshot,
+            (lambda r: r["status"] == status) if status is not None else None,
+        )
+
+    # ------------------------------------------------------ segfile registry
+    def register_segfile(
+        self,
+        table_name: str,
+        segment_id: int,
+        segfile_id: int,
+        paths: Dict[str, int],
+        xid: int,
+        uncompressed_length: int = 0,
+        tupcount: int = 0,
+    ) -> None:
+        """Record one data file (lane) of a table on one segment.
+
+        ``paths`` maps each physical HDFS file of the lane (one for
+        AO/Parquet, one per column for CO) to its **logical length** —
+        the transaction-visible prefix. The physical file may be longer
+        after an aborted append (Section 5.4) until truncate reclaims it.
+        """
+        self.table("gp_segfile").insert(
+            {
+                "table": table_name.lower(),
+                "segment_id": segment_id,
+                "segfile_id": segfile_id,
+                "paths": dict(paths),
+                "uncompressed_length": uncompressed_length,
+                "tupcount": tupcount,
+            },
+            xid,
+        )
+
+    def update_segfile(
+        self,
+        snapshot: Snapshot,
+        table_name: str,
+        segment_id: int,
+        segfile_id: int,
+        changes: Dict[str, object],
+        xid: int,
+    ) -> int:
+        table_name = table_name.lower()
+        return self.table("gp_segfile").update(
+            snapshot,
+            lambda r: r["table"] == table_name
+            and r["segment_id"] == segment_id
+            and r["segfile_id"] == segfile_id,
+            changes,
+            xid,
+        )
+
+    def segfiles(
+        self,
+        table_name: str,
+        snapshot: Snapshot,
+        segment_id: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        table_name = table_name.lower()
+
+        def predicate(r: Dict) -> bool:
+            if r["table"] != table_name:
+                return False
+            return segment_id is None or r["segment_id"] == segment_id
+
+        return self.table("gp_segfile").scan(snapshot, predicate)
+
+    # ------------------------------------------------------------ statistics
+    def set_stats(
+        self, table_name: str, stats: TableStats, xid: int, snapshot: Snapshot
+    ) -> None:
+        table_name = table_name.lower()
+        self.table("pg_statistic").delete(
+            snapshot, lambda r: r["table"] == table_name, xid
+        )
+        self.table("pg_statistic").insert(
+            {"table": table_name, "stats": stats}, xid
+        )
+
+    def get_stats(self, table_name: str, snapshot: Snapshot) -> Optional[TableStats]:
+        table_name = table_name.lower()
+        rows = self.table("pg_statistic").scan(
+            snapshot, lambda r: r["table"] == table_name
+        )
+        return rows[0]["stats"] if rows else None
+
+    # ----------------------------------------------------------- dependencies
+    def add_dependency(self, dependent: str, referenced: str, xid: int) -> None:
+        self.table("pg_depend").insert(
+            {"dependent": dependent.lower(), "referenced": referenced.lower()}, xid
+        )
+
+    def dependents_of(self, name: str, snapshot: Snapshot) -> List[str]:
+        name = name.lower()
+        rows = self.table("pg_depend").scan(
+            snapshot, lambda r: r["referenced"] == name
+        )
+        return [r["dependent"] for r in rows]
+
+
+# ---------------------------------------------------------- SQL-on-catalog
+#: Flattened, scalar-typed projections of the system tables, so external
+#: applications can query the catalog with standard SQL (paper 2.2:
+#: "External applications can query the catalog using standard SQL").
+CATALOG_RELATION_COLUMNS: Dict[str, List[str]] = {
+    "pg_class": ["name", "kind", "owner", "storage_format", "compression"],
+    "gp_segment_configuration": ["segment_id", "host", "status"],
+    "gp_segfile": [
+        "table", "segment_id", "segfile_id", "tupcount", "logical_length",
+    ],
+    "pg_statistic": ["table", "row_count", "total_bytes"],
+    "pg_depend": ["dependent", "referenced"],
+}
+
+
+def catalog_relation_schema(name: str) -> TableSchema:
+    """A TableSchema describing the SQL view of one system table."""
+    from repro.catalog.schema import Column, DataType, Distribution
+
+    types = {
+        "segment_id": "int", "segfile_id": "int", "tupcount": "int8",
+        "logical_length": "int8", "row_count": "float8",
+        "total_bytes": "float8",
+    }
+    columns = [
+        Column(col, DataType.parse(types.get(col, "text")))
+        for col in CATALOG_RELATION_COLUMNS[name]
+    ]
+    return TableSchema(
+        name=name, columns=columns, distribution=Distribution.random()
+    )
+
+
+def catalog_relation_rows(
+    service: "CatalogService", name: str, snapshot: Snapshot
+) -> List[tuple]:
+    """Visible rows of one system table, flattened to scalars."""
+    raw = service.table(name).scan(snapshot)
+    out: List[tuple] = []
+    for row in raw:
+        if name == "pg_class":
+            schema = row.get("schema")
+            out.append(
+                (
+                    row.get("name"),
+                    row.get("kind"),
+                    row.get("owner"),
+                    schema.storage_format if schema is not None else None,
+                    schema.compression if schema is not None else None,
+                )
+            )
+        elif name == "gp_segment_configuration":
+            out.append((row["segment_id"], row["host"], row["status"]))
+        elif name == "gp_segfile":
+            out.append(
+                (
+                    row["table"],
+                    row["segment_id"],
+                    row["segfile_id"],
+                    row["tupcount"],
+                    sum(row["paths"].values()),
+                )
+            )
+        elif name == "pg_statistic":
+            stats = row["stats"]
+            out.append((row["table"], stats.row_count, stats.total_bytes))
+        elif name == "pg_depend":
+            out.append((row["dependent"], row["referenced"]))
+    return out

@@ -1,0 +1,7 @@
+"""Cluster runtime: stateless segments, standby master, fault detection."""
+
+from repro.cluster.segment import Segment
+from repro.cluster.standby import StandbyMaster
+from repro.cluster.fault import FaultDetector
+
+__all__ = ["FaultDetector", "Segment", "StandbyMaster"]

@@ -1,0 +1,74 @@
+"""Fault detection and segment failover (paper Section 2.6).
+
+The master's fault detector checks segment health periodically. When a
+segment fails, it is marked "down" in the system catalog; in-flight
+queries fail (query restart beats heavy recovery, per the paper) and
+*future* sessions randomly fail the segment over to one of the remaining
+active hosts — stateless segments make any host a valid replacement, and
+random choice balances load across concurrent sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.segment import Segment
+from repro.errors import ClusterError
+from repro.util import DeterministicRng
+
+
+class FaultDetector:
+    """Health checks plus per-session failover assignment."""
+
+    def __init__(self, segments: List[Segment], seed: int = 0):
+        self.segments = segments
+        self._rng = DeterministicRng(seed, "fault-detector")
+        self.checks_run = 0
+
+    # ---------------------------------------------------------------- health
+    def check(self) -> List[int]:
+        """Probe every segment; returns ids newly detected as down."""
+        self.checks_run += 1
+        return [s.segment_id for s in self.segments if not s.alive]
+
+    def alive_hosts(self) -> List[str]:
+        hosts = sorted(
+            {s.host for s in self.segments if s.alive}
+        )
+        if not hosts:
+            raise ClusterError("no alive segment hosts remain")
+        return hosts
+
+    # -------------------------------------------------------------- failover
+    def assign_failover(self) -> Dict[int, str]:
+        """For each down segment pick a random alive host to act for it.
+
+        Called per session, so different sessions spread a failed
+        segment's work across the cluster (the paper's load-balancing
+        argument for random failover).
+        """
+        hosts = self.alive_hosts()
+        assignment: Dict[int, str] = {}
+        for segment in self.segments:
+            if segment.alive:
+                segment.acting_host = None
+                continue
+            acting = self._rng.choice(hosts)
+            segment.acting_host = acting
+            assignment[segment.segment_id] = acting
+        return assignment
+
+    def fail_segment(self, segment_id: int) -> None:
+        self._segment(segment_id).alive = False
+
+    def recover_segment(self, segment_id: int) -> None:
+        """The paper's recovery utility: bring a fixed segment back."""
+        segment = self._segment(segment_id)
+        segment.alive = True
+        segment.acting_host = None
+
+    def _segment(self, segment_id: int) -> Segment:
+        for segment in self.segments:
+            if segment.segment_id == segment_id:
+                return segment
+        raise ClusterError(f"no segment {segment_id}")

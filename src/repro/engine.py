@@ -1,0 +1,1209 @@
+"""The HAWQ engine facade: master, sessions, and the full SQL surface.
+
+``Engine`` stands up a whole simulated cluster — HDFS DataNodes,
+stateless segments, the unified catalog service on the master, a warm
+standby fed by log shipping, and a fault detector — and ``Session``
+(from :meth:`Engine.connect`) is the libpq-equivalent: it parses,
+analyzes, plans, dispatches self-described plans and returns results
+with their simulated cost.
+
+Typical use::
+
+    from repro import Engine
+
+    engine = Engine(num_segment_hosts=4, segments_per_host=2)
+    session = engine.connect()
+    session.execute("CREATE TABLE t (a INT, b TEXT) DISTRIBUTED BY (a)")
+    session.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+    result = session.execute("SELECT a, count(*) FROM t GROUP BY a")
+    print(result.rows, result.cost.seconds)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    Distribution,
+    Partition,
+    PartitionSpec,
+    TableSchema,
+)
+from repro.catalog.security import PermissionDenied, SecurityManager
+from repro.catalog.service import (
+    CATALOG_RELATION_COLUMNS,
+    CatalogService,
+    catalog_relation_rows,
+    catalog_relation_schema,
+)
+from repro.catalog.stats import TableStats
+from repro.cluster.fault import FaultDetector
+from repro.cluster.segment import Segment
+from repro.cluster.standby import StandbyMaster
+from repro.errors import (
+    ExecutorError,
+    ReproError,
+    SemanticError,
+    SqlError,
+    TransactionError,
+    UndefinedObject,
+)
+from repro.executor.expr import compile_expr
+from repro.executor.runner import (
+    ExecutionContext,
+    QueryResult,
+    execute_plan,
+)
+from repro.hdfs import Hdfs
+from repro.planner.analyzer import Analyzer, RelationInfo
+from repro.planner.dispatch import SelfDescribedPlan, build_self_described_plan
+from repro.planner.logical import DerivedSource, LogicalQuery
+from repro.planner.planner import Planner, PlannerOptions
+from repro.pxf.registry import PxfRegistry
+from repro.simtime import CostAccumulator, CostModel, QueryCost
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+from repro.storage import get_codec, get_format
+from repro.storage.base import ScanStats
+from repro.txn.locks import LockMode
+from repro.txn.manager import IsolationLevel, Transaction, TransactionManager
+from repro.txn.mvcc import Snapshot
+
+
+class Engine:
+    """One simulated HAWQ cluster."""
+
+    def __init__(
+        self,
+        num_segment_hosts: int = 4,
+        segments_per_host: int = 2,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+        replication: int = 3,
+        block_size: int = 256 * 1024,
+        interconnect: str = "udp",
+        planner_options: Optional[PlannerOptions] = None,
+        metadata_dispatch: bool = True,
+        pipelined: bool = True,
+        work_mem: float = 1.5e9,
+        data_path: str = "/hawq",
+        with_standby: bool = True,
+    ):
+        self.cost_model = cost_model or CostModel()
+        self.interconnect = interconnect
+        self.metadata_dispatch = metadata_dispatch
+        self.pipelined = pipelined
+        self.work_mem = work_mem
+        self.data_path = data_path
+        self.planner_options = planner_options or PlannerOptions()
+        self.seed = seed
+
+        self.hdfs = Hdfs(block_size=block_size, replication=replication, seed=seed)
+        self.hosts = [f"host{i}" for i in range(num_segment_hosts)]
+        for host in self.hosts:
+            self.hdfs.add_datanode(host, num_disks=12)
+        self.segments = [
+            Segment(segment_id=i, host=self.hosts[i % num_segment_hosts])
+            for i in range(num_segment_hosts * segments_per_host)
+        ]
+        self.num_segments = len(self.segments)
+
+        self.txns = TransactionManager()
+        self.catalog = CatalogService(on_change=self._on_catalog_change)
+        self.standby = StandbyMaster(self.txns.wal) if with_standby else None
+        self.fault_detector = FaultDetector(self.segments, seed=seed)
+        self.pxf = PxfRegistry()
+        self.pxf.attach_hdfs(self.hdfs)
+        self.security = SecurityManager()
+        self._load_rng = itertools.count()  # round-robin for random dist
+        #: Bumped by ALTER TABLE storage rewrites so new physical files
+        #: never collide with a previous generation's paths.
+        self._table_generation: Dict[str, int] = {}
+
+        with self.txns.run() as txn:
+            for segment in self.segments:
+                self.catalog.register_segment(segment.segment_id, segment.host, txn.xid)
+
+    # --------------------------------------------------------------- plumbing
+    def _on_catalog_change(self, table: str, op: str, row: dict, xid: int) -> None:
+        self.txns.wal.append(xid, "change", table=table, op=op, row=row)
+
+    def connect(self, role: str = "gpadmin") -> "Session":
+        """Open a session (the JDBC/ODBC/libpq stand-in) as ``role``."""
+        self.security.role(role)  # must exist
+        return Session(self, role=role)
+
+    # --------------------------------------------------------- fault handling
+    def run_fault_detection(self) -> List[int]:
+        """Master-side fault detector pass: mark dead segments down in the
+        catalog (paper Section 2.6)."""
+        down = self.fault_detector.check()
+        if down:
+            with self.txns.run() as txn:
+                snapshot = txn.statement_snapshot()
+                for segment_id in down:
+                    self.catalog.set_segment_status(
+                        segment_id, "down", txn.xid, snapshot
+                    )
+        return down
+
+    def fail_segment(self, segment_id: int) -> None:
+        self.fault_detector.fail_segment(segment_id)
+        self.run_fault_detection()
+
+    def recover_segment(self, segment_id: int) -> None:
+        self.fault_detector.recover_segment(segment_id)
+        with self.txns.run() as txn:
+            self.catalog.set_segment_status(
+                segment_id, "up", txn.xid, txn.statement_snapshot()
+            )
+
+    def promote_standby(self) -> None:
+        """Fail the master over to the warm standby."""
+        if self.standby is None:
+            raise ReproError("engine was built without a standby master")
+        self.catalog = self.standby.promote()
+        # The promoted catalog starts logging to the (new) WAL so a
+        # future standby could be attached.
+        self.catalog._on_change = self._on_catalog_change
+        for table in self.catalog.tables.values():
+            table._on_change = self._on_catalog_change
+
+    # --------------------------------------------------------------- helpers
+    def segment_data_path(self, table: str, segment_id: int, segfile_id: int) -> str:
+        generation = self._table_generation.get(table.lower(), 0)
+        gen_part = f"/g{generation}" if generation else ""
+        return f"{self.data_path}/{table}{gen_part}/seg{segment_id}/f{segfile_id}"
+
+
+class Session:
+    """One client session: query dispatcher (QD) state lives here."""
+
+    def __init__(self, engine: Engine, role: str = "gpadmin"):
+        self.engine = engine
+        self.role = role
+        self._txn: Optional[Transaction] = None
+        self.default_isolation = IsolationLevel.READ_COMMITTED
+        self.last_plan = None
+
+    # ------------------------------------------------------------ public api
+    def execute(self, sql: str, params: Sequence[object] = ()) -> QueryResult:
+        """Execute a statement (or several, returning the last result)."""
+        statements = parse_sql(sql)
+        if not statements:
+            raise SqlError("empty statement")
+        result: Optional[QueryResult] = None
+        for stmt in statements:
+            result = self._execute_statement(stmt)
+        return result
+
+    def query(self, sql: str) -> List[tuple]:
+        """Convenience: execute and return rows only."""
+        return self.execute(sql).rows
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.state == "active"
+
+    # ------------------------------------------------------------- dispatch
+    def _execute_statement(self, stmt: ast.Statement) -> QueryResult:
+        if isinstance(stmt, ast.BeginStmt):
+            return self._begin(stmt)
+        if isinstance(stmt, ast.CommitStmt):
+            return self._commit()
+        if isinstance(stmt, ast.RollbackStmt):
+            return self._rollback()
+        if isinstance(stmt, ast.SetStmt):
+            return self._set(stmt)
+
+        implicit = not self.in_transaction
+        txn = self._txn if self.in_transaction else self.engine.txns.begin(
+            self.default_isolation
+        )
+        try:
+            result = self._run_in_txn(stmt, txn)
+        except Exception:
+            self.engine.txns.abort(txn)
+            if not implicit:
+                self._txn = None
+            raise
+        if implicit:
+            self.engine.txns.commit(txn)
+        return result
+
+    def _run_in_txn(self, stmt: ast.Statement, txn: Transaction) -> QueryResult:
+        if isinstance(stmt, ast.SelectStmt):
+            return self._select(stmt, txn)
+        if isinstance(stmt, ast.InsertStmt):
+            return self._insert(stmt, txn)
+        if isinstance(stmt, ast.CreateTableStmt):
+            return self._create_table(stmt, txn)
+        if isinstance(stmt, ast.CreateViewStmt):
+            return self._create_view(stmt, txn)
+        if isinstance(stmt, ast.CreateExternalTableStmt):
+            return self._create_external_table(stmt, txn)
+        if isinstance(stmt, ast.DropStmt):
+            return self._drop(stmt, txn)
+        if isinstance(stmt, ast.AnalyzeStmt):
+            return self._analyze(stmt, txn)
+        if isinstance(stmt, ast.ExplainStmt):
+            return self._explain(stmt, txn)
+        if isinstance(stmt, ast.TruncateStmt):
+            return self._truncate(stmt, txn)
+        if isinstance(stmt, ast.CopyStmt):
+            return self._copy(stmt, txn)
+        if isinstance(stmt, ast.VacuumStmt):
+            return self._vacuum(stmt, txn)
+        if isinstance(stmt, ast.AlterTableStmt):
+            return self._alter_table(stmt, txn)
+        if isinstance(stmt, ast.CreateRoleStmt):
+            self._require_superuser("CREATE ROLE")
+            self.engine.security.create_role(
+                stmt.name, superuser=stmt.superuser,
+                resource_queue=stmt.resource_queue,
+            )
+            return _ok("CREATE ROLE")
+        if isinstance(stmt, ast.DropRoleStmt):
+            self._require_superuser("DROP ROLE")
+            self.engine.security.drop_role(stmt.name)
+            return _ok("DROP ROLE")
+        if isinstance(stmt, ast.AlterRoleStmt):
+            self._require_superuser("ALTER ROLE")
+            if stmt.resource_queue:
+                self.engine.security.set_role_queue(stmt.name, stmt.resource_queue)
+            return _ok("ALTER ROLE")
+        if isinstance(stmt, ast.CreateResourceQueueStmt):
+            self._require_superuser("CREATE RESOURCE QUEUE")
+            options = {k.lower(): v for k, v in stmt.options.items()}
+            self.engine.security.create_queue(
+                stmt.name,
+                active_statements=int(options.get("active_statements", 20)),
+                memory_limit=float(options.get("memory_limit", 8e9)),
+            )
+            return _ok("CREATE RESOURCE QUEUE")
+        if isinstance(stmt, ast.DropResourceQueueStmt):
+            self._require_superuser("DROP RESOURCE QUEUE")
+            self.engine.security.drop_queue(stmt.name)
+            return _ok("DROP RESOURCE QUEUE")
+        if isinstance(stmt, ast.GrantStmt):
+            self._check_privilege("all", stmt.relation, txn)
+            if stmt.revoke:
+                self.engine.security.revoke(stmt.privilege, stmt.relation, stmt.role)
+                return _ok("REVOKE")
+            self.engine.security.grant(stmt.privilege, stmt.relation, stmt.role)
+            return _ok("GRANT")
+        raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------- txn verbs
+    def _begin(self, stmt: ast.BeginStmt) -> QueryResult:
+        if self.in_transaction:
+            raise TransactionError("already in a transaction")
+        isolation = (
+            IsolationLevel.parse(stmt.isolation)
+            if stmt.isolation
+            else self.default_isolation
+        )
+        self._txn = self.engine.txns.begin(isolation)
+        return _ok("BEGIN")
+
+    def _commit(self) -> QueryResult:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        self.engine.txns.commit(self._txn)
+        self._txn = None
+        return _ok("COMMIT")
+
+    def _rollback(self) -> QueryResult:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        self.engine.txns.abort(self._txn)
+        self._txn = None
+        return _ok("ROLLBACK")
+
+    def _set(self, stmt: ast.SetStmt) -> QueryResult:
+        if stmt.name == "transaction_isolation":
+            self.default_isolation = IsolationLevel.parse(stmt.value)
+            return _ok("SET")
+        if stmt.name == "role":
+            self.engine.security.role(stmt.value)  # must exist
+            self.role = stmt.value.lower()
+            return _ok("SET")
+        return _ok("SET")  # other GUCs are accepted and ignored
+
+    # ------------------------------------------------------------- security
+    def _require_superuser(self, action: str) -> None:
+        if not self.engine.security.role(self.role).superuser:
+            raise PermissionDenied(f"{action} requires a superuser role")
+
+    def _check_privilege(self, privilege: str, relation: str, txn) -> None:
+        """Owner and superuser are always allowed; else consult grants."""
+        security = self.engine.security
+        if security.role(self.role).superuser:
+            return
+        snapshot = txn.statement_snapshot()
+        rel = self.engine.catalog.lookup_relation(relation, snapshot)
+        if rel is not None and rel.get("owner") == self.role:
+            return
+        security.check(self.role, privilege, relation)
+
+    # ---------------------------------------------------------------- SELECT
+    def _select(self, stmt: ast.SelectStmt, txn: Transaction) -> QueryResult:
+        engine = self.engine
+        snapshot = txn.statement_snapshot()
+        analyzer = Analyzer(_CatalogAdapter(engine.catalog, snapshot))
+        query = analyzer.analyze(stmt)
+        for name in _tables_of(query):
+            if name in CATALOG_RELATION_COLUMNS:
+                continue  # catalog reads are unlocked and world-readable
+            txn.lock(f"rel:{name}", LockMode.ACCESS_SHARE)
+            self._check_privilege("select", name, txn)
+        plan = self._plan(query, snapshot)
+        queue = engine.security.queue_for(self.role)
+        queue.admit()
+        try:
+            result = self._dispatch_and_execute(plan, snapshot, txn)
+        finally:
+            queue.release()
+        self.last_plan = result.plan
+        return result
+
+    def _plan(self, query: LogicalQuery, snapshot: Snapshot):
+        engine = self.engine
+        stats: Dict[str, TableStats] = {}
+        for name in _tables_of(query):
+            table_stats = engine.catalog.get_stats(name, snapshot)
+            if table_stats is not None:
+                stats[name] = table_stats
+        planner = Planner(
+            num_segments=engine.num_segments,
+            stats=stats,
+            options=engine.planner_options,
+            partition_children=self._partition_children(snapshot),
+        )
+        return planner.plan(query)
+
+    def _partition_children(self, snapshot: Snapshot) -> Dict[str, List]:
+        mapping: Dict[str, List] = {}
+        for relation in self.engine.catalog.relations(snapshot):
+            if relation.get("children"):
+                mapping[relation["name"]] = relation["children"]
+        return mapping
+
+    def _dispatch_and_execute(
+        self, plan, snapshot: Snapshot, txn: Transaction
+    ) -> QueryResult:
+        engine = self.engine
+        if engine.run_fault_detection():
+            # Sessions randomly fail down segments over to live hosts.
+            engine.fault_detector.assign_failover()
+        sdp = build_self_described_plan(plan, engine.catalog, snapshot)
+        queue = engine.security.queue_for(self.role)
+        ctx = ExecutionContext(
+            num_segments=engine.num_segments,
+            cost_model=engine.cost_model,
+            scan_provider=self._scan_provider(sdp),
+            external_provider=self._external_provider(),
+            interconnect=engine.interconnect,
+            pipelined=engine.pipelined,
+            work_mem=min(engine.work_mem, queue.memory_limit),
+        )
+        result = execute_plan(plan, ctx)
+        result.cost.seconds += self._dispatch_cost(plan, sdp)
+        return result
+
+    def _dispatch_cost(self, plan, sdp: SelfDescribedPlan) -> float:
+        """Metadata-dispatch cost (Section 3.1), or the per-QE catalog
+        RPC storm it replaces when the feature is ablated."""
+        model = self.engine.cost_model
+        qes = self.engine.num_segments * max(len(plan.slices) - 1, 1)
+        if self.engine.metadata_dispatch:
+            return sdp.compressed_bytes * qes / model.net_bw
+        lookups = max(len(sdp.metadata), 1) * 4  # schema, files, stats, types
+        return model.catalog_rpc * lookups * qes
+
+    def _scan_provider(self, sdp: SelfDescribedPlan):
+        engine = self.engine
+
+        def provider(table_source, partitions, segment_id, columns, acc):
+            if table_source.table_name in CATALOG_RELATION_COLUMNS:
+                # Master-only data: the catalog lives on the master, so
+                # one QE serves it and the rest see an empty scan.
+                if segment_id == 0:
+                    yield from catalog_relation_rows(
+                        engine.catalog, table_source.table_name, sdp.snapshot
+                    )
+                return
+            names = (
+                partitions if partitions is not None else [table_source.table_name]
+            )
+            segment = engine.segments[segment_id]
+            client = segment.client(engine.hdfs)
+            model = engine.cost_model
+            for name in names:
+                meta = sdp.metadata[name]
+                fmt = get_format(meta.storage_format)
+                codec = get_codec(meta.compression)
+                io_factor = (
+                    model.parquet_io_amplification
+                    if meta.storage_format == "parquet"
+                    else 1.0
+                )
+                cpu_factor = (
+                    model.parquet_cpu_factor
+                    if meta.storage_format == "parquet"
+                    else 1.0
+                )
+                for lane in meta.segfiles.get(segment_id, []):
+                    stats = ScanStats()
+                    remote_before = client.remote_bytes_read
+                    try:
+                        yield from fmt.scan(
+                            client,
+                            lane.paths,
+                            meta.schema,
+                            meta.compression,
+                            columns=columns,
+                            stats=stats,
+                        )
+                    finally:
+                        acc.disk_read(int(stats.compressed_bytes * io_factor))
+                        acc.cpu_bytes(
+                            stats.uncompressed_bytes,
+                            (codec.decompress_cost + model.cpu_format_byte)
+                            * cpu_factor,
+                        )
+                        remote = client.remote_bytes_read - remote_before
+                        if remote:
+                            acc.network(remote)
+
+        return provider
+
+    def _external_provider(self):
+        engine = self.engine
+
+        def provider(table_source, segment_id, columns, pushed, acc):
+            yield from engine.pxf.scan(
+                table_source.pxf,
+                table_source.schema,
+                segment_id,
+                engine.num_segments,
+                pushed,
+                acc,
+                segment_hosts={
+                    s.segment_id: s.effective_host() for s in engine.segments
+                },
+            )
+
+        return provider
+
+    # ---------------------------------------------------------------- INSERT
+    def _insert(self, stmt: ast.InsertStmt, txn: Transaction) -> QueryResult:
+        engine = self.engine
+        snapshot = txn.statement_snapshot()
+        relation = engine.catalog.lookup_relation(stmt.table, snapshot)
+        if relation is None:
+            raise UndefinedObject(f"relation {stmt.table!r} does not exist")
+        schema = relation["schema"]
+        txn.lock(f"rel:{schema.name}", LockMode.ROW_EXCLUSIVE)
+        self._check_privilege("insert", schema.name, txn)
+
+        if stmt.select is not None:
+            inner = self._select(stmt.select, txn)
+            raw_rows = inner.rows
+        else:
+            raw_rows = [
+                tuple(compile_expr_value(expr) for expr in row) for row in stmt.rows
+            ]
+        rows = [self._shape_row(schema, stmt.columns, row) for row in raw_rows]
+
+        if relation["kind"] == "external":
+            # WRITABLE external tables export through PXF (Section 6).
+            pxf_info = relation["pxf"]
+            if not pxf_info.get("writable"):
+                raise SemanticError(
+                    f"cannot insert into READABLE external table {schema.name!r}"
+                )
+            acc = CostAccumulator(engine.cost_model)
+            count = engine.pxf.write(pxf_info, schema, rows, acc)
+            result = _ok(f"INSERT 0 {count}")
+            result.cost.seconds += acc.seconds
+            return result
+        if relation["kind"] == "view":
+            raise SemanticError("cannot insert into a view")
+
+        count = self.load_rows(schema.name, rows, txn=txn, snapshot=snapshot)
+        return _ok(f"INSERT 0 {count}")
+
+    def _shape_row(
+        self, schema: TableSchema, columns: Optional[List[str]], row: tuple
+    ) -> tuple:
+        if columns is None:
+            return schema.coerce_row(row)
+        if len(columns) != len(row):
+            raise SemanticError("INSERT column/value count mismatch")
+        full: List[object] = [None] * len(schema.columns)
+        for name, value in zip(columns, row):
+            full[schema.column_index(name)] = value
+        return schema.coerce_row(full)
+
+    def load_rows(
+        self,
+        table: str,
+        rows: Sequence[tuple],
+        txn: Optional[Transaction] = None,
+        snapshot: Optional[Snapshot] = None,
+    ) -> int:
+        """Bulk-load coerced rows (the ETL / COPY path). Transactional."""
+        engine = self.engine
+        own_txn = txn is None
+        if own_txn:
+            txn = engine.txns.begin(self.default_isolation)
+            snapshot = txn.statement_snapshot()
+        assert snapshot is not None
+        try:
+            schema = engine.catalog.get_schema(table, snapshot)
+            rows = [schema.coerce_row(r) for r in rows]
+            targets = self._route_partitions(schema, rows, snapshot)
+            total = 0
+            for child_schema, child_rows in targets:
+                total += self._write_table_rows(
+                    child_schema, child_rows, txn, snapshot
+                )
+            if own_txn:
+                engine.txns.commit(txn)
+            return total
+        except Exception:
+            if own_txn:
+                engine.txns.abort(txn)
+            raise
+
+    def _route_partitions(
+        self, schema: TableSchema, rows: Sequence[tuple], snapshot: Snapshot
+    ) -> List[Tuple[TableSchema, List[tuple]]]:
+        spec = schema.partition_spec
+        if spec is None:
+            return [(schema, list(rows))]
+        children = {
+            partition.name: child_name
+            for child_name, partition in self.engine.catalog.lookup_relation(
+                schema.name, snapshot
+            )["children"]
+        }
+        part_col = schema.column_index(spec.column)
+        buckets: Dict[str, List[tuple]] = {}
+        for row in rows:
+            partition = spec.route(row[part_col])
+            if partition is None:
+                raise ExecutorError(
+                    f"no partition of {schema.name} holds {row[part_col]!r}"
+                )
+            buckets.setdefault(partition.name, []).append(row)
+        out = []
+        for part_name, child_rows in buckets.items():
+            child_schema = self.engine.catalog.get_schema(
+                children[part_name], snapshot
+            )
+            out.append((child_schema, child_rows))
+        return out
+
+    def _write_table_rows(
+        self,
+        schema: TableSchema,
+        rows: List[tuple],
+        txn: Transaction,
+        snapshot: Snapshot,
+    ) -> int:
+        engine = self.engine
+        num_segments = engine.num_segments
+        buckets: Dict[int, List[tuple]] = {}
+        if schema.distribution.is_hash:
+            for row in rows:
+                buckets.setdefault(
+                    schema.hash_row(row, num_segments), []
+                ).append(row)
+        else:
+            start = next(engine._load_rng)
+            for i, row in enumerate(rows):
+                buckets.setdefault((start + i) % num_segments, []).append(row)
+
+        from repro.txn.manager import AppendedFile
+
+        lane = engine.txns.segfiles.acquire(schema.name, txn.xid)
+        fmt = get_format(schema.storage_format)
+        for segment_id, segment_rows in sorted(buckets.items()):
+            segment = engine.segments[segment_id]
+            client = segment.client(engine.hdfs)
+            base_path = engine.segment_data_path(schema.name, segment_id, lane)
+            existing = [
+                f
+                for f in engine.catalog.segfiles(schema.name, snapshot, segment_id)
+                if f["segfile_id"] == lane
+            ]
+            if existing:
+                prev = existing[0]["paths"]
+                # Truncate garbage left by aborted appends before writing.
+                for path, logical in prev.items():
+                    if client.exists(path):
+                        physical = client.file_status(path).length
+                        if physical > logical:
+                            client.truncate(path, logical)
+                result = fmt.write(
+                    client,
+                    base_path,
+                    segment_rows,
+                    schema,
+                    schema.compression,
+                    append=True,
+                )
+                for path, prev_len in prev.items():
+                    txn.record_append(
+                        AppendedFile(
+                            table=schema.name,
+                            segment_id=segment_id,
+                            segfile_id=lane,
+                            path=path,
+                            previous_length=prev_len,
+                            truncate=client.truncate,
+                        )
+                    )
+                engine.catalog.update_segfile(
+                    snapshot,
+                    schema.name,
+                    segment_id,
+                    lane,
+                    {
+                        "paths": dict(result.paths),
+                        "uncompressed_length": existing[0]["uncompressed_length"]
+                        + result.uncompressed_bytes,
+                        "tupcount": existing[0]["tupcount"] + result.tupcount,
+                    },
+                    txn.xid,
+                )
+            else:
+                result = fmt.write(
+                    client,
+                    base_path,
+                    segment_rows,
+                    schema,
+                    schema.compression,
+                    append=False,
+                )
+                for path in result.paths:
+                    txn.record_append(
+                        AppendedFile(
+                            table=schema.name,
+                            segment_id=segment_id,
+                            segfile_id=lane,
+                            path=path,
+                            previous_length=0,
+                            truncate=lambda p, n, c=client: (
+                                c.truncate(p, n) if c.exists(p) else None
+                            ),
+                        )
+                    )
+                engine.catalog.register_segfile(
+                    schema.name,
+                    segment_id,
+                    lane,
+                    dict(result.paths),
+                    txn.xid,
+                    uncompressed_length=result.uncompressed_bytes,
+                    tupcount=result.tupcount,
+                )
+        return len(rows)
+
+    def _vacuum(self, stmt: ast.VacuumStmt, txn: Transaction) -> QueryResult:
+        """Reclaim physical garbage: truncate segment files back to their
+        committed logical lengths (aborted appends) and drop catalog row
+        versions no live snapshot can see."""
+        engine = self.engine
+        snapshot = txn.statement_snapshot()
+        if stmt.table is not None:
+            names = [stmt.table.lower()]
+            relation = engine.catalog.lookup_relation(stmt.table, snapshot)
+            if relation is None:
+                raise UndefinedObject(f"relation {stmt.table!r} does not exist")
+            names.extend(c for c, _ in relation.get("children", []))
+        else:
+            names = [
+                r["name"]
+                for r in engine.catalog.relations(snapshot)
+                if r["kind"] == "table"
+            ]
+        reclaimed = 0
+        for name in names:
+            for segfile in engine.catalog.segfiles(name, snapshot):
+                client = engine.segments[segfile["segment_id"]].client(engine.hdfs)
+                for path, logical in segfile["paths"].items():
+                    if not client.exists(path):
+                        continue
+                    physical = client.file_status(path).length
+                    if physical > logical:
+                        client.truncate(path, logical)
+                        reclaimed += physical - logical
+        dead = 0
+        if stmt.table is None:
+            horizon = engine.txns.xids.snapshot(txn.xid)
+            for catalog_table in engine.catalog.tables.values():
+                dead += catalog_table.vacuum(horizon)
+        return _ok(f"VACUUM (reclaimed {reclaimed} bytes, {dead} dead catalog rows)")
+
+    def _copy(self, stmt: ast.CopyStmt, txn: Transaction) -> QueryResult:
+        """COPY: bulk load from / unload to delimited text on HDFS —
+        the ETL path of paper Section 2.1's interface story."""
+        from repro.pxf.files import TextResolver, TextWriter
+
+        engine = self.engine
+        snapshot = txn.statement_snapshot()
+        schema = engine.catalog.get_schema(stmt.table, snapshot)
+        path = stmt.path if stmt.path.startswith("/") else "/" + stmt.path
+        if stmt.direction == "from":
+            self._check_privilege("insert", schema.name, txn)
+            txn.lock(f"rel:{schema.name}", LockMode.ROW_EXCLUSIVE)
+            resolver = TextResolver(stmt.delimiter)
+            raw = engine.hdfs.client().read_file(path).decode("utf-8")
+            rows = [
+                resolver.resolve(line, schema)
+                for line in raw.splitlines()
+                if line
+            ]
+            count = self.load_rows(schema.name, rows, txn=txn, snapshot=snapshot)
+            return _ok(f"COPY {count}")
+        self._check_privilege("select", schema.name, txn)
+        txn.lock(f"rel:{schema.name}", LockMode.ACCESS_SHARE)
+        rows = list(self._read_all_rows(schema.name, snapshot))
+        relation = engine.catalog.lookup_relation(schema.name, snapshot)
+        for child_name, _p in relation.get("children", []):
+            rows.extend(self._read_all_rows(child_name, snapshot))
+        writer = TextWriter(engine.hdfs, stmt.delimiter)
+        writer.write(path, rows, schema)
+        return _ok(f"COPY {len(rows)}")
+
+    # ------------------------------------------------------------------- DDL
+    def _create_table(self, stmt: ast.CreateTableStmt, txn: Transaction) -> QueryResult:
+        schema = _schema_from_ast(stmt)
+        snapshot = txn.statement_snapshot()
+        txn.lock(f"rel:{schema.name}", LockMode.ACCESS_EXCLUSIVE)
+        children: List[Tuple[str, Partition]] = []
+        if schema.partition_spec is not None:
+            for partition in schema.partition_spec.partitions:
+                child = schema.child_schema(partition)
+                self.engine.catalog.create_table(
+                    child, txn.xid, snapshot, owner=self.role
+                )
+                self.engine.catalog.add_dependency(child.name, schema.name, txn.xid)
+                children.append((child.name, partition))
+        self.engine.catalog.create_table(
+            schema, txn.xid, snapshot, children=children, owner=self.role
+        )
+        return _ok("CREATE TABLE")
+
+    def _create_view(self, stmt: ast.CreateViewStmt, txn: Transaction) -> QueryResult:
+        snapshot = txn.statement_snapshot()
+        analyzer = Analyzer(_CatalogAdapter(self.engine.catalog, snapshot))
+        analyzed = analyzer.analyze(stmt.query)  # validates now
+        schema = TableSchema(
+            name=stmt.name,
+            columns=[
+                Column(name or f"column{i}", DataType.parse("text"))
+                for i, name in enumerate(analyzed.output_names)
+            ],
+            distribution=Distribution.random(),
+        )
+        self.engine.catalog.create_table(
+            schema, txn.xid, snapshot, kind="view", view_def=stmt.query,
+            owner=self.role,
+        )
+        for name in _tables_of(analyzed):
+            self.engine.catalog.add_dependency(stmt.name, name, txn.xid)
+        return _ok("CREATE VIEW")
+
+    def _create_external_table(
+        self, stmt: ast.CreateExternalTableStmt, txn: Transaction
+    ) -> QueryResult:
+        snapshot = txn.statement_snapshot()
+        schema = TableSchema(
+            name=stmt.name,
+            columns=[
+                Column(c.name, DataType.parse(c.type_name), c.not_null)
+                for c in stmt.columns
+            ],
+            distribution=Distribution.random(),
+        )
+        pxf_info = self.engine.pxf.parse_location(
+            stmt.location, stmt.format_name, stmt.format_options
+        )
+        pxf_info["writable"] = stmt.writable
+        self.engine.catalog.create_table(
+            schema, txn.xid, snapshot, kind="external", pxf=pxf_info,
+            owner=self.role,
+        )
+        return _ok("CREATE EXTERNAL TABLE")
+
+    def _drop(self, stmt: ast.DropStmt, txn: Transaction) -> QueryResult:
+        engine = self.engine
+        snapshot = txn.statement_snapshot()
+        name = stmt.name.lower()
+        relation = engine.catalog.lookup_relation(name, snapshot)
+        if relation is None:
+            if stmt.if_exists:
+                return _ok(f"DROP (skipped, {name} does not exist)")
+            raise UndefinedObject(f"relation {name!r} does not exist")
+        txn.lock(f"rel:{name}", LockMode.ACCESS_EXCLUSIVE)
+        self._check_privilege("all", name, txn)
+        dependents = engine.catalog.dependents_of(name, snapshot)
+        child_names = {c for c, _ in relation.get("children", [])}
+        blocking = [d for d in dependents if d not in child_names]
+        if blocking:
+            raise SemanticError(
+                f"cannot drop {name}: {', '.join(sorted(blocking))} depend on it"
+            )
+        for child_name, _partition in relation.get("children", []):
+            engine.catalog.drop_table(child_name, txn.xid, snapshot)
+            engine.txns.segfiles.drop_table(child_name)
+        engine.catalog.drop_table(name, txn.xid, snapshot)
+        engine.txns.segfiles.drop_table(name)
+        return _ok(f"DROP {stmt.object_kind.upper()}")
+
+    def _truncate(self, stmt: ast.TruncateStmt, txn: Transaction) -> QueryResult:
+        engine = self.engine
+        snapshot = txn.statement_snapshot()
+        schema = engine.catalog.get_schema(stmt.table, txn.statement_snapshot())
+        txn.lock(f"rel:{schema.name}", LockMode.ACCESS_EXCLUSIVE)
+        names = [schema.name]
+        relation = engine.catalog.lookup_relation(schema.name, snapshot)
+        names.extend(c for c, _ in relation.get("children", []))
+        for name in names:
+            for segfile in engine.catalog.segfiles(name, snapshot):
+                engine.catalog.update_segfile(
+                    snapshot,
+                    name,
+                    segfile["segment_id"],
+                    segfile["segfile_id"],
+                    {
+                        "paths": {p: 0 for p in segfile["paths"]},
+                        "uncompressed_length": 0,
+                        "tupcount": 0,
+                    },
+                    txn.xid,
+                )
+        return _ok("TRUNCATE TABLE")
+
+    def _alter_table(self, stmt: ast.AlterTableStmt, txn: Transaction) -> QueryResult:
+        """ALTER TABLE ... SET WITH (orientation=..., compresstype=...):
+        online storage-model transformation — the feature the paper lists
+        as "in product roadmap" (Section 2.5). Reads every committed row,
+        rewrites it under the new physical design in a fresh path
+        generation, and swaps the catalog entries transactionally (old
+        physical files become garbage if the transaction commits, and the
+        new ones if it aborts — either way the catalog stays consistent)."""
+        engine = self.engine
+        snapshot = txn.statement_snapshot()
+        name = stmt.name.lower()
+        relation = engine.catalog.lookup_relation(name, snapshot)
+        if relation is None:
+            raise UndefinedObject(f"relation {name!r} does not exist")
+        if relation["kind"] != "table":
+            raise SemanticError("ALTER TABLE SET WITH applies to tables only")
+        txn.lock(f"rel:{name}", LockMode.ACCESS_EXCLUSIVE)
+        self._check_privilege("all", name, txn)
+
+        options = {k.lower(): str(v).lower() for k, v in stmt.options.items()}
+        targets = [(c, p) for c, p in relation.get("children", [])] or [(name, None)]
+        for child_name, _partition in targets:
+            child_rel = engine.catalog.lookup_relation(child_name, snapshot)
+            old_schema: TableSchema = child_rel["schema"]
+            new_schema = _apply_storage_options(old_schema, options)
+            rows = list(self._read_all_rows(child_name, snapshot))
+            # Retire the old physical design in the catalog...
+            engine.catalog.table("gp_segfile").delete(
+                snapshot, lambda r, n=child_name: r["table"] == n, txn.xid
+            )
+            engine.catalog.table("pg_class").update(
+                snapshot,
+                lambda r, n=child_name: r["name"] == n,
+                {"schema": new_schema},
+                txn.xid,
+            )
+            # ...and write the data back under a fresh path generation.
+            engine._table_generation[child_name] = (
+                engine._table_generation.get(child_name, 0) + 1
+            )
+            fresh_snapshot = txn.statement_snapshot()
+            if rows:
+                self._write_table_rows(new_schema, rows, txn, fresh_snapshot)
+        if relation.get("children"):
+            parent_schema = _apply_storage_options(relation["schema"], options)
+            engine.catalog.table("pg_class").update(
+                snapshot,
+                lambda r: r["name"] == name,
+                {"schema": parent_schema},
+                txn.xid,
+            )
+        return _ok("ALTER TABLE")
+
+    # --------------------------------------------------------------- ANALYZE
+    def _analyze(self, stmt: ast.AnalyzeStmt, txn: Transaction) -> QueryResult:
+        snapshot = txn.statement_snapshot()
+        if stmt.table is not None:
+            names = [stmt.table.lower()]
+        else:
+            names = [
+                r["name"]
+                for r in self.engine.catalog.relations(snapshot)
+                if r["kind"] == "table"
+            ]
+        for name in names:
+            self.analyze_table(name, txn, snapshot)
+        return _ok("ANALYZE")
+
+    def analyze_table(
+        self, name: str, txn: Transaction, snapshot: Snapshot
+    ) -> TableStats:
+        engine = self.engine
+        relation = engine.catalog.lookup_relation(name, snapshot)
+        if relation is None:
+            raise UndefinedObject(f"relation {name!r} does not exist")
+        if relation["kind"] == "external":
+            stats = engine.pxf.analyze(relation["pxf"], relation["schema"])
+            engine.catalog.set_stats(name, stats, txn.xid, snapshot)
+            return stats
+        children = relation.get("children", [])
+        scan_names = [c for c, _ in children] or [name]
+        rows: List[tuple] = []
+        for scan_name in scan_names:
+            rows.extend(self._read_all_rows(scan_name, snapshot))
+        stats = TableStats.from_rows(
+            rows, relation["schema"].column_names
+        )
+        engine.catalog.set_stats(name, stats, txn.xid, snapshot)
+        return stats
+
+    def _read_all_rows(self, name: str, snapshot: Snapshot) -> Iterator[tuple]:
+        engine = self.engine
+        schema = engine.catalog.get_schema(name, snapshot)
+        fmt = get_format(schema.storage_format)
+        for segfile in engine.catalog.segfiles(name, snapshot):
+            segment = engine.segments[segfile["segment_id"]]
+            client = segment.client(engine.hdfs)
+            yield from fmt.scan(
+                client, segfile["paths"], schema, schema.compression
+            )
+
+    # --------------------------------------------------------------- EXPLAIN
+    def _explain(self, stmt: ast.ExplainStmt, txn: Transaction) -> QueryResult:
+        if not isinstance(stmt.statement, ast.SelectStmt):
+            raise SqlError("EXPLAIN supports SELECT only")
+        snapshot = txn.statement_snapshot()
+        analyzer = Analyzer(_CatalogAdapter(self.engine.catalog, snapshot))
+        query = analyzer.analyze(stmt.statement)
+        plan = self._plan(query, snapshot)
+        self.last_plan = plan
+        lines = plan.explain().splitlines()
+        if stmt.analyze:
+            # EXPLAIN ANALYZE: actually run the plan and annotate each
+            # slice with its composed simulated time and rows moved.
+            result = self._dispatch_and_execute(plan, snapshot, txn)
+            annotated = []
+            for line in lines:
+                annotated.append(line)
+                if line.startswith("Slice "):
+                    slice_id = int(line.split()[1])
+                    seconds = result.slice_seconds.get(slice_id)
+                    rows_out = result.slice_rows.get(slice_id)
+                    if seconds is not None:
+                        detail = f"  (actual time={seconds:.4f}s"
+                        if rows_out is not None:
+                            detail += f", rows sent={rows_out}"
+                        detail += ")"
+                        annotated.append(detail)
+            annotated.append(
+                f"Total: {result.cost.seconds:.4f}s simulated, "
+                f"{len(result.rows)} rows, {result.cost.tuples} tuples "
+                f"processed, {result.cost.net_bytes} bytes moved"
+            )
+            return QueryResult(
+                rows=[(line,) for line in annotated],
+                column_names=["QUERY PLAN"],
+                cost=result.cost,
+                plan=plan,
+            )
+        return QueryResult(
+            rows=[(line,) for line in lines],
+            column_names=["QUERY PLAN"],
+            cost=QueryCost(seconds=self.engine.cost_model.query_setup),
+            plan=plan,
+        )
+
+
+# ----------------------------------------------------------------- adapters
+class _CatalogAdapter:
+    """Analyzer-facing view of the catalog under one snapshot."""
+
+    def __init__(self, catalog: CatalogService, snapshot: Snapshot):
+        self.catalog = catalog
+        self.snapshot = snapshot
+
+    def resolve(self, name: str) -> RelationInfo:
+        if name.lower() in CATALOG_RELATION_COLUMNS:
+            # Standard SQL over the system catalog (paper Section 2.2).
+            return RelationInfo(
+                kind="table", schema=catalog_relation_schema(name.lower())
+            )
+        relation = self.catalog.lookup_relation(name, self.snapshot)
+        if relation is None:
+            raise SemanticError(f"relation {name!r} does not exist")
+        if relation["kind"] == "view":
+            return RelationInfo(kind="view", view_query=relation["view_def"])
+        if relation["kind"] == "external":
+            return RelationInfo(
+                kind="external", schema=relation["schema"], pxf=relation["pxf"]
+            )
+        return RelationInfo(kind="table", schema=relation["schema"])
+
+
+def _tables_of(query: LogicalQuery) -> List[str]:
+    """All base-table names referenced by a logical query (recursively)."""
+    names: List[str] = []
+
+    def visit(q: LogicalQuery) -> None:
+        for rel in q.rels:
+            if isinstance(rel.source, DerivedSource):
+                visit(rel.source.query)
+            else:
+                names.append(rel.source.table_name)
+        for init in q.init_plans:
+            visit(init)
+
+    visit(query)
+    return sorted(set(names))
+
+
+def compile_expr_value(expr: ast.Expr) -> object:
+    """Evaluate a constant AST expression (INSERT ... VALUES)."""
+    from repro.planner.analyzer import Analyzer
+
+    bound = Analyzer(_EmptyCatalog())._expr(expr, [], allow_aggregates=False)
+    return compile_expr(bound, [])(())
+
+
+class _EmptyCatalog:
+    def resolve(self, name: str):  # pragma: no cover - constants only
+        raise SemanticError(f"relation {name!r} does not exist")
+
+
+def _ok(message: str) -> QueryResult:
+    return QueryResult(
+        rows=[], column_names=[], cost=QueryCost(seconds=0.0), message=message
+    )
+
+
+# --------------------------------------------------------------- DDL helpers
+def _apply_storage_options(schema: TableSchema, options: dict) -> TableSchema:
+    """New TableSchema with WITH-clause storage options applied."""
+    import dataclasses
+
+    storage_format = schema.storage_format
+    compression = schema.compression
+    if "orientation" in options:
+        mapping = {"row": "ao", "column": "co", "parquet": "parquet"}
+        if options["orientation"] not in mapping:
+            raise SemanticError(f"unknown orientation {options['orientation']!r}")
+        storage_format = mapping[options["orientation"]]
+    if "compresstype" in options:
+        compresstype = options["compresstype"]
+        level = options.get("compresslevel")
+        if compresstype in ("zlib", "gzip"):
+            compression = f"{compresstype}{level or 1}"
+        else:
+            compression = compresstype
+    elif "compresslevel" in options and compression[:-1] in ("zlib", "gzip"):
+        compression = f"{compression[:-1]}{options['compresslevel']}"
+    return dataclasses.replace(
+        schema, storage_format=storage_format, compression=compression
+    )
+
+
+def _schema_from_ast(stmt: ast.CreateTableStmt) -> TableSchema:
+    columns = [
+        Column(c.name, DataType.parse(c.type_name), c.not_null) for c in stmt.columns
+    ]
+    if stmt.distributed_by:
+        distribution = Distribution.hash(*stmt.distributed_by)
+    elif stmt.distributed_randomly:
+        distribution = Distribution.random()
+    else:
+        # HAWQ/Greenplum default: hash on the first column.
+        distribution = Distribution.hash(columns[0].name)
+
+    options = {k.lower(): str(v).lower() for k, v in stmt.options.items()}
+    orientation = options.get("orientation", "row")
+    storage_format = {"row": "ao", "column": "co", "parquet": "parquet"}.get(
+        orientation
+    )
+    if storage_format is None:
+        raise SemanticError(f"unknown orientation {orientation!r}")
+    compresstype = options.get("compresstype", "none")
+    compresslevel = options.get("compresslevel")
+    if compresstype in ("zlib", "gzip"):
+        compression = f"{compresstype}{compresslevel or 1}"
+    else:
+        compression = compresstype
+
+    partition_spec = (
+        _partition_spec(stmt.partition_by, columns) if stmt.partition_by else None
+    )
+    return TableSchema(
+        name=stmt.name,
+        columns=columns,
+        distribution=distribution,
+        partition_spec=partition_spec,
+        storage_format=storage_format,
+        compression=compression,
+    )
+
+
+def _partition_spec(clause: ast.PartitionByClause, columns) -> PartitionSpec:
+    if clause.kind == "list":
+        partitions = tuple(
+            Partition(
+                name=name,
+                in_values=tuple(compile_expr_value(v) for v in values),
+            )
+            for name, values in clause.list_parts
+        )
+        return PartitionSpec(column=clause.column, kind="list", partitions=partitions)
+
+    start = compile_expr_value(clause.start)
+    end = compile_expr_value(clause.end)
+    if clause.every is None:
+        partitions = (Partition(name="1", lower=start, upper=end),)
+        return PartitionSpec(
+            column=clause.column, kind="range", partitions=partitions
+        )
+    from repro.planner import exprs as ex  # interval stepping
+    from repro.executor.expr import add_interval, _Interval
+
+    every = compile_expr_value(clause.every)
+    parts: List[Partition] = []
+    lower = start
+    index = 1
+    while lower < end:
+        if isinstance(every, _Interval):
+            upper = add_interval(lower, every.quantity, every.unit)
+        else:
+            upper = lower + every
+        if upper > end:
+            upper = end
+        parts.append(Partition(name=str(index), lower=lower, upper=upper))
+        lower = upper
+        index += 1
+        if index > 10000:
+            raise SemanticError("EVERY produced too many partitions")
+    return PartitionSpec(
+        column=clause.column, kind="range", partitions=tuple(parts)
+    )

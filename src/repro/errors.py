@@ -1,0 +1,117 @@
+"""Exception hierarchy for the HAWQ reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subsystems raise the most specific subclass that applies.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class HdfsError(ReproError):
+    """Base class for distributed-file-system errors."""
+
+
+class FileNotFoundInHdfs(HdfsError):
+    """The requested HDFS path does not exist."""
+
+
+class FileAlreadyExists(HdfsError):
+    """Attempt to create an HDFS path that already exists."""
+
+
+class LeaseConflict(HdfsError):
+    """A second writer/appender/truncater tried to acquire a held lease."""
+
+
+class TruncateError(HdfsError):
+    """Invalid truncate request (e.g. target length beyond file length)."""
+
+
+class ReplicationError(HdfsError):
+    """Not enough live DataNodes to satisfy the replication factor."""
+
+
+class CatalogError(ReproError):
+    """Base class for catalog errors."""
+
+
+class DuplicateObject(CatalogError):
+    """An object with this name already exists in the catalog."""
+
+
+class UndefinedObject(CatalogError):
+    """The named table/column/function does not exist."""
+
+
+class CaqlSyntaxError(CatalogError):
+    """CaQL statement could not be parsed or uses unsupported features."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SemanticError(SqlError):
+    """The SQL parsed but references undefined objects or mistypes them."""
+
+
+class PlannerError(ReproError):
+    """The planner could not produce a plan for a valid query."""
+
+
+class ExecutorError(ReproError):
+    """Runtime failure while executing a plan."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-management errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back (explicitly or by failure)."""
+
+
+class DeadlockDetected(TransactionError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeout(TransactionError):
+    """A lock could not be acquired within the allowed wait."""
+
+
+class SerializationFailure(TransactionError):
+    """A serializable transaction observed a conflicting concurrent write."""
+
+
+class InterconnectError(ReproError):
+    """Base class for interconnect failures."""
+
+
+class ConnectionLimitExceeded(InterconnectError):
+    """TCP interconnect ran out of ports / connection capacity."""
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-runtime errors."""
+
+
+class SegmentDown(ClusterError):
+    """Operation routed to a segment that is marked down."""
+
+
+class MasterUnavailable(ClusterError):
+    """Neither primary nor standby master can serve the request."""
+
+
+class PxfError(ReproError):
+    """Base class for extension-framework errors."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-format errors."""

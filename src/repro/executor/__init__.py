@@ -1,0 +1,12 @@
+"""Pipelined parallel executor: QEs, operators, expressions, motions."""
+
+from repro.executor.expr import compile_expr, estimate_row_bytes
+from repro.executor.runner import ExecutionContext, QueryResult, execute_plan
+
+__all__ = [
+    "ExecutionContext",
+    "QueryResult",
+    "compile_expr",
+    "estimate_row_bytes",
+    "execute_plan",
+]

@@ -1,0 +1,329 @@
+"""Expression compilation and SQL value semantics.
+
+Bound expressions are compiled into Python closures evaluated per row.
+SQL three-valued logic is honoured: comparisons with NULL yield NULL,
+AND/OR follow Kleene semantics, and predicates keep a row only when they
+evaluate to exactly TRUE.
+"""
+
+from __future__ import annotations
+
+import calendar
+import datetime
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import DataType
+from repro.errors import ExecutorError
+from repro.planner import exprs as ex
+from repro.planner.physical import ColumnId
+
+RowFn = Callable[[tuple], object]
+
+_LIKE_CACHE: Dict[str, "re.Pattern"] = {}
+
+
+def like_match(value: Optional[str], pattern: str) -> Optional[bool]:
+    """SQL LIKE; ``%`` and ``_`` wildcards, anchored both ends."""
+    if value is None:
+        return None
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        compiled = re.compile(f"^{regex}$", re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled.match(value) is not None
+
+
+def add_interval(
+    value: datetime.date, quantity: float, unit: str, sign: int = 1
+) -> datetime.date:
+    """date +/- INTERVAL, with end-of-month clamping like PostgreSQL."""
+    amount = int(quantity) * sign
+    if unit == "day":
+        return value + datetime.timedelta(days=amount)
+    months = amount if unit == "month" else amount * 12
+    total = value.year * 12 + (value.month - 1) + months
+    year, month = divmod(total, 12)
+    month += 1
+    day = min(value.day, calendar.monthrange(year, month)[1])
+    return datetime.date(year, month, day)
+
+
+def sql_compare(op: str, left: object, right: object) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ExecutorError(f"unknown comparison {op!r}")  # pragma: no cover
+
+
+def sql_arith(op: str, left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    if isinstance(right, _Interval):
+        if op == "+":
+            return add_interval(left, right.quantity, right.unit, 1)
+        if op == "-":
+            return add_interval(left, right.quantity, right.unit, -1)
+        raise ExecutorError(f"cannot {op!r} an interval")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutorError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            return left / right  # SQL numeric division, not floor
+        return left / right
+    if op == "%":
+        return left % right
+    if op == "||":
+        return str(left) + str(right)
+    raise ExecutorError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+class _Interval:
+    """Runtime interval value (only ever combined with dates)."""
+
+    __slots__ = ("quantity", "unit")
+
+    def __init__(self, quantity: float, unit: str):
+        self.quantity = quantity
+        self.unit = unit
+
+
+def estimate_row_bytes(row: Sequence[object]) -> int:
+    """Approximate on-the-wire size of a tuple (for the cost model)."""
+    total = 4
+    for value in row:
+        if value is None:
+            total += 1
+        elif isinstance(value, bool):
+            total += 1
+        elif isinstance(value, (int, float)):
+            total += 8
+        elif isinstance(value, str):
+            total += 4 + len(value)
+        elif isinstance(value, bytes):
+            total += 4 + len(value)
+        elif isinstance(value, datetime.date):
+            total += 4
+        elif isinstance(value, tuple):
+            total += estimate_row_bytes(value)
+        else:
+            total += 8
+    return total
+
+
+def compile_expr(
+    expr: ex.BoundExpr,
+    layout: Sequence[ColumnId],
+    params: Optional[Sequence[object]] = None,
+) -> RowFn:
+    """Compile a bound expression against an input layout.
+
+    ``layout`` lists the column identities of the input tuples;
+    ``params`` holds InitPlan results for :class:`~repro.planner.exprs.BParam`.
+    """
+    index_of = {cid: i for i, cid in enumerate(layout)}
+    params = list(params or [])
+
+    def compile_node(node: ex.BoundExpr) -> RowFn:
+        if isinstance(node, ex.BConst):
+            value = node.value
+            return lambda row: value
+        if isinstance(node, ex.BInterval):
+            interval = _Interval(node.quantity, node.unit)
+            return lambda row: interval
+        if isinstance(node, ex.BVar):
+            if node.level != 0:
+                raise ExecutorError(
+                    "correlated variable survived planning (unsupported query shape)"
+                )
+            key = ("r", node.rel, node.col)
+            position = index_of.get(key)
+            if position is None:
+                raise ExecutorError(f"column {key} not in layout {layout}")
+            return lambda row, p=position: row[p]
+        if isinstance(node, ex.BGroupRef):
+            position = index_of.get(("g", node.index))
+            if position is None:
+                raise ExecutorError(f"group ref {node.index} not in layout")
+            return lambda row, p=position: row[p]
+        if isinstance(node, ex.BAggRef):
+            position = index_of.get(("a", node.index))
+            if position is None:
+                raise ExecutorError(f"agg ref {node.index} not in layout")
+            return lambda row, p=position: row[p]
+        if isinstance(node, ex.BTargetRef):
+            position = index_of.get(("t", node.index))
+            if position is None:
+                raise ExecutorError(f"target ref {node.index} not in layout")
+            return lambda row, p=position: row[p]
+        if isinstance(node, ex.BParam):
+            if node.index >= len(params):
+                raise ExecutorError(f"missing InitPlan param {node.index}")
+            value = params[node.index]
+            return lambda row: value
+        if isinstance(node, ex.BOp):
+            left = compile_node(node.left)
+            right = compile_node(node.right)
+            op = node.op
+            if op == "and":
+                def f_and(row):
+                    a = left(row)
+                    if a is False:
+                        return False
+                    b = right(row)
+                    if b is False:
+                        return False
+                    if a is None or b is None:
+                        return None
+                    return True
+                return f_and
+            if op == "or":
+                def f_or(row):
+                    a = left(row)
+                    if a is True:
+                        return True
+                    b = right(row)
+                    if b is True:
+                        return True
+                    if a is None or b is None:
+                        return None
+                    return False
+                return f_or
+            if op in ("=", "<>", "<", "<=", ">", ">="):
+                return lambda row: sql_compare(op, left(row), right(row))
+            return lambda row: sql_arith(op, left(row), right(row))
+        if isinstance(node, ex.BNot):
+            operand = compile_node(node.operand)
+            def f_not(row):
+                value = operand(row)
+                return None if value is None else not value
+            return f_not
+        if isinstance(node, ex.BCase):
+            whens = [(compile_node(c), compile_node(r)) for c, r in node.whens]
+            else_fn = (
+                compile_node(node.else_result)
+                if node.else_result is not None
+                else (lambda row: None)
+            )
+            def f_case(row):
+                for cond, result in whens:
+                    if cond(row) is True:
+                        return result(row)
+                return else_fn(row)
+            return f_case
+        if isinstance(node, ex.BCast):
+            operand = compile_node(node.operand)
+            target = DataType.parse(node.type_name)
+            return lambda row: target.coerce(operand(row))
+        if isinstance(node, ex.BLike):
+            operand = compile_node(node.operand)
+            pattern, negated = node.pattern, node.negated
+            def f_like(row):
+                value = like_match(operand(row), pattern)
+                if value is None:
+                    return None
+                return (not value) if negated else value
+            return f_like
+        if isinstance(node, ex.BIn):
+            operand = compile_node(node.operand)
+            items = [compile_node(i) for i in node.items]
+            negated = node.negated
+            def f_in(row):
+                value = operand(row)
+                if value is None:
+                    return None
+                found = any(item(row) == value for item in items)
+                return (not found) if negated else found
+            return f_in
+        if isinstance(node, ex.BIsNull):
+            operand = compile_node(node.operand)
+            negated = node.negated
+            def f_isnull(row):
+                is_null = operand(row) is None
+                return (not is_null) if negated else is_null
+            return f_isnull
+        if isinstance(node, ex.BExtract):
+            operand = compile_node(node.operand)
+            part = node.part
+            def f_extract(row):
+                value = operand(row)
+                if value is None:
+                    return None
+                return getattr(value, part)
+            return f_extract
+        if isinstance(node, ex.BFunc):
+            return compile_function(node)
+        if isinstance(node, ex.BAgg):
+            raise ExecutorError(
+                "raw aggregate reached expression compilation (planner bug)"
+            )
+        if isinstance(node, ex.BSubPlan):
+            raise ExecutorError(
+                "subplan survived decorrelation (unsupported query shape)"
+            )
+        raise ExecutorError(f"cannot compile {type(node).__name__}")
+
+    def compile_function(node: ex.BFunc) -> RowFn:
+        args = [compile_node(a) for a in node.args]
+        name = node.name
+        if name == "substring":
+            def f_substring(row):
+                value = args[0](row)
+                if value is None:
+                    return None
+                start = int(args[1](row)) - 1
+                if len(args) > 2:
+                    length = int(args[2](row))
+                    return value[start : start + length]
+                return value[start:]
+            return f_substring
+        if name == "upper":
+            return lambda row: None if (v := args[0](row)) is None else v.upper()
+        if name == "lower":
+            return lambda row: None if (v := args[0](row)) is None else v.lower()
+        if name == "length":
+            return lambda row: None if (v := args[0](row)) is None else len(v)
+        if name == "abs":
+            return lambda row: None if (v := args[0](row)) is None else abs(v)
+        if name == "round":
+            def f_round(row):
+                value = args[0](row)
+                if value is None:
+                    return None
+                digits = int(args[1](row)) if len(args) > 1 else 0
+                return round(value, digits)
+            return f_round
+        if name == "coalesce":
+            def f_coalesce(row):
+                for arg in args:
+                    value = arg(row)
+                    if value is not None:
+                        return value
+                return None
+            return f_coalesce
+        if name == "nullif":
+            def f_nullif(row):
+                a, b = args[0](row), args[1](row)
+                return None if a == b else a
+            return f_nullif
+        raise ExecutorError(f"unknown function {name!r}")
+
+    return compile_node(expr)

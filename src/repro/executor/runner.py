@@ -1,0 +1,630 @@
+"""Slice-by-slice parallel plan execution with simulated timing.
+
+Slices run children-first (they are emitted in dependency order by the
+slicer). A slice with gang 'N' is executed once per segment — each QE
+sees only its segment's data — and its root Motion partitions the output
+into per-receiver buffers (hash for redistribute, everyone for
+broadcast, the QD for gather). The consuming slice's MotionRecv leaves
+read those buffers.
+
+Timing: each (slice, segment) accumulates simulated cost; a slice's wall
+time is the max over its QEs; slices connected by motions are pipelined,
+so the query's time is ``max(own, children) + latency`` up the slice
+tree, plus fixed query/gang set-up costs. (A knob disables pipelining
+for the ablation benchmark.)
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.catalog.schema import hash_values
+from repro.errors import ExecutorError
+from repro.executor.aggregates import make_state
+from repro.executor.expr import compile_expr, estimate_row_bytes
+from repro.planner import exprs as ex
+from repro.planner.physical import (
+    ExternalScan,
+    Filter,
+    HashAgg,
+    HashJoin,
+    Limit,
+    Motion,
+    MotionRecv,
+    NestLoopJoin,
+    PhysicalPlan,
+    PlanNode,
+    PlanSlice,
+    Project,
+    Result,
+    SeqScan,
+    Sort,
+    SubqueryScan,
+)
+from repro.simtime import CostAccumulator, CostModel, QueryCost
+
+QD_SEGMENT = -1
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a plan needs at run time."""
+
+    num_segments: int
+    cost_model: CostModel
+    #: scan_provider(table_source, partitions, segment_id, columns, acc)
+    #: -> iterable of schema-shaped tuples for that segment.
+    scan_provider: Callable = None
+    #: external_provider(table_source, segment_id, columns, pushed, acc)
+    external_provider: Callable = None
+    params: List[object] = field(default_factory=list)
+    #: 'udp' or 'tcp' — which interconnect carries the motions.
+    interconnect: str = "udp"
+    #: Disable slice overlap (ablation: staged execution a la MapReduce).
+    pipelined: bool = True
+    #: Per-operator memory budget in nominal bytes before spilling.
+    work_mem: float = 1.5e9
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the simulated cost of producing them."""
+
+    rows: List[tuple]
+    column_names: List[str]
+    cost: QueryCost
+    plan: Optional[PhysicalPlan] = None
+    message: str = ""
+    #: Per-slice composed simulated seconds (EXPLAIN ANALYZE).
+    slice_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Per-slice output row counts (rows buffered at each motion).
+    slice_rows: Dict[int, int] = field(default_factory=dict)
+
+
+def execute_plan(plan: PhysicalPlan, ctx: ExecutionContext) -> QueryResult:
+    """Run a sliced physical plan to completion."""
+    # InitPlans first: their single values become this plan's parameters.
+    # Parameters are scoped per PhysicalPlan (nested init plans resolve
+    # their own), so run with a fresh param list.
+    init_seconds = 0.0
+    if plan.init_plans:
+        import dataclasses
+
+        params: List[object] = []
+        for init_plan in plan.init_plans:
+            sub = execute_plan(
+                init_plan, dataclasses.replace(ctx, params=[])
+            )
+            if len(sub.rows) > 1:
+                raise ExecutorError("InitPlan returned more than one row")
+            params.append(sub.rows[0][0] if sub.rows else None)
+            init_seconds += sub.cost.seconds
+        ctx = dataclasses.replace(ctx, params=params)
+
+    runner = _PlanRunner(plan, ctx)
+    rows = runner.run()
+    seconds = runner.total_time() + init_seconds + _fixed_costs(plan, ctx)
+    slice_rows = {
+        sid: sum(len(buffered) for buffered in buffers.values())
+        for sid, buffers in runner.buffers.items()
+    }
+    total = CostAccumulator(ctx.cost_model)
+    for acc in runner.accumulators.values():
+        total.disk_read_bytes += acc.disk_read_bytes
+        total.disk_write_bytes += acc.disk_write_bytes
+        total.net_bytes += acc.net_bytes
+        total.tuples += acc.tuples
+    cost = QueryCost(
+        seconds=seconds,
+        disk_read_bytes=total.disk_read_bytes,
+        disk_write_bytes=total.disk_write_bytes,
+        net_bytes=total.net_bytes,
+        tuples=total.tuples,
+    )
+    return QueryResult(
+        rows=rows,
+        column_names=plan.output_names,
+        cost=cost,
+        plan=plan,
+        slice_seconds=dict(getattr(runner, "slice_times", {})),
+        slice_rows=slice_rows,
+    )
+
+
+def _fixed_costs(plan: PhysicalPlan, ctx: ExecutionContext) -> float:
+    model = ctx.cost_model
+    seconds = model.query_setup
+    for plan_slice in plan.slices:
+        gang_size = _gang_segments(plan, plan_slice, ctx)
+        seconds += model.gang_setup + model.dispatch_per_segment * len(gang_size)
+    return seconds
+
+
+def _gang_segments(
+    plan: PhysicalPlan, plan_slice: PlanSlice, ctx: ExecutionContext
+) -> List[int]:
+    if plan_slice.gang == "1":
+        return [QD_SEGMENT]
+    if plan.direct_dispatch_segment is not None:
+        return [plan.direct_dispatch_segment]
+    return list(range(ctx.num_segments))
+
+
+class _PlanRunner:
+    def __init__(self, plan: PhysicalPlan, ctx: ExecutionContext):
+        self.plan = plan
+        self.ctx = ctx
+        # (slice_id, segment) -> cost accumulator
+        self.accumulators: Dict[Tuple[int, int], CostAccumulator] = {}
+        # slice_id -> receiver segment -> buffered rows
+        self.buffers: Dict[int, Dict[int, List[tuple]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        # slice_id -> receiver segment -> bytes (for receive-side time)
+        self.buffer_bytes: Dict[int, Dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self.parent_gang: Dict[int, List[int]] = {}
+        for plan_slice in plan.slices:
+            receivers = _gang_segments(plan, plan_slice, ctx)
+            for child_id in plan_slice.child_slices:
+                self.parent_gang[child_id] = receivers
+
+    # ---------------------------------------------------------------- driver
+    def run(self) -> List[tuple]:
+        result: List[tuple] = []
+        for plan_slice in self.plan.slices:
+            is_top = plan_slice is self.plan.top_slice
+            for segment in _gang_segments(self.plan, plan_slice, self.ctx):
+                acc = CostAccumulator(self.ctx.cost_model)
+                self.accumulators[(plan_slice.slice_id, segment)] = acc
+                rows = self._run_node(plan_slice.root, segment, acc)
+                if is_top:
+                    result.extend(rows)
+                else:
+                    # Non-top slice roots are Motions; _run_node on a
+                    # Motion buffers rows and yields nothing.
+                    for _ in rows:
+                        pass
+        return result
+
+    def total_time(self) -> float:
+        """Compose per-slice times up the dependency tree.
+
+        Slices run on the *same* hosts, so their CPU work adds up even
+        when motions pipeline tuples between them (cores are shared).
+        What pipelining buys — and what the staged ablation pays — is
+        never *materializing* motion data to disk between stages, the
+        MapReduce failure mode the paper calls out.
+        """
+        model = self.ctx.cost_model
+        times: Dict[int, float] = {}
+        for plan_slice in self.plan.slices:  # children-first order
+            # Mean over the gang, not max: at full scale TPC-H keys hash
+            # uniformly, so the per-segment imbalance seen at a tiny
+            # scale factor is sampling noise, not real skew.
+            seconds = [
+                acc.seconds
+                for (sid, _seg), acc in self.accumulators.items()
+                if sid == plan_slice.slice_id
+            ]
+            own = sum(seconds) / len(seconds) if seconds else 0.0
+            children = sum(times[c] for c in plan_slice.child_slices)
+            total = own + children + model.net_latency
+            if not self.ctx.pipelined and plan_slice.motion_kind is not None:
+                # Staged execution: this slice's motion output is written
+                # to disk and read back by the consumer.
+                sent = sum(self.buffer_bytes[plan_slice.slice_id].values())
+                gang = _gang_segments(self.plan, plan_slice, self.ctx)
+                per_segment = sent / max(len(gang), 1)
+                total += 2 * per_segment * model.scale / model.disk_seq_bw
+            times[plan_slice.slice_id] = total
+        self.slice_times = times
+        return times[self.plan.top_slice.slice_id]
+
+    # -------------------------------------------------------------- operators
+    def _run_node(
+        self, node: PlanNode, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        if isinstance(node, Motion):
+            return self._run_motion(node, segment, acc)
+        if isinstance(node, MotionRecv):
+            return self._run_motion_recv(node, segment, acc)
+        if isinstance(node, SeqScan):
+            return self._run_seqscan(node, segment, acc)
+        if isinstance(node, ExternalScan):
+            return self._run_external(node, segment, acc)
+        if isinstance(node, SubqueryScan):
+            return self._run_node(node.child, segment, acc)
+        if isinstance(node, Filter):
+            return self._run_filter(node, segment, acc)
+        if isinstance(node, Project):
+            return self._run_project(node, segment, acc)
+        if isinstance(node, HashJoin):
+            return self._run_hash_join(node, segment, acc)
+        if isinstance(node, NestLoopJoin):
+            return self._run_nest_loop(node, segment, acc)
+        if isinstance(node, HashAgg):
+            return self._run_hash_agg(node, segment, acc)
+        if isinstance(node, Sort):
+            return self._run_sort(node, segment, acc)
+        if isinstance(node, Limit):
+            return self._run_limit(node, segment, acc)
+        if isinstance(node, Result):
+            return self._run_result(node, segment, acc)
+        raise ExecutorError(f"no executor for {type(node).__name__}")
+
+    # ------------------------------------------------------------------ scans
+    def _run_seqscan(
+        self, node: SeqScan, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        if self.ctx.scan_provider is None:
+            raise ExecutorError("no scan provider configured")
+        predicate = (
+            compile_expr(node.filter, self._scan_layout(node), self.ctx.params)
+            if node.filter is not None
+            else None
+        )
+        count = 0
+        for row in self.ctx.scan_provider(
+            node.table, node.partitions, segment, node.columns, acc
+        ):
+            count += 1
+            if predicate is not None and predicate(row) is not True:
+                continue
+            yield tuple(row[c] for c in node.columns)
+        acc.cpu_tuples(count, ncolumns=len(node.columns))
+
+    def _scan_layout(self, node) -> List[tuple]:
+        """Scan filters see the table's full row shape."""
+        ncols = len(node.table.schema.columns)
+        return [("r", node.rel, c) for c in range(ncols)]
+
+    def _run_external(
+        self, node: ExternalScan, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        if self.ctx.external_provider is None:
+            raise ExecutorError("no external (PXF) provider configured")
+        predicate = (
+            compile_expr(node.filter, self._scan_layout(node), self.ctx.params)
+            if node.filter is not None
+            else None
+        )
+        count = 0
+        for row in self.ctx.external_provider(
+            node.table, segment, node.columns, node.pushed_filters, acc
+        ):
+            count += 1
+            if predicate is not None and predicate(row) is not True:
+                continue
+            yield tuple(row[c] for c in node.columns)
+        acc.cpu_tuples(count, ncolumns=len(node.columns))
+
+    # ---------------------------------------------------------------- motions
+    def _run_motion(
+        self, node: Motion, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        receivers = self.parent_gang.get(
+            self._slice_of(node), [QD_SEGMENT]
+        )
+        hash_fns = [
+            compile_expr(e, node.child.layout, self.ctx.params)
+            for e in node.hash_exprs
+        ]
+        sent_bytes = 0
+        count = 0
+        slice_id = self._slice_of(node)
+        for row in self._run_node(node.child, segment, acc):
+            count += 1
+            size = estimate_row_bytes(row)
+            if node.kind == "gather":
+                targets = [receivers[0]]
+            elif node.kind == "broadcast":
+                targets = receivers
+            else:
+                key = tuple(fn(row) for fn in hash_fns)
+                targets = [receivers[hash_values(key, len(receivers))]]
+            for target in targets:
+                self.buffers[slice_id][target].append(row)
+                self.buffer_bytes[slice_id][target] += size
+                sent_bytes += size
+        self._charge_send(acc, count, sent_bytes, len(receivers))
+        return iter(())
+
+    def _slice_of(self, motion: Motion) -> int:
+        for plan_slice in self.plan.slices:
+            if plan_slice.root is motion:
+                return plan_slice.slice_id
+        raise ExecutorError("motion is not a slice root")
+
+    def _charge_send(
+        self, acc: CostAccumulator, rows: int, nbytes: int, nreceivers: int
+    ) -> None:
+        model = self.ctx.cost_model
+        acc.cpu_bytes(nbytes, model.cpu_net_byte)
+        # Stream concurrency is a property of the *real* cluster being
+        # modeled (96 segments in the paper's testbed), not of however
+        # many segments this process simulates.
+        real_segments = (
+            model.modeled_segments
+            if model.modeled_segments
+            else self.ctx.num_segments
+        )
+        if self.ctx.interconnect == "tcp":
+            streams = real_segments * max(len(self.plan.slices) - 1, 1)
+            bandwidth = model.net_bw / (
+                1 + model.tcp_concurrency_penalty * streams
+            )
+            acc.fixed(model.tcp_conn_setup * real_segments * (nreceivers > 1))
+            acc.network(nbytes, bandwidth)
+        else:
+            acc.fixed(model.udp_conn_setup * real_segments)
+            acc.network(int(nbytes * (1 + model.udp_byte_overhead)))
+
+    def _run_motion_recv(
+        self, node: MotionRecv, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        rows = self.buffers[node.slice_id].get(segment, [])
+        nbytes = self.buffer_bytes[node.slice_id].get(segment, 0)
+        model = self.ctx.cost_model
+        acc.cpu_bytes(nbytes, model.cpu_net_byte)
+        acc.network(nbytes)
+        return iter(rows)
+
+    # -------------------------------------------------------------- filtering
+    def _run_filter(
+        self, node: Filter, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        predicate = compile_expr(node.cond, node.child.layout, self.ctx.params)
+        count = 0
+        for row in self._run_node(node.child, segment, acc):
+            count += 1
+            if predicate(row) is True:
+                yield row
+        acc.cpu_tuples(count, weight=0.5)
+
+    def _run_project(
+        self, node: Project, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        fns = [
+            compile_expr(e, node.child.layout, self.ctx.params) for e in node.exprs
+        ]
+        count = 0
+        for row in self._run_node(node.child, segment, acc):
+            count += 1
+            yield tuple(fn(row) for fn in fns)
+        acc.cpu_tuples(count, ncolumns=len(fns))
+
+    # ------------------------------------------------------------------ joins
+    def _run_hash_join(
+        self, node: HashJoin, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        left_fns = [
+            compile_expr(e, node.left.layout, self.ctx.params)
+            for e in node.left_keys
+        ]
+        right_fns = [
+            compile_expr(e, node.right.layout, self.ctx.params)
+            for e in node.right_keys
+        ]
+        residual = (
+            compile_expr(node.residual, node.layout_for_residual(), self.ctx.params)
+            if node.residual is not None
+            else None
+        )
+        # Build side (right).
+        table: Dict[tuple, List[tuple]] = defaultdict(list)
+        build_count = 0
+        build_bytes = 0
+        for row in self._run_node(node.right, segment, acc):
+            key = tuple(fn(row) for fn in right_fns)
+            if any(k is None for k in key):
+                continue  # NULL never matches an equality key
+            table[key].append(row)
+            build_count += 1
+            build_bytes += estimate_row_bytes(row)
+        acc.cpu_tuples(build_count, weight=1.2)
+        self._charge_spill(acc, build_bytes)
+
+        probe_count = 0
+        out_count = 0
+        join_type = node.join_type
+        pad = (None,) * len(node.right.layout)
+        for row in self._run_node(node.left, segment, acc):
+            probe_count += 1
+            key = tuple(fn(row) for fn in left_fns)
+            matches = table.get(key, []) if not any(k is None for k in key) else []
+            if residual is not None and matches:
+                matches = [m for m in matches if residual(row + m) is True]
+            if join_type == "inner":
+                for match in matches:
+                    out_count += 1
+                    yield row + match
+            elif join_type == "left":
+                if matches:
+                    for match in matches:
+                        out_count += 1
+                        yield row + match
+                else:
+                    out_count += 1
+                    yield row + pad
+            elif join_type == "semi":
+                if matches:
+                    out_count += 1
+                    yield row
+            elif join_type == "anti":
+                if not matches:
+                    out_count += 1
+                    yield row
+            else:  # pragma: no cover
+                raise ExecutorError(f"unknown join type {join_type!r}")
+        acc.cpu_tuples(probe_count, weight=1.0)
+        acc.cpu_tuples(out_count, weight=0.3)
+
+    def _run_nest_loop(
+        self, node: NestLoopJoin, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        inner = list(self._run_node(node.right, segment, acc))
+        cond = (
+            compile_expr(node.cond, node.layout_for_residual(), self.ctx.params)
+            if node.cond is not None
+            else None
+        )
+        pad = (None,) * len(node.right.layout)
+        outer_count = 0
+        comparisons = 0
+        for row in self._run_node(node.left, segment, acc):
+            outer_count += 1
+            matches = []
+            for inner_row in inner:
+                comparisons += 1
+                if cond is None or cond(row + inner_row) is True:
+                    matches.append(inner_row)
+            if node.join_type == "inner":
+                for match in matches:
+                    yield row + match
+            elif node.join_type == "left":
+                if matches:
+                    for match in matches:
+                        yield row + match
+                else:
+                    yield row + pad
+            elif node.join_type == "semi":
+                if matches:
+                    yield row
+            elif node.join_type == "anti":
+                if not matches:
+                    yield row
+        acc.cpu_tuples(comparisons, weight=0.3)
+        acc.cpu_tuples(outer_count, weight=0.5)
+
+    # ------------------------------------------------------------ aggregation
+    def _run_hash_agg(
+        self, node: HashAgg, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        child_layout = node.child.layout
+        key_fns = [
+            compile_expr(e, child_layout, self.ctx.params) for e in node.group_keys
+        ]
+        phase = node.phase
+        nkeys = len(node.group_keys)
+        if phase == "final":
+            # Input rows are (group values..., states...) from partials.
+            groups: Dict[tuple, List] = {}
+            count = 0
+            for row in self._run_node(node.child, segment, acc):
+                count += 1
+                key = row[:nkeys]
+                states = row[nkeys:]
+                slot = groups.get(key)
+                if slot is None:
+                    groups[key] = list(states)
+                else:
+                    for mine, theirs in zip(slot, states):
+                        mine.merge(theirs)
+            acc.cpu_tuples(count, weight=1.0 + 0.3 * len(node.aggs))
+            for key, states in groups.items():
+                yield key + tuple(state.finalize() for state in states)
+            return
+
+        arg_fns = [
+            compile_expr(a.arg, child_layout, self.ctx.params)
+            if a.arg is not None
+            else None
+            for a in node.aggs
+        ]
+        groups = {}
+        count = 0
+        group_bytes = 0
+        for row in self._run_node(node.child, segment, acc):
+            count += 1
+            key = tuple(fn(row) for fn in key_fns)
+            states = groups.get(key)
+            if states is None:
+                states = [make_state(a) for a in node.aggs]
+                groups[key] = states
+                group_bytes += estimate_row_bytes(key) + 16 * len(states)
+            for state, arg_fn in zip(states, arg_fns):
+                state.accumulate(arg_fn(row) if arg_fn is not None else 1)
+        acc.cpu_tuples(count, weight=1.2 + 0.3 * len(node.aggs))
+        self._charge_spill(acc, group_bytes)
+        if not groups and not node.group_keys and node.aggs:
+            # Aggregate over empty input still yields one row.
+            groups[()] = [make_state(a) for a in node.aggs]
+        if phase == "partial":
+            for key, states in groups.items():
+                yield key + tuple(states)
+        else:  # single
+            for key, states in groups.items():
+                yield key + tuple(state.finalize() for state in states)
+
+    # ------------------------------------------------------------- sort/limit
+    def _run_sort(
+        self, node: Sort, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        rows = list(self._run_node(node.child, segment, acc))
+        key_fns = [
+            (
+                compile_expr(k.expr, node.child.layout, self.ctx.params),
+                k.ascending,
+                k.nulls_first,
+            )
+            for k in node.keys
+        ]
+        # Stable multi-key sort: apply keys right-to-left.
+        for fn, ascending, nulls_first in reversed(key_fns):
+            if nulls_first is None:
+                # PostgreSQL defaults: NULLS LAST ascending, FIRST descending.
+                nulls_first = not ascending
+            if ascending:
+                null_bucket = 0 if nulls_first else 2
+            else:
+                # The whole sort is reversed, so the bucket order flips too.
+                null_bucket = 2 if nulls_first else 0
+
+            def sort_key(row, fn=fn, null_bucket=null_bucket):
+                value = fn(row)
+                if value is None:
+                    return (null_bucket, 0)
+                return (1, value)
+
+            rows.sort(key=sort_key, reverse=not ascending)
+        count = len(rows)
+        if count > 1:
+            acc.cpu_tuples(count, weight=0.25 * math.log2(count))
+        self._charge_spill(acc, sum(estimate_row_bytes(r) for r in rows))
+        return iter(rows)
+
+    def _run_limit(
+        self, node: Limit, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        produced = 0
+        for row in self._run_node(node.child, segment, acc):
+            if produced >= node.count:
+                break
+            produced += 1
+            yield row
+
+    def _run_result(
+        self, node: Result, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        fns = [compile_expr(e, [], self.ctx.params) for e in node.exprs]
+        acc.cpu_tuples(1, ncolumns=len(fns))
+        yield tuple(fn(()) for fn in fns)
+
+    # ---------------------------------------------------------------- spilling
+    def _charge_spill(self, acc: CostAccumulator, actual_bytes: int) -> None:
+        """Charge simulated IO when an operator's nominal working set
+        exceeds work_mem (external sort / spilling hash tables)."""
+        model = self.ctx.cost_model
+        nominal = actual_bytes * model.scale
+        if nominal <= self.ctx.work_mem:
+            return
+        spilled = nominal - self.ctx.work_mem
+        # Written once and read back once, at local-disk bandwidth;
+        # nominal bytes, so bypass the scaled disk_read/write helpers.
+        acc.seconds += 2 * spilled / model.disk_seq_bw
+        acc.disk_write_bytes += int(spilled / max(model.scale, 1e-9))

@@ -1,0 +1,20 @@
+"""Simulated HDFS: append-only replicated block storage with truncate.
+
+HAWQ stores all user data on HDFS and relies on it for replication and
+fault tolerance (paper Section 2). The one operation Pivotal added to
+their HDFS fork — ``truncate(path, length)`` (Section 5.3) — is
+implemented here with the paper's semantics and is what transaction
+rollback uses.
+"""
+
+from repro.hdfs.datanode import DataNode, DiskVolume
+from repro.hdfs.filesystem import BlockLocation, FileStatus, Hdfs, HdfsClient
+
+__all__ = [
+    "BlockLocation",
+    "DataNode",
+    "DiskVolume",
+    "FileStatus",
+    "Hdfs",
+    "HdfsClient",
+]

@@ -1,0 +1,72 @@
+"""Interconnect packet format.
+
+Every packet carries a self-describing header: the motion node id, the
+sending and receiving peer ids, and the session/command id — enough for a
+receiver to demultiplex tuple streams arriving on its single shared
+socket (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Size in bytes of the evenly-aligned packet header.
+HEADER_SIZE = 32
+#: Maximum payload bytes per data packet.
+MAX_PAYLOAD = 8192
+
+
+class PacketType(enum.Enum):
+    """Wire message kinds of the UDP interconnect protocol."""
+
+    DATA = "data"
+    ACK = "ack"
+    EOS = "eos"  # end of stream, sent by the sender
+    STOP = "stop"  # receiver asks the sender to stop (LIMIT queries)
+    OUT_OF_ORDER = "out_of_order"  # receiver NAKs possibly-lost packets
+    DUPLICATE = "duplicate"  # receiver saw a duplicate; carries cumulative ack
+    STATUS_QUERY = "status_query"  # deadlock elimination probe
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    """Identity of one virtual connection (one tuple stream).
+
+    A stream is one (motion node, sender peer, receiver peer) triple
+    within one command of one session.
+    """
+
+    session_id: int
+    command_id: int
+    motion_id: int
+    sender_id: int
+    receiver_id: int
+
+
+@dataclass
+class Packet:
+    """One interconnect packet.
+
+    ``seq`` numbers data and EOS packets (EOS consumes a sequence number
+    so that end-of-stream itself is delivered reliably and in order).
+    ``sc``/``sr`` ride on ACK-like packets: SC is the sequence number of
+    the last packet the receiver has *consumed*; SR is the largest
+    sequence number such that every packet up to it has been *received
+    and queued* (cumulative).
+    """
+
+    kind: PacketType
+    stream: StreamKey
+    seq: int = 0
+    payload: Optional[object] = None
+    payload_size: int = 0
+    sc: int = 0
+    sr: int = 0
+    missing: Tuple[int, ...] = ()
+
+    @property
+    def size(self) -> int:
+        """Wire size in bytes."""
+        return HEADER_SIZE + self.payload_size + 4 * len(self.missing)

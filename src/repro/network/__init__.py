@@ -1,0 +1,5 @@
+"""Discrete-event simulated network used by the interconnect."""
+
+from repro.network.simnet import Datagram, NetworkConditions, SimNetwork
+
+__all__ = ["Datagram", "NetworkConditions", "SimNetwork"]

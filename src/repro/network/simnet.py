@@ -1,0 +1,171 @@
+"""A discrete-event, unreliable datagram network.
+
+This is the substrate the UDP interconnect (Section 4 of the paper) is
+built on. It deliberately behaves like real IP hardware and kernels:
+
+* datagrams may be **dropped** (``loss_rate``),
+* **duplicated** (``dup_rate``),
+* **reordered** (delivery jitter makes later sends overtake earlier ones),
+* and always experience latency plus serialization delay.
+
+Endpoints register a handler per ``(host, port)``; the event loop invokes
+handlers as datagrams arrive. Timers (:meth:`SimNetwork.schedule`) share
+the same clock, so protocol retransmission logic interleaves with
+deliveries exactly as it would under an OS scheduler.
+
+All randomness comes from a :class:`~repro.util.DeterministicRng`, so a
+given seed always produces the same loss/reorder pattern — every protocol
+branch is reproducibly testable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import InterconnectError
+from repro.util import DeterministicRng
+
+Address = Tuple[str, int]
+
+
+@dataclass
+class NetworkConditions:
+    """Tunable physical characteristics of the simulated fabric."""
+
+    latency: float = 100e-6
+    jitter: float = 50e-6
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    #: Link bandwidth in bytes/second used for serialization delay.
+    bandwidth: float = 1.25e9
+
+
+@dataclass
+class Datagram:
+    """One unreliable datagram in flight."""
+
+    src: Address
+    dst: Address
+    payload: object
+    size: int
+
+
+class SimNetwork:
+    """Event loop + unreliable datagram fabric.
+
+    The loop is single-threaded and deterministic: events fire in
+    (time, insertion order) sequence.
+    """
+
+    def __init__(self, conditions: Optional[NetworkConditions] = None, seed: int = 0):
+        self.conditions = conditions or NetworkConditions()
+        self._rng = DeterministicRng(seed, "simnet")
+        self._now = 0.0
+        self._events: list = []
+        self._counter = itertools.count()
+        self._handlers: Dict[Address, Callable[[Datagram], None]] = {}
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> "TimerHandle":
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        handle = TimerHandle()
+        heapq.heappush(
+            self._events, (self._now + delay, next(self._counter), callback, handle)
+        )
+        return handle
+
+    # -------------------------------------------------------------- endpoints
+    def register(self, address: Address, handler: Callable[[Datagram], None]) -> None:
+        """Bind a datagram handler to ``(host, port)``."""
+        if address in self._handlers:
+            raise InterconnectError(f"address already bound: {address}")
+        self._handlers[address] = handler
+
+    def unregister(self, address: Address) -> None:
+        self._handlers.pop(address, None)
+
+    # ------------------------------------------------------------------ send
+    def send(self, src: Address, dst: Address, payload: object, size: int) -> None:
+        """Send one datagram; it may be lost, duplicated or reordered."""
+        self.bytes_sent += size
+        copies = 1
+        if self._rng.chance(self.conditions.loss_rate):
+            self.dropped += 1
+            copies = 0
+        elif self._rng.chance(self.conditions.dup_rate):
+            self.duplicated += 1
+            copies = 2
+        for _ in range(copies):
+            delay = (
+                self.conditions.latency
+                + self._rng.random() * self.conditions.jitter
+                + size / self.conditions.bandwidth
+            )
+            datagram = Datagram(src=src, dst=dst, payload=payload, size=size)
+            self.schedule(delay, lambda d=datagram: self._deliver(d))
+
+    def _deliver(self, datagram: Datagram) -> None:
+        handler = self._handlers.get(datagram.dst)
+        if handler is None:
+            return  # port closed: silently dropped, like real UDP
+        self.delivered += 1
+        handler(datagram)
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        until: Optional[Callable[[], bool]] = None,
+        max_time: float = 3600.0,
+        max_events: int = 50_000_000,
+    ) -> float:
+        """Process events until the predicate holds or the queue drains.
+
+        Returns the simulated time at which processing stopped. Raises
+        :class:`InterconnectError` if ``max_time`` elapses first — that is
+        the simulation's analogue of a hung query.
+        """
+        processed = 0
+        while self._events:
+            if until is not None and until():
+                return self._now
+            time, _seq, callback, handle = heapq.heappop(self._events)
+            if handle.cancelled:
+                continue
+            if time > max_time:
+                raise InterconnectError(
+                    f"simulation exceeded max_time={max_time}s at t={time:.6f}"
+                )
+            self._now = time
+            callback()
+            processed += 1
+            if processed > max_events:
+                raise InterconnectError("simulation exceeded max_events")
+        if until is not None and not until():
+            raise InterconnectError("event queue drained before completion")
+        return self._now
+
+
+class TimerHandle:
+    """Cancellation token returned by :meth:`SimNetwork.schedule`."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True

@@ -1,0 +1,444 @@
+"""Semantic analysis: names to (relation, column) bindings, scoping,
+aggregate validation, view expansion, subquery capture.
+
+The analyzer consumes parser AST and a catalog resolver and produces a
+:class:`~repro.planner.logical.LogicalQuery`. Correlated references are
+bound with ``level > 0`` so the decorrelation pass can find them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.errors import SemanticError
+from repro.planner import exprs as ex
+from repro.planner.logical import (
+    DerivedSource,
+    LogicalQuery,
+    RelEntry,
+    SortKey,
+    TableSource,
+)
+from repro.sql import ast
+
+
+@dataclass
+class RelationInfo:
+    """What the catalog knows about one named relation."""
+
+    kind: str  # table | view | external
+    schema: Optional[TableSchema] = None
+    view_query: Optional[ast.SelectStmt] = None
+    pxf: Optional[dict] = None
+
+
+class AnalyzerCatalog:
+    """Minimal catalog interface the analyzer needs (duck-typed)."""
+
+    def resolve(self, name: str) -> RelationInfo:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+@dataclass
+class _ScopeEntry:
+    alias: str
+    column_names: List[str]
+    rel_index: int
+
+
+class _Scope:
+    def __init__(self, entries: Optional[List[_ScopeEntry]] = None):
+        self.entries: List[_ScopeEntry] = entries or []
+
+    def add(self, alias: str, column_names: List[str]) -> int:
+        index = len(self.entries)
+        self.entries.append(_ScopeEntry(alias.lower(), column_names, index))
+        return index
+
+    def resolve(self, name: str, table: Optional[str]) -> Optional[Tuple[int, int, str]]:
+        """Returns (rel_index, col_index, canonical name) or None."""
+        target = name.lower()
+        if table is not None:
+            qualifier = table.lower()
+            for entry in self.entries:
+                if entry.alias == qualifier:
+                    for i, col in enumerate(entry.column_names):
+                        if col.lower() == target:
+                            return entry.rel_index, i, col
+                    raise SemanticError(
+                        f"column {name!r} not found in relation {table!r}"
+                    )
+            return None  # qualifier may belong to an outer scope
+        matches = []
+        for entry in self.entries:
+            for i, col in enumerate(entry.column_names):
+                if col.lower() == target:
+                    matches.append((entry.rel_index, i, col))
+        if len(matches) > 1:
+            raise SemanticError(f"column reference {name!r} is ambiguous")
+        return matches[0] if matches else None
+
+
+class Analyzer:
+    """Semantic analyzer: AST -> LogicalQuery."""
+
+    def __init__(self, catalog: AnalyzerCatalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------ entry point
+    def analyze(
+        self,
+        stmt: ast.SelectStmt,
+        outer_scopes: Optional[List[_Scope]] = None,
+    ) -> LogicalQuery:
+        outer_scopes = outer_scopes or []
+        query = LogicalQuery()
+        scope = _Scope()
+        scopes = [scope] + outer_scopes
+
+        for item in stmt.from_items:
+            self._add_from_item(item, query, scope, scopes)
+
+        if stmt.where is not None:
+            where = self._expr(stmt.where, scopes, allow_aggregates=False)
+            query.quals.extend(ex.conjuncts(where))
+
+        # Targets (expanding stars) before GROUP BY so ordinals resolve.
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                for bound, name in self._expand_star(item.expr, query, scope):
+                    query.targets.append((bound, name))
+                continue
+            bound = self._expr(item.expr, scopes, allow_aggregates=True)
+            name = item.alias or self._derive_name(item.expr)
+            query.targets.append((bound, name.lower()))
+
+        for group_expr in stmt.group_by:
+            query.group_by.append(self._resolve_group_key(group_expr, query, scopes))
+
+        if stmt.having is not None:
+            query.having = self._expr(stmt.having, scopes, allow_aggregates=True)
+
+        for sort in stmt.order_by:
+            bound = self._resolve_output_ref(sort.expr, query, scopes)
+            query.order_by.append(
+                SortKey(bound, ascending=sort.ascending, nulls_first=sort.nulls_first)
+            )
+
+        query.limit = stmt.limit
+        query.distinct = stmt.distinct
+        query.has_aggregates = bool(stmt.group_by) or any(
+            ex.has_aggregate(t) for t, _ in query.targets
+        ) or (query.having is not None and ex.has_aggregate(query.having))
+        self._validate_aggregation(query)
+        return query
+
+    # ----------------------------------------------------------------- FROM
+    def _add_from_item(
+        self,
+        item: ast.FromItem,
+        query: LogicalQuery,
+        scope: _Scope,
+        scopes: List[_Scope],
+    ) -> None:
+        if isinstance(item, ast.TableRef):
+            self._add_table(item, query, scope, join_type="inner", join_cond=None)
+            return
+        if isinstance(item, ast.SubquerySource):
+            sub = self.analyze(item.query, outer_scopes=scopes[1:])
+            entry = RelEntry(
+                alias=item.alias.lower(),
+                column_names=list(sub.output_names),
+                source=DerivedSource(sub),
+            )
+            query.rels.append(entry)
+            scope.add(item.alias, entry.column_names)
+            return
+        if isinstance(item, ast.JoinExpr):
+            self._add_from_item(item.left, query, scope, scopes)
+            if item.join_type in ("inner", "cross"):
+                self._add_from_item(item.right, query, scope, scopes)
+                if item.condition is not None:
+                    cond = self._expr(item.condition, scopes, allow_aggregates=False)
+                    query.quals.extend(ex.conjuncts(cond))
+                return
+            if item.join_type == "left":
+                before = len(query.rels)
+                self._add_from_item(item.right, query, scope, scopes)
+                if len(query.rels) != before + 1:
+                    raise SemanticError(
+                        "LEFT JOIN right side must be a single relation"
+                    )
+                cond = (
+                    self._expr(item.condition, scopes, allow_aggregates=False)
+                    if item.condition is not None
+                    else None
+                )
+                query.rels[-1].join_type = "left"
+                query.rels[-1].join_cond = cond
+                return
+            raise SemanticError(f"unsupported join type {item.join_type!r}")
+        raise SemanticError(f"unsupported FROM item {type(item).__name__}")
+
+    def _add_table(
+        self,
+        ref: ast.TableRef,
+        query: LogicalQuery,
+        scope: _Scope,
+        join_type: str,
+        join_cond,
+    ) -> None:
+        info = self.catalog.resolve(ref.name)
+        alias = (ref.alias or ref.name).lower()
+        if info.kind == "view":
+            sub = self.analyze(info.view_query, outer_scopes=[])
+            entry = RelEntry(
+                alias=alias,
+                column_names=list(sub.output_names),
+                source=DerivedSource(sub),
+                join_type=join_type,
+                join_cond=join_cond,
+            )
+        else:
+            entry = RelEntry(
+                alias=alias,
+                column_names=list(info.schema.column_names),
+                source=TableSource(
+                    table_name=info.schema.name,
+                    schema=info.schema,
+                    external=(info.kind == "external"),
+                    pxf=info.pxf,
+                ),
+                join_type=join_type,
+                join_cond=join_cond,
+            )
+        query.rels.append(entry)
+        scope.add(alias, entry.column_names)
+
+    def _expand_star(
+        self, star: ast.Star, query: LogicalQuery, scope: _Scope
+    ) -> List[Tuple[ex.BoundExpr, str]]:
+        out = []
+        for entry in scope.entries:
+            if star.table is not None and entry.alias != star.table.lower():
+                continue
+            for i, col in enumerate(entry.column_names):
+                out.append(
+                    (ex.BVar(rel=entry.rel_index, col=i, name=col), col.lower())
+                )
+        if not out:
+            raise SemanticError(f"cannot expand {star.table or ''}.*")
+        return out
+
+    # ------------------------------------------------------------ group/order
+    def _resolve_group_key(
+        self, expr: ast.Expr, query: LogicalQuery, scopes: List[_Scope]
+    ) -> ex.BoundExpr:
+        bound = self._resolve_output_ref(expr, query, scopes)
+        if ex.has_aggregate(bound):
+            raise SemanticError("aggregates are not allowed in GROUP BY")
+        return bound
+
+    def _resolve_output_ref(
+        self, expr: ast.Expr, query: LogicalQuery, scopes: List[_Scope]
+    ) -> ex.BoundExpr:
+        """Resolve an expression that may be an output ordinal or alias."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            index = expr.value
+            if index < 1 or index > len(query.targets):
+                raise SemanticError(f"ORDER/GROUP BY position {index} out of range")
+            return query.targets[index - 1][0]
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for bound, name in query.targets:
+                if name == expr.name.lower():
+                    return bound
+        return self._expr(expr, scopes, allow_aggregates=True)
+
+    # ------------------------------------------------------------ expressions
+    def _expr(
+        self,
+        node: ast.Expr,
+        scopes: List[_Scope],
+        allow_aggregates: bool,
+        inside_aggregate: bool = False,
+    ) -> ex.BoundExpr:
+        recurse = lambda n: self._expr(n, scopes, allow_aggregates, inside_aggregate)
+
+        if isinstance(node, ast.Literal):
+            return ex.BConst(node.value)
+        if isinstance(node, ast.IntervalLiteral):
+            return ex.BInterval(node.quantity, node.unit)
+        if isinstance(node, ast.ColumnRef):
+            return self._column(node, scopes)
+        if isinstance(node, ast.BinaryOp):
+            return ex.BOp(node.op, recurse(node.left), recurse(node.right))
+        if isinstance(node, ast.UnaryOp):
+            if node.op == "not":
+                operand = recurse(node.operand)
+                if isinstance(operand, ex.BSubPlan) and operand.kind in ("in", "exists"):
+                    return ex.BSubPlan(
+                        operand.kind, operand.query, operand.test, not operand.negated
+                    )
+                return ex.BNot(operand)
+            if node.op == "-":
+                return ex.BOp("-", ex.BConst(0), recurse(node.operand))
+            raise SemanticError(f"unsupported unary op {node.op!r}")
+        if isinstance(node, ast.FuncCall):
+            return self._func(node, scopes, allow_aggregates, inside_aggregate)
+        if isinstance(node, ast.CaseExpr):
+            whens = tuple((recurse(c), recurse(r)) for c, r in node.whens)
+            else_result = (
+                recurse(node.else_result) if node.else_result is not None else None
+            )
+            return ex.BCase(whens, else_result)
+        if isinstance(node, ast.CastExpr):
+            return ex.BCast(recurse(node.operand), node.type_name)
+        if isinstance(node, ast.LikeExpr):
+            pattern = recurse(node.pattern)
+            if not isinstance(pattern, ex.BConst) or not isinstance(
+                pattern.value, str
+            ):
+                raise SemanticError("LIKE pattern must be a string literal")
+            return ex.BLike(recurse(node.operand), pattern.value, node.negated)
+        if isinstance(node, ast.BetweenExpr):
+            operand = recurse(node.operand)
+            between = ex.BOp(
+                "and",
+                ex.BOp(">=", operand, recurse(node.lower)),
+                ex.BOp("<=", operand, recurse(node.upper)),
+            )
+            return ex.BNot(between) if node.negated else between
+        if isinstance(node, ast.InList):
+            return ex.BIn(
+                recurse(node.operand),
+                tuple(recurse(i) for i in node.items),
+                node.negated,
+            )
+        if isinstance(node, ast.IsNullExpr):
+            return ex.BIsNull(recurse(node.operand), node.negated)
+        if isinstance(node, ast.ExtractExpr):
+            return ex.BExtract(node.part, recurse(node.operand))
+        if isinstance(node, ast.SubqueryExpr):
+            sub = self.analyze(node.query, outer_scopes=scopes)
+            if len(sub.targets) != 1:
+                raise SemanticError("scalar subquery must return one column")
+            return ex.BSubPlan("scalar", sub)
+        if isinstance(node, ast.InSubquery):
+            sub = self.analyze(node.query, outer_scopes=scopes)
+            if len(sub.targets) != 1:
+                raise SemanticError("IN subquery must return one column")
+            return ex.BSubPlan(
+                "in", sub, test=recurse(node.operand), negated=node.negated
+            )
+        if isinstance(node, ast.ExistsExpr):
+            sub = self.analyze(node.query, outer_scopes=scopes)
+            return ex.BSubPlan("exists", sub, negated=node.negated)
+        if isinstance(node, ast.Star):
+            raise SemanticError("* is only allowed in the select list or COUNT(*)")
+        raise SemanticError(f"unsupported expression {type(node).__name__}")
+
+    def _column(self, node: ast.ColumnRef, scopes: List[_Scope]) -> ex.BVar:
+        for level, scope in enumerate(scopes):
+            hit = scope.resolve(node.name, node.table)
+            if hit is not None:
+                rel, col, name = hit
+                return ex.BVar(rel=rel, col=col, name=name, level=level)
+        qualified = f"{node.table}.{node.name}" if node.table else node.name
+        raise SemanticError(f"column {qualified!r} does not exist")
+
+    def _func(
+        self,
+        node: ast.FuncCall,
+        scopes: List[_Scope],
+        allow_aggregates: bool,
+        inside_aggregate: bool,
+    ) -> ex.BoundExpr:
+        name = node.name.lower()
+        if name in ex.AGGREGATE_FUNCTIONS:
+            if not allow_aggregates:
+                raise SemanticError(f"aggregate {name}() not allowed here")
+            if inside_aggregate:
+                raise SemanticError("aggregates cannot be nested")
+            if node.star:
+                if name != "count":
+                    raise SemanticError(f"{name}(*) is not a thing")
+                return ex.BAgg("count", None)
+            if len(node.args) != 1:
+                raise SemanticError(f"{name}() takes exactly one argument")
+            arg = self._expr(node.args[0], scopes, allow_aggregates, True)
+            return ex.BAgg(name, arg, node.distinct)
+        if name in ex.SCALAR_FUNCTIONS:
+            args = tuple(
+                self._expr(a, scopes, allow_aggregates, inside_aggregate)
+                for a in node.args
+            )
+            return ex.BFunc(name, args)
+        raise SemanticError(f"unknown function {name!r}")
+
+    # ------------------------------------------------------------ validation
+    def _derive_name(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.ColumnRef):
+            return expr.name
+        if isinstance(expr, ast.FuncCall):
+            return expr.name
+        if isinstance(expr, ast.ExtractExpr):
+            return expr.part
+        return "?column?"
+
+    def _validate_aggregation(self, query: LogicalQuery) -> None:
+        if not query.has_aggregates:
+            if query.having is not None:
+                raise SemanticError("HAVING requires aggregation")
+            return
+        for target, name in query.targets:
+            if not self._agg_valid(target, query.group_by):
+                raise SemanticError(
+                    f"column in target {name!r} must appear in GROUP BY or "
+                    "be used in an aggregate"
+                )
+        for key in query.order_by:
+            if not self._agg_valid(key.expr, query.group_by):
+                raise SemanticError(
+                    "ORDER BY column must appear in GROUP BY or an aggregate"
+                )
+        if query.having is not None and not self._agg_valid(
+            query.having, query.group_by
+        ):
+            raise SemanticError(
+                "HAVING column must appear in GROUP BY or an aggregate"
+            )
+
+    def _agg_valid(self, expr: ex.BoundExpr, group_by: List[ex.BoundExpr]) -> bool:
+        """Every level-0 Var is under an aggregate or inside a group key."""
+        if expr in group_by:
+            return True
+        if isinstance(expr, ex.BAgg):
+            return True
+        if isinstance(expr, ex.BVar):
+            return expr.level > 0
+        if isinstance(expr, (ex.BConst, ex.BInterval, ex.BParam)):
+            return True
+        if isinstance(expr, ex.BOp):
+            return self._agg_valid(expr.left, group_by) and self._agg_valid(
+                expr.right, group_by
+            )
+        if isinstance(expr, ex.BNot):
+            return self._agg_valid(expr.operand, group_by)
+        if isinstance(expr, ex.BFunc):
+            return all(self._agg_valid(a, group_by) for a in expr.args)
+        if isinstance(expr, ex.BCase):
+            parts = [c for c, _ in expr.whens] + [r for _, r in expr.whens]
+            if expr.else_result is not None:
+                parts.append(expr.else_result)
+            return all(self._agg_valid(p, group_by) for p in parts)
+        if isinstance(expr, (ex.BCast, ex.BExtract, ex.BIsNull, ex.BLike)):
+            return self._agg_valid(expr.operand, group_by)
+        if isinstance(expr, ex.BIn):
+            return self._agg_valid(expr.operand, group_by) and all(
+                self._agg_valid(i, group_by) for i in expr.items
+            )
+        if isinstance(expr, ex.BSubPlan):
+            return expr.test is None or self._agg_valid(expr.test, group_by)
+        return False

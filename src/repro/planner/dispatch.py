@@ -1,0 +1,120 @@
+"""Metadata dispatch: self-described plans (paper Section 3.1).
+
+Segments are stateless and the catalog lives only on the master, so a
+dispatched plan must carry everything QEs need: table schemas, storage
+formats, and each segment's data files with their transaction-visible
+logical lengths (the snapshot, in effect). Plans are measured and
+compressed exactly as the paper describes — metadata that is constant
+across queries (the "readonly catalog store" bootstrapped on segments,
+here: type and function definitions) is excluded from the plan, and a
+compression pass shrinks what remains.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.catalog.schema import TableSchema
+from repro.catalog.service import CatalogService
+from repro.errors import PlannerError
+from repro.planner.physical import PhysicalPlan, PlanNode, SeqScan
+from repro.txn.mvcc import Snapshot
+
+
+@dataclass
+class SegfileMeta:
+    """One lane of one table on one segment, as dispatched to QEs."""
+
+    segfile_id: int
+    paths: Dict[str, int]  # path -> logical length
+    tupcount: int = 0
+
+
+@dataclass
+class TableMetadata:
+    """Everything a QE needs to scan one table."""
+
+    schema: TableSchema
+    storage_format: str
+    compression: str
+    #: segment id -> lanes visible under the dispatching snapshot
+    segfiles: Dict[int, List[SegfileMeta]] = field(default_factory=dict)
+
+
+@dataclass
+class SelfDescribedPlan:
+    """A physical plan plus its piggybacked metadata."""
+
+    plan: PhysicalPlan
+    metadata: Dict[str, TableMetadata]
+    #: Serialized plan sizes, for the dispatch cost model and EXPLAIN.
+    plan_bytes: int = 0
+    compressed_bytes: int = 0
+    #: The dispatching snapshot (QEs evaluating master-only catalog
+    #: scans need it; regular tables already carry logical lengths).
+    snapshot: Optional[Snapshot] = None
+
+
+def tables_in_plan(plan: PhysicalPlan) -> Set[str]:
+    """All table names (including selected partitions) the plan scans."""
+    names: Set[str] = set()
+
+    def visit(node: PlanNode) -> None:
+        if isinstance(node, SeqScan):
+            if node.partitions is not None:
+                names.update(node.partitions)
+            else:
+                names.add(node.table.table_name)
+        for child in node.children:
+            visit(child)
+
+    for plan_slice in plan.slices:
+        visit(plan_slice.root)
+    for init in plan.init_plans:
+        names.update(tables_in_plan(init))
+    return names
+
+
+def build_self_described_plan(
+    plan: PhysicalPlan,
+    catalog: CatalogService,
+    snapshot: Snapshot,
+) -> SelfDescribedPlan:
+    """Decorate a plan with the metadata its QEs will need."""
+    from repro.catalog.service import CATALOG_RELATION_COLUMNS
+
+    metadata: Dict[str, TableMetadata] = {}
+    for name in sorted(tables_in_plan(plan)):
+        if name in CATALOG_RELATION_COLUMNS:
+            continue  # system tables live on the master, never dispatched
+        relation = catalog.lookup_relation(name, snapshot)
+        if relation is None:
+            raise PlannerError(f"table {name!r} vanished before dispatch")
+        schema: TableSchema = relation["schema"]
+        table_meta = TableMetadata(
+            schema=schema,
+            storage_format=schema.storage_format,
+            compression=schema.compression,
+        )
+        for row in catalog.segfiles(name, snapshot):
+            table_meta.segfiles.setdefault(row["segment_id"], []).append(
+                SegfileMeta(
+                    segfile_id=row["segfile_id"],
+                    paths=dict(row["paths"]),
+                    tupcount=row["tupcount"],
+                )
+            )
+        metadata[name] = table_meta
+
+    raw = pickle.dumps((plan, metadata), protocol=pickle.HIGHEST_PROTOCOL)
+    compressed = zlib.compress(raw, 1)
+    return SelfDescribedPlan(
+        plan=plan,
+        metadata=metadata,
+        plan_bytes=len(raw),
+        compressed_bytes=len(compressed),
+        snapshot=snapshot,
+    )

@@ -1,0 +1,344 @@
+"""Bound (resolved) expression nodes.
+
+The semantic analyzer turns parser AST expressions into these: column
+references become :class:`BVar` (relation index, column index), function
+names are validated, aggregates become :class:`BAgg`, and subqueries
+become :class:`BSubPlan` nodes for the decorrelation pass.
+
+All nodes are dataclasses with structural equality — the aggregation
+planner relies on it to match GROUP BY keys inside output expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import PlannerError
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+SCALAR_FUNCTIONS = (
+    "substring",
+    "upper",
+    "lower",
+    "length",
+    "abs",
+    "round",
+    "coalesce",
+    "nullif",
+)
+
+
+@dataclass(frozen=True)
+class BoundExpr:
+    """Base class of all bound expressions."""
+
+
+@dataclass(frozen=True)
+class BConst(BoundExpr):
+    value: object
+
+
+@dataclass(frozen=True)
+class BInterval(BoundExpr):
+    quantity: float
+    unit: str  # year | month | day
+
+
+@dataclass(frozen=True)
+class BVar(BoundExpr):
+    """A column of relation ``rel`` in the query ``level`` scopes out.
+
+    ``level`` 0 is the current query; >0 marks a correlated reference
+    into an enclosing query (resolved away by decorrelation).
+    """
+
+    rel: int
+    col: int
+    name: str = ""
+    level: int = 0
+
+
+@dataclass(frozen=True)
+class BParam(BoundExpr):
+    """Placeholder for an InitPlan result (uncorrelated scalar subquery)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BOp(BoundExpr):
+    op: str  # and or = <> < <= > >= + - * / % ||
+    left: BoundExpr
+    right: BoundExpr
+
+
+@dataclass(frozen=True)
+class BNot(BoundExpr):
+    operand: BoundExpr
+
+
+@dataclass(frozen=True)
+class BFunc(BoundExpr):
+    name: str
+    args: Tuple[BoundExpr, ...] = ()
+
+
+@dataclass(frozen=True)
+class BAgg(BoundExpr):
+    func: str  # count sum avg min max
+    arg: Optional[BoundExpr] = None  # None => count(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class BAggRef(BoundExpr):
+    """Reference to aggregate slot ``index`` above a HashAgg node."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BGroupRef(BoundExpr):
+    """Reference to group-key slot ``index`` above a HashAgg node."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BTargetRef(BoundExpr):
+    """Reference to projected target slot ``index`` above a Project node."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BCase(BoundExpr):
+    whens: Tuple[Tuple[BoundExpr, BoundExpr], ...]
+    else_result: Optional[BoundExpr] = None
+
+
+@dataclass(frozen=True)
+class BCast(BoundExpr):
+    operand: BoundExpr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class BLike(BoundExpr):
+    operand: BoundExpr
+    pattern: str  # patterns are literal in the supported dialect
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BIn(BoundExpr):
+    operand: BoundExpr
+    items: Tuple[BoundExpr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BIsNull(BoundExpr):
+    operand: BoundExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BExtract(BoundExpr):
+    part: str
+    operand: BoundExpr
+
+
+@dataclass(frozen=True)
+class BSubPlan(BoundExpr):
+    """A subquery expression awaiting decorrelation.
+
+    ``kind``: 'scalar' | 'in' | 'exists'. ``test`` is the left operand of
+    IN. The LogicalQuery is stored by reference (not hashed/compared).
+    """
+
+    kind: str
+    query: object = field(compare=False, hash=False)  # LogicalQuery
+    test: Optional[BoundExpr] = None
+    negated: bool = False
+
+
+# ----------------------------------------------------------------- utilities
+def conjuncts(expr: Optional[BoundExpr]) -> List[BoundExpr]:
+    """Flatten a boolean expression into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BOp) and expr.op == "and":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def make_conjunction(parts: List[BoundExpr]) -> Optional[BoundExpr]:
+    if not parts:
+        return None
+    result = parts[0]
+    for part in parts[1:]:
+        result = BOp(op="and", left=result, right=part)
+    return result
+
+
+def walk(expr: BoundExpr) -> Iterator[BoundExpr]:
+    """Yield the expression and all of its descendants."""
+    yield expr
+    if isinstance(expr, BOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, BNot):
+        yield from walk(expr.operand)
+    elif isinstance(expr, BFunc):
+        for arg in expr.args:
+            yield from walk(arg)
+    elif isinstance(expr, BAgg) and expr.arg is not None:
+        yield from walk(expr.arg)
+    elif isinstance(expr, BCase):
+        for cond, result in expr.whens:
+            yield from walk(cond)
+            yield from walk(result)
+        if expr.else_result is not None:
+            yield from walk(expr.else_result)
+    elif isinstance(expr, (BCast, BExtract, BIsNull, BLike)):
+        yield from walk(expr.operand)
+    elif isinstance(expr, BIn):
+        yield from walk(expr.operand)
+        for item in expr.items:
+            yield from walk(item)
+    elif isinstance(expr, BSubPlan):
+        if expr.test is not None:
+            yield from walk(expr.test)
+
+
+def transform(
+    expr: BoundExpr, fn: Callable[[BoundExpr], Optional[BoundExpr]]
+) -> BoundExpr:
+    """Bottom-up rewrite: ``fn`` may return a replacement or None to keep.
+
+    ``fn`` is applied to children first, then to the rebuilt node.
+    """
+    rebuilt = _rebuild(expr, fn)
+    replacement = fn(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def _rebuild(expr: BoundExpr, fn) -> BoundExpr:
+    if isinstance(expr, BOp):
+        return BOp(expr.op, transform(expr.left, fn), transform(expr.right, fn))
+    if isinstance(expr, BNot):
+        return BNot(transform(expr.operand, fn))
+    if isinstance(expr, BFunc):
+        return BFunc(expr.name, tuple(transform(a, fn) for a in expr.args))
+    if isinstance(expr, BAgg):
+        arg = transform(expr.arg, fn) if expr.arg is not None else None
+        return BAgg(expr.func, arg, expr.distinct)
+    if isinstance(expr, BCase):
+        whens = tuple(
+            (transform(c, fn), transform(r, fn)) for c, r in expr.whens
+        )
+        else_result = (
+            transform(expr.else_result, fn) if expr.else_result is not None else None
+        )
+        return BCase(whens, else_result)
+    if isinstance(expr, BCast):
+        return BCast(transform(expr.operand, fn), expr.type_name)
+    if isinstance(expr, BExtract):
+        return BExtract(expr.part, transform(expr.operand, fn))
+    if isinstance(expr, BIsNull):
+        return BIsNull(transform(expr.operand, fn), expr.negated)
+    if isinstance(expr, BLike):
+        return BLike(transform(expr.operand, fn), expr.pattern, expr.negated)
+    if isinstance(expr, BIn):
+        return BIn(
+            transform(expr.operand, fn),
+            tuple(transform(i, fn) for i in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, BSubPlan):
+        test = transform(expr.test, fn) if expr.test is not None else None
+        return BSubPlan(expr.kind, expr.query, test, expr.negated)
+    return expr
+
+
+def rewrite_post_agg(
+    expr: BoundExpr,
+    agg_index: dict,
+    group_refs: dict,
+) -> BoundExpr:
+    """Rewrite an output expression for evaluation above a HashAgg.
+
+    Top-down, so aggregate nodes are replaced *whole* (their arguments
+    must never be rewritten — ``count(a)`` with ``GROUP BY a`` is still
+    the aggregate over the raw column, not over the group slot).
+    """
+    if isinstance(expr, BAgg):
+        return BAggRef(agg_index[expr])
+    if expr in group_refs:
+        return BGroupRef(group_refs[expr])
+
+    def recurse(node: BoundExpr) -> BoundExpr:
+        return rewrite_post_agg(node, agg_index, group_refs)
+
+    if isinstance(expr, BOp):
+        return BOp(expr.op, recurse(expr.left), recurse(expr.right))
+    if isinstance(expr, BNot):
+        return BNot(recurse(expr.operand))
+    if isinstance(expr, BFunc):
+        return BFunc(expr.name, tuple(recurse(a) for a in expr.args))
+    if isinstance(expr, BCase):
+        whens = tuple((recurse(c), recurse(r)) for c, r in expr.whens)
+        else_result = (
+            recurse(expr.else_result) if expr.else_result is not None else None
+        )
+        return BCase(whens, else_result)
+    if isinstance(expr, BCast):
+        return BCast(recurse(expr.operand), expr.type_name)
+    if isinstance(expr, BExtract):
+        return BExtract(expr.part, recurse(expr.operand))
+    if isinstance(expr, BIsNull):
+        return BIsNull(recurse(expr.operand), expr.negated)
+    if isinstance(expr, BLike):
+        return BLike(recurse(expr.operand), expr.pattern, expr.negated)
+    if isinstance(expr, BIn):
+        return BIn(
+            recurse(expr.operand),
+            tuple(recurse(i) for i in expr.items),
+            expr.negated,
+        )
+    return expr
+
+
+def vars_of(expr: BoundExpr, level: int = 0) -> List[BVar]:
+    """All BVars at the given correlation level."""
+    return [
+        node
+        for node in walk(expr)
+        if isinstance(node, BVar) and node.level == level
+    ]
+
+
+def rels_of(expr: BoundExpr) -> set:
+    """Relation indexes referenced at level 0."""
+    return {v.rel for v in vars_of(expr, 0)}
+
+
+def has_aggregate(expr: BoundExpr) -> bool:
+    return any(isinstance(node, BAgg) for node in walk(expr))
+
+
+def has_subplan(expr: BoundExpr) -> bool:
+    return any(isinstance(node, BSubPlan) for node in walk(expr))
+
+
+def shift_rels(expr: BoundExpr, mapping: dict) -> BoundExpr:
+    """Renumber level-0 relation indexes through ``mapping``."""
+
+    def rewrite(node: BoundExpr) -> Optional[BoundExpr]:
+        if isinstance(node, BVar) and node.level == 0 and node.rel in mapping:
+            return replace(node, rel=mapping[node.rel])
+        return None
+
+    return transform(expr, rewrite)

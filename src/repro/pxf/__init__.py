@@ -1,0 +1,30 @@
+"""PXF: the Pivotal Extension Framework (paper Section 6).
+
+An extensible connector API — Fragmenter / Accessor / Resolver /
+Analyzer — that lets HAWQ's planner and executor run SQL over any
+external data store. Built-in connectors: a simulated HBase store,
+HDFS text/CSV files, JSON-lines files, and sequence files.
+"""
+
+from repro.pxf.api import (
+    Accessor,
+    Analyzer,
+    DataFragment,
+    Fragmenter,
+    PushedFilter,
+    Resolver,
+)
+from repro.pxf.hbase import HBaseConnector, SimulatedHBase
+from repro.pxf.registry import PxfRegistry
+
+__all__ = [
+    "Accessor",
+    "Analyzer",
+    "DataFragment",
+    "Fragmenter",
+    "HBaseConnector",
+    "PushedFilter",
+    "PxfRegistry",
+    "Resolver",
+    "SimulatedHBase",
+]

@@ -1,0 +1,128 @@
+"""The PXF connector plugin API (paper Section 6.4).
+
+A connector implements three plugins (plus an optional fourth):
+
+* :class:`Fragmenter` — given a data source, list its fragments and
+  their locations (an HDFS block, an HBase region, ...);
+* :class:`Accessor` — given a fragment, read its raw records;
+* :class:`Resolver` — deserialize a raw record into column values
+  matching the external table's schema;
+* :class:`Analyzer` (optional) — estimate statistics for the planner.
+
+Connectors may honour *filter pushdown*: the planner hands simple
+``column OP literal`` predicates to the accessor so filtering happens
+where the data lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.catalog.stats import TableStats
+from repro.errors import PxfError
+
+
+@dataclass(frozen=True)
+class DataFragment:
+    """One parallel unit of work."""
+
+    source: str
+    index: int
+    #: Host holding the fragment (for locality-aware assignment).
+    host: Optional[str] = None
+    #: Connector-private payload (region bounds, block range, ...).
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class PushedFilter:
+    """One predicate pushed down to the connector."""
+
+    column: str
+    op: str  # = < <= > >=
+    value: object
+
+    def matches(self, value: object) -> bool:
+        if value is None:
+            return False
+        # Stores hold raw (often textual) values; the predicate literal is
+        # typed by the external table's schema. Coerce rawside like the
+        # resolver eventually will, so pushdown and post-filtering agree.
+        if isinstance(self.value, (int, float)) and isinstance(value, str):
+            try:
+                value = type(self.value)(value)
+            except ValueError:
+                return False
+        if self.op == "=":
+            return value == self.value
+        if self.op == "<":
+            return value < self.value
+        if self.op == "<=":
+            return value <= self.value
+        if self.op == ">":
+            return value > self.value
+        if self.op == ">=":
+            return value >= self.value
+        raise PxfError(f"unsupported pushed operator {self.op!r}")
+
+
+class Fragmenter:
+    """Given a data source location and name, return its fragments."""
+
+    def fragments(self, source: str) -> List[DataFragment]:
+        raise NotImplementedError
+
+
+class Accessor:
+    """Given a fragment, read all the records that belong to it."""
+
+    def records(
+        self, fragment: DataFragment, filters: Iterable[PushedFilter]
+    ) -> Iterator[object]:
+        raise NotImplementedError
+
+    #: Set False if the accessor ignores ``filters`` (the engine will
+    #: re-check rows; True lets connectors claim exact pushdown).
+    exact_filtering = False
+
+
+class Resolver:
+    """Parse one raw record into schema-ordered column values."""
+
+    def resolve(self, record: object, schema: TableSchema) -> Tuple[object, ...]:
+        raise NotImplementedError
+
+
+class Analyzer:
+    """Optional statistics estimation for the query planner."""
+
+    def analyze(self, source: str, schema: TableSchema) -> TableStats:
+        raise NotImplementedError
+
+
+class Writer:
+    """Optional export plugin: WRITABLE external tables (paper Section
+    6: \"PXF can export internal HAWQ data into files on HDFS\").
+
+    Returns the number of bytes written to the external store."""
+
+    def write(
+        self, source: str, rows: Iterable[Tuple], schema: TableSchema
+    ) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class Connector:
+    """A bundle of plugins registered under a profile name."""
+
+    profile: str
+    fragmenter: Fragmenter
+    accessor: Accessor
+    resolver: Resolver
+    analyzer: Optional[Analyzer] = None
+    writer: Optional["Writer"] = None
+    #: Average raw bytes per record, for the simulated cost model.
+    bytes_per_record: float = 100.0

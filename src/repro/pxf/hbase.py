@@ -1,0 +1,197 @@
+"""A simulated HBase store and its PXF connector.
+
+The store is a sorted KV table: rows keyed by a byte/str row key, values
+grouped into column families with qualifiers (``family:qualifier``).
+Tables are split into *regions* (contiguous key ranges) spread across
+region-server hosts — those regions are the connector's data fragments,
+so HAWQ reads an HBase table with the same locality-aware parallelism
+the paper describes.
+
+External-table columns map to HBase as in the paper's example::
+
+    CREATE EXTERNAL TABLE my_hbase_sales (
+        recordkey BYTEA, "details:storeid" INT, "details:price" DOUBLE)
+    LOCATION ('pxf://<svc>/sales?profile=HBase') ...
+
+``recordkey`` binds to the row key; ``family:qualifier`` columns bind to
+cells.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.catalog.stats import TableStats
+from repro.errors import PxfError
+from repro.pxf.api import (
+    Accessor,
+    Analyzer,
+    Connector,
+    DataFragment,
+    Fragmenter,
+    PushedFilter,
+    Resolver,
+)
+
+
+@dataclass
+class HBaseRegion:
+    """One contiguous key range served by one region server."""
+
+    start_key: Optional[object]
+    end_key: Optional[object]  # exclusive
+    host: str
+
+    def holds(self, key: object) -> bool:
+        if self.start_key is not None and key < self.start_key:
+            return False
+        if self.end_key is not None and key >= self.end_key:
+            return False
+        return True
+
+
+class SimulatedHBase:
+    """A tiny region-sharded, sorted KV store."""
+
+    def __init__(self, region_servers: Optional[List[str]] = None):
+        self.region_servers = region_servers or ["rs0", "rs1", "rs2"]
+        # table -> sorted list of (rowkey, {family:qualifier: value})
+        self._tables: Dict[str, List[Tuple[object, Dict[str, object]]]] = {}
+        self._regions: Dict[str, List[HBaseRegion]] = {}
+        self._num_regions: Dict[str, int] = {}
+
+    def create_table(self, name: str, num_regions: int = 3) -> None:
+        if name in self._tables:
+            raise PxfError(f"HBase table {name!r} already exists")
+        self._tables[name] = []
+        self._regions[name] = []  # computed lazily after data arrives
+        self._num_regions[name] = num_regions
+
+    def put(self, table: str, rowkey: object, values: Dict[str, object]) -> None:
+        """Insert or update one row; ``values`` keyed 'family:qualifier'."""
+        rows = self._table(table)
+        keys = [k for k, _ in rows]
+        index = bisect.bisect_left(keys, rowkey)
+        if index < len(rows) and rows[index][0] == rowkey:
+            rows[index][1].update(values)
+        else:
+            rows.insert(index, (rowkey, dict(values)))
+        self._regions[table] = []  # invalidate region split
+
+    def get(self, table: str, rowkey: object) -> Optional[Dict[str, object]]:
+        rows = self._table(table)
+        keys = [k for k, _ in rows]
+        index = bisect.bisect_left(keys, rowkey)
+        if index < len(rows) and rows[index][0] == rowkey:
+            return dict(rows[index][1])
+        return None
+
+    def regions(self, table: str) -> List[HBaseRegion]:
+        """Current region split of the table (rebuilt after writes)."""
+        rows = self._table(table)
+        cached = self._regions.get(table)
+        if cached:
+            return cached
+        num = self._num_regions.get(table, 3)
+        num = max(1, min(num, max(len(rows), 1)))
+        boundaries: List[Optional[object]] = [None]
+        for i in range(1, num):
+            boundaries.append(rows[i * len(rows) // num][0] if rows else None)
+        boundaries.append(None)
+        regions = []
+        for i in range(num):
+            regions.append(
+                HBaseRegion(
+                    start_key=boundaries[i],
+                    end_key=boundaries[i + 1],
+                    host=self.region_servers[i % len(self.region_servers)],
+                )
+            )
+        self._regions[table] = regions
+        return regions
+
+    def scan_region(
+        self, table: str, region: HBaseRegion
+    ) -> Iterator[Tuple[object, Dict[str, object]]]:
+        for rowkey, values in self._table(table):
+            if region.holds(rowkey):
+                yield rowkey, values
+
+    def row_count(self, table: str) -> int:
+        return len(self._table(table))
+
+    def _table(self, name: str):
+        rows = self._tables.get(name)
+        if rows is None:
+            raise PxfError(f"HBase table {name!r} does not exist")
+        return rows
+
+
+# ------------------------------------------------------------------ plugins
+class HBaseFragmenter(Fragmenter):
+    def __init__(self, store: SimulatedHBase):
+        self.store = store
+
+    def fragments(self, source: str) -> List[DataFragment]:
+        return [
+            DataFragment(source=source, index=i, host=region.host, payload=region)
+            for i, region in enumerate(self.store.regions(source))
+        ]
+
+
+class HBaseAccessor(Accessor):
+    exact_filtering = False  # rowkey filters are exact; cell filters re-checked
+
+    def __init__(self, store: SimulatedHBase):
+        self.store = store
+
+    def records(
+        self, fragment: DataFragment, filters: Iterable[PushedFilter]
+    ) -> Iterator[Tuple[object, Dict[str, object]]]:
+        rowkey_filters = [f for f in filters if f.column == "recordkey"]
+        cell_filters = [f for f in filters if f.column != "recordkey"]
+        for rowkey, values in self.store.scan_region(
+            fragment.source, fragment.payload
+        ):
+            if not all(f.matches(rowkey) for f in rowkey_filters):
+                continue
+            if not all(f.matches(values.get(f.column)) for f in cell_filters):
+                continue
+            yield rowkey, values
+
+
+class HBaseResolver(Resolver):
+    def resolve(self, record, schema: TableSchema) -> Tuple[object, ...]:
+        rowkey, values = record
+        out = []
+        for column in schema.columns:
+            if column.name.lower() == "recordkey":
+                out.append(column.type.coerce(rowkey))
+            else:
+                raw = values.get(column.name)
+                out.append(column.type.coerce(raw) if raw is not None else None)
+        return tuple(out)
+
+
+class HBaseAnalyzer(Analyzer):
+    def __init__(self, store: SimulatedHBase):
+        self.store = store
+
+    def analyze(self, source: str, schema: TableSchema) -> TableStats:
+        count = float(self.store.row_count(source))
+        return TableStats(row_count=count, total_bytes=count * 64.0)
+
+
+def HBaseConnector(store: SimulatedHBase) -> Connector:
+    """Build the built-in HBase connector over a store instance."""
+    return Connector(
+        profile="hbase",
+        fragmenter=HBaseFragmenter(store),
+        accessor=HBaseAccessor(store),
+        resolver=HBaseResolver(),
+        analyzer=HBaseAnalyzer(store),
+        bytes_per_record=64.0,
+    )

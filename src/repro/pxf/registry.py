@@ -1,0 +1,182 @@
+"""The PXF service: profile registry, location parsing, fragment
+assignment, filter pushdown and statistics (paper Sections 6.1-6.3).
+
+``scan`` is what the executor's ExternalScan calls per segment: the
+registry fragments the source, assigns fragments to segments **locality
+first** (a fragment whose host matches a segment's host goes to that
+segment), falls back to round-robin, converts the planner's pushed
+predicates into connector filters, and streams resolved tuples while
+charging the simulated cost model.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.catalog.stats import TableStats
+from repro.errors import PxfError
+from repro.hdfs import Hdfs
+from repro.planner import exprs as ex
+from repro.pxf.api import Connector, DataFragment, PushedFilter
+from repro.simtime import CostAccumulator
+
+
+class PxfRegistry:
+    """Holds connectors by profile name and serves external scans."""
+
+    def __init__(self) -> None:
+        self._connectors: Dict[str, Connector] = {}
+        self._hdfs: Optional[Hdfs] = None
+
+    # ---------------------------------------------------------- registration
+    def register(self, connector: Connector) -> None:
+        self._connectors[connector.profile.lower()] = connector
+
+    def attach_hdfs(self, fs: Hdfs) -> None:
+        """Register the built-in HDFS file connectors against ``fs``."""
+        from repro.pxf.files import (
+            JsonConnector,
+            SequenceFileConnector,
+            TextConnector,
+        )
+
+        self._hdfs = fs
+        self.register(TextConnector(fs))
+        self.register(JsonConnector(fs))
+        self.register(SequenceFileConnector(fs))
+
+    def connector(self, profile: str) -> Connector:
+        connector = self._connectors.get(profile.lower())
+        if connector is None:
+            raise PxfError(
+                f"no PXF connector for profile {profile!r}; "
+                f"registered: {sorted(self._connectors)}"
+            )
+        return connector
+
+    # -------------------------------------------------------------- location
+    def parse_location(
+        self, location: str, format_name: str, format_options: dict
+    ) -> Dict[str, object]:
+        """Parse ``pxf://<service>/<source>?profile=<name>&k=v...``."""
+        parsed = urllib.parse.urlparse(location)
+        if parsed.scheme != "pxf":
+            raise PxfError(f"not a pxf:// location: {location!r}")
+        options = {
+            k.lower(): v[0] for k, v in urllib.parse.parse_qs(parsed.query).items()
+        }
+        profile = options.pop("profile", None)
+        if profile is None:
+            raise PxfError("pxf location must carry ?profile=<name>")
+        return {
+            "service": parsed.netloc,
+            "source": parsed.path.lstrip("/"),
+            "profile": profile,
+            "options": options,
+            "format": format_name,
+            "format_options": dict(format_options),
+        }
+
+    # ------------------------------------------------------------------ scan
+    def scan(
+        self,
+        pxf_info: Dict[str, object],
+        schema: TableSchema,
+        segment_id: int,
+        num_segments: int,
+        pushed: Sequence[ex.BoundExpr],
+        acc: CostAccumulator,
+        segment_hosts: Optional[Dict[int, str]] = None,
+    ) -> Iterator[Tuple[object, ...]]:
+        connector = self.connector(pxf_info["profile"])
+        fragments = connector.fragmenter.fragments(pxf_info["source"])
+        mine = self.assign_fragments(fragments, num_segments, segment_hosts).get(
+            segment_id, []
+        )
+        filters = self.convert_filters(pushed, schema)
+        count = 0
+        for fragment in mine:
+            for record in connector.accessor.records(fragment, filters):
+                row = connector.resolver.resolve(record, schema)
+                count += 1
+                yield row
+        acc.disk_read(int(count * connector.bytes_per_record))
+        acc.cpu_tuples(count, ncolumns=len(schema.columns), weight=2.0)
+
+    def assign_fragments(
+        self,
+        fragments: List[DataFragment],
+        num_segments: int,
+        segment_hosts: Optional[Dict[int, str]] = None,
+    ) -> Dict[int, List[DataFragment]]:
+        """Locality-aware fragment assignment (paper Section 6.3)."""
+        assignment: Dict[int, List[DataFragment]] = {
+            i: [] for i in range(num_segments)
+        }
+        host_to_segments: Dict[str, List[int]] = {}
+        for seg, host in (segment_hosts or {}).items():
+            host_to_segments.setdefault(host, []).append(seg)
+        for fragment in fragments:
+            local = host_to_segments.get(fragment.host or "", [])
+            if local:
+                # Least-loaded local segment.
+                target = min(local, key=lambda s: len(assignment[s]))
+            else:
+                # No local segment: least-loaded segment overall.
+                target = min(range(num_segments), key=lambda s: len(assignment[s]))
+            assignment[target].append(fragment)
+        return assignment
+
+    def convert_filters(
+        self, pushed: Sequence[ex.BoundExpr], schema: TableSchema
+    ) -> List[PushedFilter]:
+        """Planner conjuncts -> connector (column, op, literal) filters."""
+        filters: List[PushedFilter] = []
+        for qual in pushed:
+            if not isinstance(qual, ex.BOp):
+                continue
+            var, const, op = None, None, qual.op
+            if isinstance(qual.left, ex.BVar) and isinstance(qual.right, ex.BConst):
+                var, const = qual.left, qual.right.value
+            elif isinstance(qual.right, ex.BVar) and isinstance(qual.left, ex.BConst):
+                var, const = qual.right, qual.left.value
+                op = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+            if var is None:
+                continue
+            filters.append(
+                PushedFilter(column=schema.columns[var.col].name, op=op, value=const)
+            )
+        return filters
+
+    # ------------------------------------------------------------------ write
+    def write(
+        self,
+        pxf_info: Dict[str, object],
+        schema: TableSchema,
+        rows: Sequence[Tuple],
+        acc: Optional[CostAccumulator] = None,
+    ) -> int:
+        """Export rows through a WRITABLE external table (Section 6)."""
+        connector = self.connector(pxf_info["profile"])
+        if connector.writer is None:
+            raise PxfError(
+                f"profile {pxf_info['profile']!r} has no writer plugin"
+            )
+        nbytes = connector.writer.write(pxf_info["source"], rows, schema)
+        if acc is not None:
+            acc.disk_write(nbytes, replicated=True)
+            acc.cpu_tuples(len(rows), ncolumns=len(schema.columns))
+        return len(rows)
+
+    # ------------------------------------------------------------- analytics
+    def analyze(
+        self, pxf_info: Dict[str, object], schema: TableSchema
+    ) -> TableStats:
+        """ANALYZE on a PXF table (paper Section 6.3)."""
+        connector = self.connector(pxf_info["profile"])
+        if connector.analyzer is None:
+            return TableStats(row_count=1000.0, total_bytes=100_000.0)
+        return connector.analyzer.analyze(pxf_info["source"], schema)

@@ -1,0 +1,6 @@
+"""SQL front end: lexer, parser, semantic analyzer, rewriter."""
+
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_sql, parse_statement
+
+__all__ = ["Token", "TokenKind", "parse_sql", "parse_statement", "tokenize"]

@@ -1,0 +1,349 @@
+"""Abstract syntax tree for the supported SQL dialect.
+
+Expression and statement node classes produced by the parser and
+consumed by the semantic analyzer. Nodes are plain dataclasses with no
+behaviour — all smarts live in later phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ------------------------------------------------------------- expressions
+@dataclass
+class Expr:
+    """Base class of all expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: object  # int, float, str, bool, datetime.date, None
+
+
+@dataclass
+class IntervalLiteral(Expr):
+    """INTERVAL '3 month' — kept symbolic until date arithmetic."""
+
+    quantity: float
+    unit: str  # year | month | day
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None  # qualifier, if written
+
+
+@dataclass
+class Star(Expr):
+    table: Optional[str] = None  # for COUNT(*) and SELECT t.*
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str  # and or = <> < <= > >= + - * / % ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # not, -
+    operand: Expr
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass
+class CaseExpr(Expr):
+    whens: List[Tuple[Expr, Expr]] = field(default_factory=list)
+    else_result: Optional[Expr] = None
+
+
+@dataclass
+class CastExpr(Expr):
+    operand: Expr
+    type_name: str
+
+
+@dataclass
+class LikeExpr(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass
+class BetweenExpr(Expr):
+    operand: Expr
+    lower: Expr
+    upper: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: List[Expr] = field(default_factory=list)
+    negated: bool = False
+
+
+@dataclass
+class IsNullExpr(Expr):
+    operand: Expr
+    negated: bool = False  # IS NOT NULL
+
+
+@dataclass
+class ExtractExpr(Expr):
+    part: str  # year | month | day
+    operand: Expr
+
+
+@dataclass
+class SubqueryExpr(Expr):
+    """Scalar subquery: (SELECT ...) used as a value."""
+
+    query: "SelectStmt"
+
+
+@dataclass
+class InSubquery(Expr):
+    operand: Expr
+    query: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass
+class ExistsExpr(Expr):
+    query: "SelectStmt"
+    negated: bool = False
+
+
+# --------------------------------------------------------------- from items
+@dataclass
+class FromItem:
+    """Base class of FROM-clause items."""
+
+
+@dataclass
+class TableRef(FromItem):
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass
+class SubquerySource(FromItem):
+    query: "SelectStmt"
+    alias: str
+
+
+@dataclass
+class JoinExpr(FromItem):
+    join_type: str  # inner | left | right | full | cross
+    left: FromItem
+    right: FromItem
+    condition: Optional[Expr] = None
+
+
+# --------------------------------------------------------------- statements
+@dataclass
+class Statement:
+    """Base class of all statements."""
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class SortItem:
+    expr: Expr
+    ascending: bool = True
+    nulls_first: Optional[bool] = None
+
+
+@dataclass
+class SelectStmt(Statement):
+    items: List[SelectItem] = field(default_factory=list)
+    from_items: List[FromItem] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[SortItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    not_null: bool = False
+
+
+@dataclass
+class PartitionByClause:
+    column: str
+    kind: str  # range | list
+    # range: START/END/EVERY expressions; list: list of (name, values)
+    start: Optional[Expr] = None
+    end: Optional[Expr] = None
+    every: Optional[Expr] = None
+    start_inclusive: bool = True
+    end_inclusive: bool = False
+    list_parts: List[Tuple[str, List[Expr]]] = field(default_factory=list)
+
+
+@dataclass
+class CreateTableStmt(Statement):
+    name: str
+    columns: List[ColumnDef] = field(default_factory=list)
+    distributed_by: Optional[List[str]] = None  # None => randomly
+    distributed_randomly: bool = False
+    partition_by: Optional[PartitionByClause] = None
+    #: WITH (appendonly=true, orientation=column, compresstype=..., ...)
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class CreateExternalTableStmt(Statement):
+    name: str
+    columns: List[ColumnDef] = field(default_factory=list)
+    location: str = ""
+    format_name: str = "CUSTOM"
+    format_options: dict = field(default_factory=dict)
+    #: WRITABLE external tables accept INSERT and export to the store.
+    writable: bool = False
+
+
+@dataclass
+class CreateViewStmt(Statement):
+    name: str
+    query: SelectStmt = None
+
+
+@dataclass
+class DropStmt(Statement):
+    object_kind: str  # table | view | external table
+    name: str = ""
+    if_exists: bool = False
+
+
+@dataclass
+class InsertStmt(Statement):
+    table: str
+    columns: Optional[List[str]] = None
+    rows: List[List[Expr]] = field(default_factory=list)  # VALUES rows
+    select: Optional[SelectStmt] = None  # INSERT ... SELECT
+
+
+@dataclass
+class BeginStmt(Statement):
+    isolation: Optional[str] = None
+
+
+@dataclass
+class CommitStmt(Statement):
+    pass
+
+
+@dataclass
+class RollbackStmt(Statement):
+    pass
+
+
+@dataclass
+class SetStmt(Statement):
+    name: str
+    value: str
+
+
+@dataclass
+class AnalyzeStmt(Statement):
+    table: Optional[str] = None  # None => all tables
+
+
+@dataclass
+class ExplainStmt(Statement):
+    statement: Statement = None
+    analyze: bool = False
+
+
+@dataclass
+class TruncateStmt(Statement):
+    table: str = ""
+
+
+@dataclass
+class CreateRoleStmt(Statement):
+    name: str = ""
+    superuser: bool = False
+    resource_queue: Optional[str] = None
+
+
+@dataclass
+class DropRoleStmt(Statement):
+    name: str = ""
+
+
+@dataclass
+class AlterRoleStmt(Statement):
+    name: str = ""
+    resource_queue: Optional[str] = None
+
+
+@dataclass
+class CreateResourceQueueStmt(Statement):
+    name: str = ""
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class DropResourceQueueStmt(Statement):
+    name: str = ""
+
+
+@dataclass
+class GrantStmt(Statement):
+    privilege: str = "select"
+    relation: str = ""
+    role: str = ""
+    revoke: bool = False
+
+
+@dataclass
+class AlterTableStmt(Statement):
+    """ALTER TABLE name SET WITH (...) — online storage transformation,
+    the paper's product-roadmap feature."""
+
+    name: str = ""
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class CopyStmt(Statement):
+    """COPY table FROM/TO 'hdfs path' — bulk text loading/unloading."""
+
+    table: str = ""
+    path: str = ""
+    direction: str = "from"  # from | to
+    delimiter: str = "|"
+
+
+@dataclass
+class VacuumStmt(Statement):
+    """VACUUM [table] — reclaim aborted-append garbage and dead catalog
+    row versions (the maintenance side of Section 5.4's design)."""
+
+    table: Optional[str] = None

@@ -1,0 +1,130 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream; keywords are not distinguished from
+identifiers here (the parser matches identifier tokens against expected
+keywords case-insensitively, as PostgreSQL's grammar effectively does for
+most of its keyword classes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def matches(self, text: str) -> bool:
+        """Case-insensitive keyword/operator match."""
+        return self.value.upper() == text.upper()
+
+
+_MULTI_CHAR_OPS = ("<=", ">=", "<>", "!=", "||", "::")
+_SINGLE_CHAR_OPS = set("+-*/%(),;.=<>[]")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated comment at {i}")
+            i = end + 2
+            continue
+        if char == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenKind.STRING, value, i))
+            continue
+        if char == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token(TokenKind.IDENT, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if char.isdigit() or (char == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # Don't swallow a trailing dot followed by non-digit
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    i = j
+                    while i < n and text[i].isdigit():
+                        i += 1
+            tokens.append(Token(TokenKind.NUMBER, text[start:i], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(Token(TokenKind.IDENT, text[start:i], start))
+            continue
+        matched = False
+        for op in _MULTI_CHAR_OPS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenKind.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_CHAR_OPS:
+            tokens.append(Token(TokenKind.OPERATOR, char, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {char!r} at position {i}")
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple:
+    """Read a single-quoted string with '' as the escape for a quote."""
+    i = start + 1
+    out = []
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(char)
+        i += 1
+    raise SqlSyntaxError(f"unterminated string literal at {start}")

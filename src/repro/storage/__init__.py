@@ -1,0 +1,28 @@
+"""Read-optimized storage formats on HDFS (paper Section 2.5).
+
+Three formats, selectable per table (or per partition):
+
+* **AO** — row-oriented append-only, optimized for full scans and bulk
+  appends;
+* **CO** — column-oriented, one segment file per column, best compression
+  and column-projection behaviour;
+* **Parquet** — PAX-like: columns stored vertically *within* row groups
+  of a single file.
+
+All formats compress block-by-block with a codec from
+:mod:`repro.storage.compression`.
+"""
+
+from repro.storage.base import ScanStats, WriteResult
+from repro.storage.compression import Codec, available_codecs, get_codec
+from repro.storage.registry import get_format, list_formats
+
+__all__ = [
+    "Codec",
+    "ScanStats",
+    "WriteResult",
+    "available_codecs",
+    "get_codec",
+    "get_format",
+    "list_formats",
+]

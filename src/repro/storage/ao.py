@@ -1,0 +1,86 @@
+"""AO: the row-oriented, read-optimized append-only format.
+
+Rows are serialized whole (null bitmap + column values) into blocks,
+each block compressed independently, blocks appended to one HDFS file
+per (segment, segfile) lane. Scans always decode every column — the
+format's disadvantage against CO/Parquet for narrow projections, which
+Figure 11 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.hdfs import HdfsClient
+from repro.storage.base import (
+    DEFAULT_BLOCK_ROWS,
+    ScanStats,
+    WriteResult,
+    batched,
+    iter_blocks,
+    pack_block,
+)
+from repro.storage.compression import get_codec
+
+name = "ao"
+
+
+def write(
+    client: HdfsClient,
+    base_path: str,
+    rows: Sequence[Sequence[object]],
+    schema: TableSchema,
+    codec_name: str = "none",
+    append: bool = False,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> WriteResult:
+    """Write (or append) rows; returns new physical lengths and stats."""
+    codec = get_codec(codec_name)
+    uncompressed_total = 0
+    data = bytearray()
+    for block in batched(rows, block_rows):
+        payload = bytearray()
+        for row in block:
+            schema.encode_row(row, payload)
+        uncompressed_total += len(payload)
+        data += pack_block(bytes(payload), len(block), codec)
+    if append and client.exists(base_path):
+        writer = client.append(base_path)
+    else:
+        writer = client.create(base_path)
+    writer.write(bytes(data))
+    writer.close()
+    new_length = client.file_status(base_path).length
+    return WriteResult(
+        paths={base_path: new_length},
+        primary_path=base_path,
+        uncompressed_bytes=uncompressed_total,
+        tupcount=len(rows),
+    )
+
+
+def scan(
+    client: HdfsClient,
+    paths: Dict[str, int],
+    schema: TableSchema,
+    codec_name: str = "none",
+    columns: Optional[Sequence[int]] = None,
+    stats: Optional[ScanStats] = None,
+) -> Iterator[Tuple[object, ...]]:
+    """Scan rows up to each path's logical length.
+
+    ``columns`` is accepted for interface uniformity but AO must decode
+    whole rows regardless; projection happens above. ``paths`` maps the
+    data file to its transaction-visible logical length.
+    """
+    for path, logical_length in paths.items():
+        if logical_length <= 0:
+            continue
+        data = client.read_file(path, logical_length)
+        codec = get_codec(codec_name)
+        for row_count, payload in iter_blocks(data, codec, stats):
+            offset = 0
+            for _ in range(row_count):
+                row, offset = schema.decode_row(payload, offset)
+                yield row

@@ -1,0 +1,122 @@
+"""Shared pieces of the storage formats: block framing, results, stats."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import StorageError
+from repro.storage.compression import Codec
+
+#: Block header: magic (2) + row count (4) + uncompressed len (4) + compressed len (4).
+BLOCK_MAGIC = 0xA001
+_BLOCK_HEADER = struct.Struct("<HIII")
+BLOCK_HEADER_SIZE = _BLOCK_HEADER.size
+
+#: Default number of rows per storage block.
+DEFAULT_BLOCK_ROWS = 1024
+
+
+@dataclass
+class WriteResult:
+    """Outcome of one bulk write/append to a table's segment files."""
+
+    #: New *physical* length of every file touched (path -> length).
+    paths: Dict[str, int]
+    #: The file the catalog's ``logical_length`` tracks (AO/Parquet data
+    #: file; for CO the lengths of all column files are recorded).
+    primary_path: str
+    uncompressed_bytes: int = 0
+    tupcount: int = 0
+
+
+@dataclass
+class ScanStats:
+    """Physical work done by one scan, consumed by the cost model."""
+
+    compressed_bytes: int = 0
+    uncompressed_bytes: int = 0
+    rows: int = 0
+    blocks: int = 0
+
+
+def pack_block(payload: bytes, row_count: int, codec: Codec) -> bytes:
+    """Compress and frame one block."""
+    compressed = codec.compress(payload)
+    header = _BLOCK_HEADER.pack(BLOCK_MAGIC, row_count, len(payload), len(compressed))
+    return header + compressed
+
+
+def unpack_block_header(buf: bytes, offset: int = 0) -> Tuple[int, int, int]:
+    """Returns (row_count, uncompressed_len, compressed_len)."""
+    magic, rows, uncompressed, compressed = _BLOCK_HEADER.unpack_from(buf, offset)
+    if magic != BLOCK_MAGIC:
+        raise StorageError(f"bad block magic 0x{magic:04x} at offset {offset}")
+    return rows, uncompressed, compressed
+
+
+def iter_blocks(
+    data: bytes, codec: Codec, stats: Optional[ScanStats] = None
+) -> Iterator[Tuple[int, bytes]]:
+    """Yield (row_count, payload) for each block in ``data``."""
+    offset = 0
+    while offset < len(data):
+        if offset + BLOCK_HEADER_SIZE > len(data):
+            raise StorageError("truncated block header")
+        rows, uncompressed_len, compressed_len = unpack_block_header(data, offset)
+        offset += BLOCK_HEADER_SIZE
+        compressed = data[offset : offset + compressed_len]
+        if len(compressed) != compressed_len:
+            raise StorageError("truncated block payload")
+        offset += compressed_len
+        payload = codec.decompress(compressed)
+        if len(payload) != uncompressed_len:
+            raise StorageError("block failed decompression length check")
+        if stats is not None:
+            stats.compressed_bytes += BLOCK_HEADER_SIZE + compressed_len
+            stats.uncompressed_bytes += uncompressed_len
+            stats.rows += rows
+            stats.blocks += 1
+        yield rows, payload
+
+
+# ------------------------------------------------------- column-vector codec
+def encode_column(
+    values: Sequence[object], column: Column, out: bytearray
+) -> None:
+    """Append the vector encoding of one column's values for one block:
+    null bitmap then non-null values back-to-back."""
+    count = len(values)
+    bitmap = bytearray((count + 7) // 8)
+    for i, value in enumerate(values):
+        if value is None:
+            bitmap[i // 8] |= 1 << (i % 8)
+    out += bytes(bitmap)
+    for value in values:
+        if value is not None:
+            column.type.encode(value, out)
+
+
+def decode_column(
+    buf: bytes, offset: int, count: int, column: Column
+) -> Tuple[List[object], int]:
+    """Decode one column vector; returns (values, new offset)."""
+    bitmap_len = (count + 7) // 8
+    bitmap = buf[offset : offset + bitmap_len]
+    offset += bitmap_len
+    values: List[object] = []
+    for i in range(count):
+        if bitmap[i // 8] & (1 << (i % 8)):
+            values.append(None)
+        else:
+            value, offset = column.type.decode(buf, offset)
+            values.append(value)
+    return values, offset
+
+
+def batched(rows: Sequence[Sequence[object]], size: int) -> Iterator[Sequence[Sequence[object]]]:
+    """Split rows into blocks of at most ``size``."""
+    for start in range(0, len(rows), size):
+        yield rows[start : start + size]

@@ -1,0 +1,144 @@
+"""CO: column-oriented storage, one segment file per column.
+
+Each column's values are densely packed into their own series of blocks
+in their own HDFS file, so a scan touches only the files of the columns
+the query needs and compression sees homogeneous data (the paper notes
+"notably higher compression ratios than row-oriented tables").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.errors import StorageError
+from repro.hdfs import HdfsClient
+from repro.storage.base import (
+    DEFAULT_BLOCK_ROWS,
+    ScanStats,
+    WriteResult,
+    batched,
+    decode_column,
+    encode_column,
+    iter_blocks,
+    pack_block,
+)
+from repro.storage.compression import get_codec
+
+name = "co"
+
+
+def column_path(base_path: str, column_index: int) -> str:
+    return f"{base_path}.c{column_index}"
+
+
+def write(
+    client: HdfsClient,
+    base_path: str,
+    rows: Sequence[Sequence[object]],
+    schema: TableSchema,
+    codec_name: str = "none",
+    append: bool = False,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> WriteResult:
+    """Write rows as per-column files ``<base>.c<i>``."""
+    codec = get_codec(codec_name)
+    uncompressed_total = 0
+    paths: Dict[str, int] = {}
+    per_column_data: List[bytearray] = [bytearray() for _ in schema.columns]
+    for block in batched(rows, block_rows):
+        for i, column in enumerate(schema.columns):
+            payload = bytearray()
+            encode_column([row[i] for row in block], column, payload)
+            uncompressed_total += len(payload)
+            per_column_data[i] += pack_block(bytes(payload), len(block), codec)
+    for i, data in enumerate(per_column_data):
+        path = column_path(base_path, i)
+        if append and client.exists(path):
+            writer = client.append(path)
+        else:
+            writer = client.create(path)
+        writer.write(bytes(data))
+        writer.close()
+        paths[path] = client.file_status(path).length
+    return WriteResult(
+        paths=paths,
+        primary_path=column_path(base_path, 0),
+        uncompressed_bytes=uncompressed_total,
+        tupcount=len(rows),
+    )
+
+
+def scan(
+    client: HdfsClient,
+    paths: Dict[str, int],
+    schema: TableSchema,
+    codec_name: str = "none",
+    columns: Optional[Sequence[int]] = None,
+    stats: Optional[ScanStats] = None,
+) -> Iterator[Tuple[object, ...]]:
+    """Scan, decoding only the requested columns.
+
+    Unrequested columns come back as None placeholders so tuple shape
+    matches the schema (the executor projects by position).
+    """
+    ncols = len(schema.columns)
+    wanted = sorted(set(columns)) if columns is not None else list(range(ncols))
+    if not wanted:
+        wanted = [0]  # must read something to know the row count
+    # Group logical lengths back onto column indexes.
+    by_column: Dict[int, Tuple[str, int]] = {}
+    for path, length in paths.items():
+        try:
+            suffix = path.rsplit(".c", 1)[1]
+            by_column[int(suffix)] = (path, length)
+        except (IndexError, ValueError) as exc:
+            raise StorageError(f"not a CO column path: {path}") from exc
+    codec = get_codec(codec_name)
+    iterators = {}
+    for index in wanted:
+        if index not in by_column:
+            raise StorageError(f"missing column file for column {index}")
+        path, logical_length = by_column[index]
+        iterators[index] = _column_blocks(
+            client, path, logical_length, schema, index, codec, stats
+        )
+    while True:
+        vectors: Dict[int, List[object]] = {}
+        row_count = None
+        done = False
+        for index in wanted:
+            block = next(iterators[index], None)
+            if block is None:
+                done = True
+                break
+            vectors[index] = block
+            if row_count is None:
+                row_count = len(block)
+            elif row_count != len(block):
+                raise StorageError("column files disagree on block row counts")
+        if done:
+            break
+        assert row_count is not None
+        for r in range(row_count):
+            yield tuple(
+                vectors[i][r] if i in vectors else None for i in range(ncols)
+            )
+
+
+def _column_blocks(
+    client: HdfsClient,
+    path: str,
+    logical_length: int,
+    schema: TableSchema,
+    column_index: int,
+    codec,
+    stats: Optional[ScanStats],
+) -> Iterator[List[object]]:
+    if logical_length <= 0:
+        return
+    data = client.read_file(path, logical_length)
+    column = schema.columns[column_index]
+    for row_count, payload in iter_blocks(data, codec, stats):
+        values, _ = decode_column(payload, 0, row_count, column)
+        yield values

@@ -1,0 +1,140 @@
+"""Block compression codecs and their simulated CPU costs.
+
+Substitutions (documented in DESIGN.md): the real quicklz/snappy are not
+available offline, so **zlib level 1 stands in for both** — what matters
+for the paper's Figure 11 is the *fast-light vs slow-dense* trade-off,
+which zlib's level knob reproduces. RLE is implemented natively (it is
+HAWQ's CO-only codec for highly repetitive columns).
+
+Each codec carries per-uncompressed-byte CPU costs used by the simulated
+clock; the byte *ratios* are real (actual compressed sizes of actual
+data).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class Codec:
+    """One compression algorithm plus its simulated CPU price."""
+
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+    #: Simulated seconds of CPU per *uncompressed* byte.
+    compress_cost: float
+    decompress_cost: float
+
+
+def _rle_compress(data: bytes) -> bytes:
+    """Byte-level run-length encoding: (run_length u16, byte) pairs."""
+    out = bytearray()
+    i, n = 0, len(data)
+    while i < n:
+        byte = data[i]
+        run = 1
+        while i + run < n and data[i + run] == byte and run < 0xFFFF:
+            run += 1
+        out += struct.pack("<HB", run, byte)
+        i += run
+    return bytes(out)
+
+
+def _rle_decompress(data: bytes) -> bytes:
+    if len(data) % 3 != 0:
+        raise StorageError("corrupt RLE stream")
+    out = bytearray()
+    for offset in range(0, len(data), 3):
+        run, byte = struct.unpack_from("<HB", data, offset)
+        out += bytes([byte]) * run
+    return bytes(out)
+
+
+def _zlib(level: int) -> Tuple[Callable, Callable]:
+    return (
+        lambda data, lv=level: zlib.compress(data, lv),
+        zlib.decompress,
+    )
+
+
+_CODECS: Dict[str, Codec] = {}
+
+
+def _register(codec: Codec) -> None:
+    _CODECS[codec.name] = codec
+
+
+_register(
+    Codec(
+        "none",
+        compress=lambda data: data,
+        decompress=lambda data: data,
+        compress_cost=0.0,
+        decompress_cost=0.0,
+    )
+)
+# quicklz / snappy: fast-light codecs (zlib level 1 as the stand-in,
+# priced like the real thing: ~GB/s class).
+for fast_name in ("quicklz", "snappy"):
+    compress, decompress = _zlib(1)
+    _register(
+        Codec(
+            fast_name,
+            compress=compress,
+            decompress=decompress,
+            compress_cost=1.6e-9,
+            decompress_cost=0.5e-9,
+        )
+    )
+# zlib / gzip level 1, 5, 9: increasingly dense and CPU-hungry.
+for base_name in ("zlib", "gzip"):
+    for level, comp_cost, decomp_cost in (
+        (1, 6e-9, 1.1e-9),
+        (5, 13e-9, 1.9e-9),
+        (9, 28e-9, 3.1e-9),
+    ):
+        compress, decompress = _zlib(level)
+        _register(
+            Codec(
+                f"{base_name}{level}",
+                compress=compress,
+                decompress=decompress,
+                compress_cost=comp_cost,
+                decompress_cost=decomp_cost,
+            )
+        )
+_register(
+    Codec(
+        "rle",
+        compress=_rle_compress,
+        decompress=_rle_decompress,
+        compress_cost=1.0e-9,
+        decompress_cost=0.4e-9,
+    )
+)
+
+
+def get_codec(name: str, level: Optional[int] = None) -> Codec:
+    """Look up a codec by name (optionally with a separate level)."""
+    key = name.lower()
+    if level is not None and key in ("zlib", "gzip"):
+        key = f"{key}{level}"
+    elif key in ("zlib", "gzip"):
+        key = f"{key}1"
+    codec = _CODECS.get(key)
+    if codec is None:
+        raise StorageError(
+            f"unknown codec {name!r}; available: {sorted(_CODECS)}"
+        )
+    return codec
+
+
+def available_codecs() -> List[str]:
+    return sorted(_CODECS)

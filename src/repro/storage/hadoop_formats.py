@@ -1,0 +1,108 @@
+"""MapReduce Input/OutputFormats for HAWQ table files (paper Section 2.1).
+
+"External systems can bypass HAWQ, and access directly the HAWQ table
+files on HDFS. ... In addition, open MapReduce InputFormats and
+OutputFormats for the underlying storage file formats are developed.
+... For example, MapReduce can directly access table files on HDFS
+instead of reading HAWQ data through SQL."
+
+:class:`HawqTableInputFormat` turns a table's committed segment files
+into MapReduce input splits (one per segfile lane, located at the
+segment's host) and reads them with the real storage-format decoders —
+honouring the catalog's logical lengths, so an external job sees exactly
+the committed rows. :class:`HawqTableOutputFormat` is the loading path:
+it writes rows through the table's storage format into a new segment
+file per segment and commits them in the catalog, transactionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.errors import UndefinedObject
+from repro.storage import get_format
+
+
+@dataclass(frozen=True)
+class TableSplit:
+    """One MapReduce input split over a HAWQ table."""
+
+    table: str
+    segment_id: int
+    segfile_id: int
+    paths: Tuple[Tuple[str, int], ...]  # (path, logical length)
+    host: str
+
+
+class HawqTableInputFormat:
+    """Read a HAWQ table's files directly, without SQL."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def get_splits(self, table: str) -> List[TableSplit]:
+        """One split per committed segment file lane."""
+        engine = self.engine
+        snapshot = engine.txns.begin().statement_snapshot()
+        relation = engine.catalog.lookup_relation(table, snapshot)
+        if relation is None:
+            raise UndefinedObject(f"relation {table!r} does not exist")
+        names = [c for c, _ in relation.get("children", [])] or [table.lower()]
+        splits: List[TableSplit] = []
+        for name in names:
+            for segfile in engine.catalog.segfiles(name, snapshot):
+                segment = engine.segments[segfile["segment_id"]]
+                splits.append(
+                    TableSplit(
+                        table=name,
+                        segment_id=segfile["segment_id"],
+                        segfile_id=segfile["segfile_id"],
+                        paths=tuple(sorted(segfile["paths"].items())),
+                        host=segment.effective_host(),
+                    )
+                )
+        return splits
+
+    def read_split(
+        self, split: TableSplit, columns: Optional[Sequence[int]] = None
+    ) -> Iterator[tuple]:
+        """Decode one split's rows with the table's storage format."""
+        engine = self.engine
+        snapshot = engine.txns.begin().statement_snapshot()
+        schema = engine.catalog.get_schema(split.table, snapshot)
+        fmt = get_format(schema.storage_format)
+        client = engine.hdfs.client(split.host)
+        yield from fmt.scan(
+            client,
+            dict(split.paths),
+            schema,
+            schema.compression,
+            columns=columns,
+        )
+
+    def read_table(self, table: str) -> Iterator[tuple]:
+        """All committed rows, split by split."""
+        for split in self.get_splits(table):
+            yield from self.read_split(split)
+
+
+class HawqTableOutputFormat:
+    """Write rows into a HAWQ table from outside SQL (bulk exchange)."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def write_table(self, table: str, rows: Sequence[tuple]) -> int:
+        """Append rows transactionally; returns the row count."""
+        session = self.engine.connect()
+        snapshot_txn = self.engine.txns.begin()
+        try:
+            schema = self.engine.catalog.get_schema(
+                table, snapshot_txn.statement_snapshot()
+            )
+        finally:
+            self.engine.txns.commit(snapshot_txn)
+        coerced = [schema.coerce_row(r) for r in rows]
+        return session.load_rows(table, coerced)

@@ -1,0 +1,32 @@
+"""Registry mapping storage-format names to their modules.
+
+Every format module exposes the same interface::
+
+    write(client, base_path, rows, schema, codec_name, append, block_rows)
+        -> WriteResult
+    scan(client, paths, schema, codec_name, columns, stats)
+        -> Iterator[tuple]
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import StorageError
+from repro.storage import ao, co, parquet
+
+_FORMATS = {module.name: module for module in (ao, co, parquet)}
+
+
+def get_format(name: str):
+    """Return the format module for ``name`` ('ao', 'co', 'parquet')."""
+    module = _FORMATS.get(name.lower())
+    if module is None:
+        raise StorageError(
+            f"unknown storage format {name!r}; available: {sorted(_FORMATS)}"
+        )
+    return module
+
+
+def list_formats() -> List[str]:
+    return sorted(_FORMATS)

@@ -1,0 +1,17 @@
+"""TPC-H: schema DDL, a scaled-down deterministic dbgen, and the 22
+benchmark queries adapted to the supported dialect (as the paper adapted
+them for Stinger)."""
+
+from repro.tpch.dbgen import TpchData, generate
+from repro.tpch.queries import QUERIES, query_sql
+from repro.tpch.schema import TABLE_NAMES, create_table_sql, load_tpch
+
+__all__ = [
+    "QUERIES",
+    "TABLE_NAMES",
+    "TpchData",
+    "create_table_sql",
+    "generate",
+    "load_tpch",
+    "query_sql",
+]

@@ -1,0 +1,317 @@
+"""A deterministic, scaled-down TPC-H data generator.
+
+Follows the TPC-H specification's cardinalities and value domains —
+every word list a benchmark query predicate touches (``BUILDING``,
+``ECONOMY ANODIZED STEEL``, ``forest`` colors, ``MED BOX``,
+``special ... requests`` comments, phone country codes, ...) is drawn
+from the spec's vocabularies so all 22 queries select non-empty,
+shape-faithful results at any scale factor.
+
+Cardinalities at scale factor SF: supplier 10k*SF, part 200k*SF,
+partsupp 4/part, customer 150k*SF, orders 10/customer, lineitem 1-7 per
+order. Scale factors far below 1 keep the pure-Python executor fast; the
+simulated clock re-inflates volumes to the paper's 160GB/1.6TB.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.util import DeterministicRng
+
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 8, 2)
+CURRENT_DATE = datetime.date(1995, 6, 17)
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive",
+    "orange", "orchid", "pale", "papaya", "peach", "peru", "pink", "plum",
+    "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle",
+    "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow",
+    "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet",
+    "wheat", "white", "yellow",
+]
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+NOUNS = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas",
+    "theodolites", "pinto beans", "instructions", "dependencies", "excuses",
+    "platelets", "asymptotes", "courts", "dolphins", "multipliers",
+]
+VERBS = [
+    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost",
+    "affix", "detect", "integrate", "maintain", "nod", "was", "lose", "sublate",
+]
+ADJECTIVES = [
+    "special", "pending", "unusual", "express", "furious", "sly", "careful",
+    "blithe", "quick", "fluffy", "slow", "quiet", "ruthless", "thin", "close",
+]
+#: Q22 selects customers in these seven country codes.
+PHONE_CODES_START = 10  # country code = nationkey + 10
+
+
+@dataclass
+class TpchData:
+    """All eight tables as lists of python-typed tuples."""
+
+    scale: float
+    region: List[tuple] = field(default_factory=list)
+    nation: List[tuple] = field(default_factory=list)
+    supplier: List[tuple] = field(default_factory=list)
+    customer: List[tuple] = field(default_factory=list)
+    part: List[tuple] = field(default_factory=list)
+    partsupp: List[tuple] = field(default_factory=list)
+    orders: List[tuple] = field(default_factory=list)
+    lineitem: List[tuple] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            name: len(getattr(self, name))
+            for name in (
+                "region", "nation", "supplier", "customer",
+                "part", "partsupp", "orders", "lineitem",
+            )
+        }
+
+    def total_rows(self) -> int:
+        return sum(self.counts().values())
+
+
+def _money(rng: DeterministicRng, lo: float, hi: float) -> float:
+    return round(rng.uniform(lo, hi), 2)
+
+
+def _date(rng: DeterministicRng, lo=START_DATE, hi=END_DATE) -> datetime.date:
+    span = (hi - lo).days
+    return lo + datetime.timedelta(days=rng.randrange(span + 1))
+
+
+def _comment(rng: DeterministicRng, max_len: int) -> str:
+    words = []
+    for _ in range(rng.randrange(3, 8)):
+        words.append(rng.choice(ADJECTIVES + NOUNS + VERBS))
+    text = " ".join(words)
+    return text[:max_len]
+
+
+def _special_requests_comment(rng: DeterministicRng) -> str:
+    """Comments matching Q13's '%special%requests%' pattern."""
+    return f"the {rng.choice(ADJECTIVES)} special packages wake requests"
+
+
+def _complaints_comment(rng: DeterministicRng) -> str:
+    """Comments matching Q16's '%Customer%Complaints%' pattern."""
+    return f"{rng.choice(VERBS)} Customer slyly Complaints {rng.choice(NOUNS)}"
+
+
+def _phone(rng: DeterministicRng, nationkey: int) -> str:
+    return (
+        f"{PHONE_CODES_START + nationkey}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}"
+    )
+
+
+def generate(scale: float = 0.01, seed: int = 19940601) -> TpchData:
+    """Generate a deterministic TPC-H dataset at the given scale factor."""
+    data = TpchData(scale=scale)
+    num_suppliers = max(int(10_000 * scale), 10)
+    num_parts = max(int(200_000 * scale), 40)
+    num_customers = max(int(150_000 * scale), 30)
+    num_orders = num_customers * 10
+
+    rng = DeterministicRng(seed, "region")
+    for i, name in enumerate(REGIONS):
+        data.region.append((i, name, _comment(rng, 152)))
+
+    rng = DeterministicRng(seed, "nation")
+    for i, (name, region_key) in enumerate(NATIONS):
+        data.nation.append((i, name, region_key, _comment(rng, 152)))
+
+    rng = DeterministicRng(seed, "supplier")
+    for key in range(1, num_suppliers + 1):
+        nationkey = rng.randrange(len(NATIONS))
+        comment = (
+            _complaints_comment(rng) if rng.chance(0.02) else _comment(rng, 101)
+        )
+        data.supplier.append(
+            (
+                key,
+                f"Supplier#{key:09d}",
+                f"addr sup {key} {rng.randrange(10000)}",
+                nationkey,
+                _phone(rng, nationkey),
+                _money(rng, -999.99, 9999.99),
+                comment,
+            )
+        )
+
+    rng = DeterministicRng(seed, "customer")
+    for key in range(1, num_customers + 1):
+        nationkey = rng.randrange(len(NATIONS))
+        data.customer.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                f"addr cust {key} {rng.randrange(10000)}",
+                nationkey,
+                _phone(rng, nationkey),
+                _money(rng, -999.99, 9999.99),
+                rng.choice(SEGMENTS),
+                _comment(rng, 117),
+            )
+        )
+
+    rng = DeterministicRng(seed, "part")
+    for key in range(1, num_parts + 1):
+        name = " ".join(rng.sample(COLORS, 5))
+        mfgr = rng.randrange(1, 6)
+        brand = mfgr * 10 + rng.randrange(1, 6)
+        ptype = (
+            f"{rng.choice(TYPE_SYLLABLE_1)} {rng.choice(TYPE_SYLLABLE_2)} "
+            f"{rng.choice(TYPE_SYLLABLE_3)}"
+        )
+        container = f"{rng.choice(CONTAINER_SYLLABLE_1)} {rng.choice(CONTAINER_SYLLABLE_2)}"
+        retail = round(
+            (90000 + (key % 200001) / 10.0 + 100 * (key % 1000)) / 100.0, 2
+        )
+        data.part.append(
+            (
+                key,
+                name,
+                f"Manufacturer#{mfgr}",
+                f"Brand#{brand}",
+                ptype,
+                rng.randrange(1, 51),
+                container,
+                retail,
+                _comment(rng, 23),
+            )
+        )
+
+    rng = DeterministicRng(seed, "partsupp")
+    for part_key in range(1, num_parts + 1):
+        for i in range(4):
+            supp_key = (
+                (part_key + (i * ((num_suppliers // 4) + 1))) % num_suppliers
+            ) + 1
+            data.partsupp.append(
+                (
+                    part_key,
+                    supp_key,
+                    rng.randrange(1, 10_000),
+                    _money(rng, 1.00, 1000.00),
+                    _comment(rng, 199),
+                )
+            )
+
+    rng = DeterministicRng(seed, "orders")
+    line_rng = DeterministicRng(seed, "lineitem")
+    order_key = 0
+    for i in range(1, num_orders + 1):
+        order_key += rng.choice((1, 3, 4))  # sparse keys, like dbgen
+        # Spec: a third of customers never place orders (custkey % 3 == 0),
+        # which is what Q13's zero-order bucket and Q22 rely on.
+        cust_key = rng.randrange(1, num_customers + 1)
+        while cust_key % 3 == 0:
+            cust_key = rng.randrange(1, num_customers + 1)
+        order_date = _date(rng, START_DATE, END_DATE - datetime.timedelta(days=151))
+        priority = rng.choice(PRIORITIES)
+        comment = (
+            _special_requests_comment(rng)
+            if rng.chance(0.05)
+            else _comment(rng, 79)
+        )
+        lines = []
+        num_lines = rng.randrange(1, 8)
+        total = 0.0
+        for line_no in range(1, num_lines + 1):
+            part_key = line_rng.randrange(1, num_parts + 1)
+            retail = data.part[part_key - 1][7]
+            supp_index = line_rng.randrange(4)
+            supp_key = (
+                (part_key + (supp_index * ((num_suppliers // 4) + 1)))
+                % num_suppliers
+            ) + 1
+            quantity = line_rng.randrange(1, 51)
+            extended = round(quantity * retail, 2)
+            discount = line_rng.randrange(0, 11) / 100.0
+            tax = line_rng.randrange(0, 9) / 100.0
+            ship_date = order_date + datetime.timedelta(
+                days=line_rng.randrange(1, 122)
+            )
+            commit_date = order_date + datetime.timedelta(
+                days=line_rng.randrange(30, 91)
+            )
+            receipt_date = ship_date + datetime.timedelta(
+                days=line_rng.randrange(1, 31)
+            )
+            if receipt_date <= CURRENT_DATE:
+                return_flag = line_rng.choice(("R", "A"))
+            else:
+                return_flag = "N"
+            line_status = "F" if ship_date <= CURRENT_DATE else "O"
+            lines.append(
+                (
+                    order_key,
+                    part_key,
+                    supp_key,
+                    line_no,
+                    float(quantity),
+                    extended,
+                    discount,
+                    tax,
+                    return_flag,
+                    line_status,
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    line_rng.choice(INSTRUCTIONS),
+                    line_rng.choice(SHIP_MODES),
+                    _comment(line_rng, 44),
+                )
+            )
+            total += round(extended * (1 + tax) * (1 - discount), 2)
+        all_f = all(l[9] == "F" for l in lines)
+        all_o = all(l[9] == "O" for l in lines)
+        status = "F" if all_f else ("O" if all_o else "P")
+        data.orders.append(
+            (
+                order_key,
+                cust_key,
+                status,
+                round(total, 2),
+                order_date,
+                priority,
+                f"Clerk#{rng.randrange(1, 1001):09d}",
+                0,
+                comment,
+            )
+        )
+        data.lineitem.extend(lines)
+    return data

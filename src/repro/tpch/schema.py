@@ -1,0 +1,164 @@
+"""TPC-H table definitions and loading helpers.
+
+``create_table_sql`` emits HAWQ DDL with configurable storage format,
+compression and distribution policy — the axes Figures 6-11 sweep.
+Distribution keys follow the paper's setup: ``orders`` and ``lineitem``
+share ``orderkey`` hashing so their join is co-located (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+TABLE_NAMES = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+_COLUMNS: Dict[str, str] = {
+    "region": """
+        r_regionkey INTEGER NOT NULL,
+        r_name CHAR(25) NOT NULL,
+        r_comment VARCHAR(152)
+    """,
+    "nation": """
+        n_nationkey INTEGER NOT NULL,
+        n_name CHAR(25) NOT NULL,
+        n_regionkey INTEGER NOT NULL,
+        n_comment VARCHAR(152)
+    """,
+    "supplier": """
+        s_suppkey INTEGER NOT NULL,
+        s_name CHAR(25) NOT NULL,
+        s_address VARCHAR(40) NOT NULL,
+        s_nationkey INTEGER NOT NULL,
+        s_phone CHAR(15) NOT NULL,
+        s_acctbal DECIMAL(15,2) NOT NULL,
+        s_comment VARCHAR(101) NOT NULL
+    """,
+    "customer": """
+        c_custkey INTEGER NOT NULL,
+        c_name VARCHAR(25) NOT NULL,
+        c_address VARCHAR(40) NOT NULL,
+        c_nationkey INTEGER NOT NULL,
+        c_phone CHAR(15) NOT NULL,
+        c_acctbal DECIMAL(15,2) NOT NULL,
+        c_mktsegment CHAR(10) NOT NULL,
+        c_comment VARCHAR(117) NOT NULL
+    """,
+    "part": """
+        p_partkey INTEGER NOT NULL,
+        p_name VARCHAR(55) NOT NULL,
+        p_mfgr CHAR(25) NOT NULL,
+        p_brand CHAR(10) NOT NULL,
+        p_type VARCHAR(25) NOT NULL,
+        p_size INTEGER NOT NULL,
+        p_container CHAR(10) NOT NULL,
+        p_retailprice DECIMAL(15,2) NOT NULL,
+        p_comment VARCHAR(23) NOT NULL
+    """,
+    "partsupp": """
+        ps_partkey INTEGER NOT NULL,
+        ps_suppkey INTEGER NOT NULL,
+        ps_availqty INTEGER NOT NULL,
+        ps_supplycost DECIMAL(15,2) NOT NULL,
+        ps_comment VARCHAR(199) NOT NULL
+    """,
+    "orders": """
+        o_orderkey INT8 NOT NULL,
+        o_custkey INTEGER NOT NULL,
+        o_orderstatus CHAR(1) NOT NULL,
+        o_totalprice DECIMAL(15,2) NOT NULL,
+        o_orderdate DATE NOT NULL,
+        o_orderpriority CHAR(15) NOT NULL,
+        o_clerk CHAR(15) NOT NULL,
+        o_shippriority INTEGER NOT NULL,
+        o_comment VARCHAR(79) NOT NULL
+    """,
+    "lineitem": """
+        l_orderkey INT8 NOT NULL,
+        l_partkey INTEGER NOT NULL,
+        l_suppkey INTEGER NOT NULL,
+        l_linenumber INTEGER NOT NULL,
+        l_quantity DECIMAL(15,2) NOT NULL,
+        l_extendedprice DECIMAL(15,2) NOT NULL,
+        l_discount DECIMAL(15,2) NOT NULL,
+        l_tax DECIMAL(15,2) NOT NULL,
+        l_returnflag CHAR(1) NOT NULL,
+        l_linestatus CHAR(1) NOT NULL,
+        l_shipdate DATE NOT NULL,
+        l_commitdate DATE NOT NULL,
+        l_receiptdate DATE NOT NULL,
+        l_shipinstruct CHAR(25) NOT NULL,
+        l_shipmode CHAR(10) NOT NULL,
+        l_comment VARCHAR(44) NOT NULL
+    """,
+}
+
+#: The paper's co-location-friendly distribution keys.
+DISTRIBUTION_KEYS: Dict[str, str] = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "customer": "c_custkey",
+    "part": "p_partkey",
+    "partsupp": "ps_partkey",
+    "orders": "o_orderkey",
+    "lineitem": "l_orderkey",
+}
+
+
+def create_table_sql(
+    table: str,
+    storage_format: str = "ao",
+    compression: str = "none",
+    distribution: str = "hash",
+) -> str:
+    """DDL for one TPC-H table under the given physical design."""
+    orientation = {"ao": "row", "co": "column", "parquet": "parquet"}[storage_format]
+    options = [f"appendonly=true", f"orientation={orientation}"]
+    if compression != "none":
+        if compression.startswith(("zlib", "gzip")) and compression[-1].isdigit():
+            options.append(f"compresstype={compression[:-1]}")
+            options.append(f"compresslevel={compression[-1]}")
+        else:
+            options.append(f"compresstype={compression}")
+    with_clause = "WITH (" + ", ".join(options) + ")"
+    if distribution == "hash":
+        dist_clause = f"DISTRIBUTED BY ({DISTRIBUTION_KEYS[table]})"
+    else:
+        dist_clause = "DISTRIBUTED RANDOMLY"
+    return (
+        f"CREATE TABLE {table} ({_COLUMNS[table]}) {with_clause} {dist_clause}"
+    )
+
+
+def load_tpch(
+    session,
+    scale: float = 0.01,
+    storage_format: str = "ao",
+    compression: str = "none",
+    distribution: str = "hash",
+    seed: int = 19940601,
+    analyze: bool = True,
+    data=None,
+):
+    """Create, load and ANALYZE all eight tables; returns the TpchData."""
+    from repro.tpch.dbgen import generate
+
+    if data is None:
+        data = generate(scale, seed=seed)
+    for table in TABLE_NAMES:
+        session.execute(
+            create_table_sql(table, storage_format, compression, distribution)
+        )
+        session.load_rows(table, getattr(data, table))
+    if analyze:
+        session.execute("ANALYZE")
+    return data

@@ -1,0 +1,25 @@
+"""Transaction management (paper Section 5).
+
+Catalog data gets full write-ahead logging and multi-version concurrency
+control; user data is append-only on HDFS with visibility controlled by
+*logical file lengths* recorded in the catalog, truncated on abort.
+"""
+
+from repro.txn.mvcc import Snapshot, XidManager
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import IsolationLevel, Transaction, TransactionManager
+from repro.txn.swimlane import SegfileAllocator
+from repro.txn.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "IsolationLevel",
+    "LockManager",
+    "LockMode",
+    "SegfileAllocator",
+    "Snapshot",
+    "Transaction",
+    "TransactionManager",
+    "WalRecord",
+    "WriteAheadLog",
+    "XidManager",
+]

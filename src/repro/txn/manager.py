@@ -1,0 +1,169 @@
+"""The transaction manager: isolation, commit/abort, truncate-on-abort.
+
+Transactions are only noticeable on the master (paper Section 5): there
+is no two-phase commit; segments are stateless and catalog changes made
+during execution are piggybacked back to the master, which commits them
+in the UCS. Aborting a transaction truncates any user-data bytes it
+appended beyond the previously committed logical length.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.mvcc import Snapshot, XidManager
+from repro.txn.swimlane import SegfileAllocator
+from repro.txn.wal import WriteAheadLog
+
+
+class IsolationLevel(enum.Enum):
+    """The two levels HAWQ implements; the SQL-standard four map onto them
+    (read uncommitted -> read committed, repeatable read -> serializable)."""
+
+    READ_COMMITTED = "read committed"
+    SERIALIZABLE = "serializable"
+
+    @classmethod
+    def parse(cls, text: str) -> "IsolationLevel":
+        lowered = " ".join(text.lower().split())
+        if lowered in ("read committed", "read uncommitted"):
+            return cls.READ_COMMITTED
+        if lowered in ("serializable", "repeatable read"):
+            return cls.SERIALIZABLE
+        raise TransactionError(f"unknown isolation level {text!r}")
+
+
+@dataclass
+class AppendedFile:
+    """One file a transaction appended to, with its rollback point."""
+
+    table: str
+    segment_id: int
+    segfile_id: int
+    path: str
+    previous_length: int
+    #: Callable that truncates the physical file back (wired by the engine
+    #: to the segment's HDFS client).
+    truncate: Callable[[str, int], None]
+
+
+class Transaction:
+    """One transaction's state on the master."""
+
+    def __init__(
+        self, manager: "TransactionManager", xid: int, isolation: IsolationLevel
+    ):
+        self.manager = manager
+        self.xid = xid
+        self.isolation = isolation
+        self.state = "active"  # active | committed | aborted
+        self._txn_snapshot: Optional[Snapshot] = None
+        self.appended_files: List[AppendedFile] = []
+
+    # ------------------------------------------------------------ snapshots
+    def statement_snapshot(self) -> Snapshot:
+        """The snapshot a new statement in this transaction should use.
+
+        Read committed takes a fresh snapshot per statement; serializable
+        reuses the snapshot taken at the first statement (Section 5.1).
+        """
+        self._check_active()
+        if self.isolation is IsolationLevel.SERIALIZABLE:
+            if self._txn_snapshot is None:
+                self._txn_snapshot = self.manager.xids.snapshot(self.xid)
+            return self._txn_snapshot
+        return self.manager.xids.snapshot(self.xid)
+
+    # -------------------------------------------------------------- locking
+    def lock(self, key: str, mode: LockMode, wait: bool = True) -> bool:
+        self._check_active()
+        return self.manager.locks.acquire(self.xid, key, mode, wait=wait)
+
+    # ---------------------------------------------------------- user data io
+    def record_append(self, appended: AppendedFile) -> None:
+        """Remember an append for truncate-on-abort."""
+        self._check_active()
+        self.appended_files.append(appended)
+
+    # ------------------------------------------------------------- lifecycle
+    def commit(self) -> None:
+        self.manager.commit(self)
+
+    def abort(self) -> None:
+        self.manager.abort(self)
+
+    def _check_active(self) -> None:
+        if self.state != "active":
+            raise TransactionAborted(f"transaction {self.xid} is {self.state}")
+
+
+class TransactionManager:
+    """Owns xids, locks, the WAL and the swimming-lane allocator."""
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None):
+        self.xids = XidManager()
+        self.locks = LockManager()
+        self.wal = wal or WriteAheadLog()
+        self.segfiles = SegfileAllocator()
+
+    # ------------------------------------------------------------ lifecycle
+    def begin(
+        self, isolation: IsolationLevel = IsolationLevel.READ_COMMITTED
+    ) -> Transaction:
+        xid = self.xids.begin()
+        self.wal.append(xid, "begin")
+        return Transaction(self, xid, isolation)
+
+    def commit(self, txn: Transaction) -> None:
+        if txn.state != "active":
+            raise TransactionError(f"cannot commit a {txn.state} transaction")
+        # Commit happens only on the master: flip the xid, log it, release.
+        self.xids.commit(txn.xid)
+        self.wal.append(txn.xid, "commit")
+        txn.state = "committed"
+        self._cleanup(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        if txn.state != "active":
+            return  # aborting twice is a no-op
+        # Truncate garbage bytes this transaction appended (Section 5.3/5.4):
+        # the catalog's logical lengths roll back automatically via MVCC.
+        for appended in txn.appended_files:
+            appended.truncate(appended.path, appended.previous_length)
+        self.xids.abort(txn.xid)
+        self.wal.append(txn.xid, "abort")
+        txn.state = "aborted"
+        self._cleanup(txn)
+
+    def _cleanup(self, txn: Transaction) -> None:
+        self.segfiles.release(txn.xid)
+        self.locks.release_all(txn.xid)
+
+    # --------------------------------------------------------------- helpers
+    def run(self, isolation: IsolationLevel = IsolationLevel.READ_COMMITTED):
+        """Context manager running a transaction: commit on success,
+        abort on exception."""
+        return _TxnContext(self, isolation)
+
+
+class _TxnContext:
+    def __init__(self, manager: TransactionManager, isolation: IsolationLevel):
+        self.manager = manager
+        self.isolation = isolation
+        self.txn: Optional[Transaction] = None
+
+    def __enter__(self) -> Transaction:
+        self.txn = self.manager.begin(self.isolation)
+        return self.txn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self.txn is not None
+        if exc_type is None:
+            self.manager.commit(self.txn)
+        else:
+            self.manager.abort(self.txn)
+        return False

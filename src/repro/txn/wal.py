@@ -1,0 +1,71 @@
+"""Write-ahead log for catalog changes, and the standby's feed.
+
+Only the catalog is WAL-logged (paper Section 5): user data is
+append-only on HDFS and needs no log — visibility is the logical file
+length recorded (transactionally, hence through this log) in the catalog.
+The master's standby stays warm by replaying this log (Section 2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One log record."""
+
+    lsn: int
+    xid: int
+    kind: str  # begin | commit | abort | change
+    table: Optional[str] = None
+    op: Optional[str] = None  # insert | update | delete
+    row: Optional[Dict[str, object]] = None
+
+
+class WriteAheadLog:
+    """An ordered, durable (simulated) record stream with subscribers."""
+
+    def __init__(self) -> None:
+        self._records: List[WalRecord] = []
+        self._subscribers: List[Callable[[WalRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        return len(self._records)
+
+    def append(
+        self,
+        xid: int,
+        kind: str,
+        table: Optional[str] = None,
+        op: Optional[str] = None,
+        row: Optional[Dict[str, object]] = None,
+    ) -> WalRecord:
+        record = WalRecord(
+            lsn=len(self._records) + 1, xid=xid, kind=kind, table=table, op=op, row=row
+        )
+        self._records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+        return record
+
+    def records_from(self, lsn: int) -> List[WalRecord]:
+        """All records with lsn > the given one (log shipping pull)."""
+        return self._records[lsn:]
+
+    def subscribe(self, callback: Callable[[WalRecord], None]) -> None:
+        """Push-mode log shipping: callback per appended record."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[WalRecord], None]) -> None:
+        """Stop shipping to a subscriber (e.g. a promoted standby).
+
+        Compares with ``==`` because bound methods are recreated on every
+        attribute access (``obj.method is obj.method`` is False).
+        """
+        self._subscribers = [s for s in self._subscribers if s != callback]

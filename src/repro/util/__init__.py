@@ -1,0 +1,5 @@
+"""Small shared utilities: deterministic RNG streams and byte helpers."""
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+__all__ = ["DeterministicRng", "derive_seed"]

@@ -1,0 +1,31 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (network loss, data generation, failover
+choice) draws from its own named stream derived from a root seed, so that
+simulations are reproducible and independent components do not perturb
+each other's randomness when code paths change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(root_seed: int, *names: object) -> int:
+    """Derive a child seed from a root seed and a path of names."""
+    digest = hashlib.sha256(
+        ("/".join(str(n) for n in (root_seed, *names))).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class DeterministicRng(random.Random):
+    """A :class:`random.Random` seeded from a (root, *names) path."""
+
+    def __init__(self, root_seed: int, *names: object):
+        super().__init__(derive_seed(root_seed, *names))
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        return self.random() < probability

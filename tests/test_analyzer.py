@@ -1,0 +1,214 @@
+"""Tests for semantic analysis: name resolution, scoping, aggregates,
+views, and subquery capture."""
+
+import pytest
+
+from repro.catalog.schema import Column, DataType, Distribution, TableSchema
+from repro.errors import SemanticError
+from repro.planner import exprs as ex
+from repro.planner.analyzer import Analyzer, RelationInfo
+from repro.planner.logical import DerivedSource, TableSource
+from repro.sql.parser import parse_statement
+
+
+class DictCatalog:
+    def __init__(self, tables=None, views=None):
+        self.tables = tables or {}
+        self.views = views or {}
+
+    def resolve(self, name):
+        name = name.lower()
+        if name in self.views:
+            return RelationInfo(kind="view", view_query=self.views[name])
+        if name in self.tables:
+            return RelationInfo(kind="table", schema=self.tables[name])
+        raise SemanticError(f"relation {name!r} does not exist")
+
+
+def table(name, *cols):
+    return TableSchema(
+        name=name,
+        columns=[Column(c, DataType.parse("INT")) for c in cols],
+        distribution=Distribution.hash(cols[0]),
+    )
+
+
+@pytest.fixture
+def catalog():
+    return DictCatalog(
+        tables={
+            "t": table("t", "a", "b", "c"),
+            "s": table("s", "x", "y"),
+            "u": table("u", "a", "z"),
+        }
+    )
+
+
+def analyze(catalog, sql):
+    return Analyzer(catalog).analyze(parse_statement(sql))
+
+
+class TestResolution:
+    def test_bare_column(self, catalog):
+        query = analyze(catalog, "SELECT a FROM t")
+        var = query.targets[0][0]
+        assert isinstance(var, ex.BVar)
+        assert (var.rel, var.col) == (0, 0)
+
+    def test_qualified_column(self, catalog):
+        query = analyze(catalog, "SELECT t.b FROM t, s")
+        assert query.targets[0][0].col == 1
+
+    def test_alias_qualification(self, catalog):
+        query = analyze(catalog, "SELECT n2.a FROM t n1, t n2")
+        assert query.targets[0][0].rel == 1
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(SemanticError, match="ambiguous"):
+            analyze(catalog, "SELECT a FROM t, u")
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SemanticError, match="does not exist"):
+            analyze(catalog, "SELECT nope FROM t")
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SemanticError):
+            analyze(catalog, "SELECT 1 FROM nowhere")
+
+    def test_unknown_column_in_named_table(self, catalog):
+        with pytest.raises(SemanticError, match="not found in relation"):
+            analyze(catalog, "SELECT t.nope FROM t")
+
+    def test_star_expansion(self, catalog):
+        query = analyze(catalog, "SELECT * FROM t, s")
+        assert query.output_names == ["a", "b", "c", "x", "y"]
+
+    def test_qualified_star(self, catalog):
+        query = analyze(catalog, "SELECT s.* FROM t, s")
+        assert query.output_names == ["x", "y"]
+
+    def test_output_names_from_aliases(self, catalog):
+        query = analyze(catalog, "SELECT a + 1 AS bump, count(*) FROM t GROUP BY a")
+        assert query.output_names == ["bump", "count"]
+
+
+class TestFromClause:
+    def test_comma_join_quals_in_where(self, catalog):
+        query = analyze(catalog, "SELECT 1 FROM t, s WHERE a = x")
+        assert len(query.quals) == 1
+        assert all(r.join_type == "inner" for r in query.rels)
+
+    def test_explicit_join_condition_folded(self, catalog):
+        query = analyze(catalog, "SELECT 1 FROM t JOIN s ON a = x WHERE b > 2")
+        assert len(query.quals) == 2
+
+    def test_left_join_keeps_condition(self, catalog):
+        query = analyze(
+            catalog, "SELECT 1 FROM t LEFT JOIN s ON a = x AND y > 0"
+        )
+        assert query.rels[1].join_type == "left"
+        assert query.rels[1].join_cond is not None
+        assert query.quals == []
+
+    def test_derived_table(self, catalog):
+        query = analyze(
+            catalog, "SELECT q.total FROM (SELECT sum(a) AS total FROM t) q"
+        )
+        assert isinstance(query.rels[0].source, DerivedSource)
+        assert query.rels[0].column_names == ["total"]
+
+    def test_view_expansion(self, catalog):
+        catalog.views["v"] = parse_statement("SELECT a, b FROM t")
+        query = analyze(catalog, "SELECT v.a FROM v")
+        assert isinstance(query.rels[0].source, DerivedSource)
+
+
+class TestAggregates:
+    def test_plain_aggregate(self, catalog):
+        query = analyze(catalog, "SELECT count(*), sum(a) FROM t")
+        assert query.has_aggregates
+
+    def test_group_by_validation(self, catalog):
+        with pytest.raises(SemanticError, match="GROUP BY"):
+            analyze(catalog, "SELECT a, b FROM t GROUP BY a")
+
+    def test_group_by_expression_ok(self, catalog):
+        query = analyze(catalog, "SELECT a + 1, count(*) FROM t GROUP BY a + 1")
+        assert len(query.group_by) == 1
+
+    def test_group_by_ordinal(self, catalog):
+        query = analyze(catalog, "SELECT a, count(*) FROM t GROUP BY 1")
+        assert query.group_by[0] == query.targets[0][0]
+
+    def test_group_by_out_of_range_ordinal(self, catalog):
+        with pytest.raises(SemanticError, match="out of range"):
+            analyze(catalog, "SELECT a FROM t GROUP BY 9")
+
+    def test_order_by_alias(self, catalog):
+        query = analyze(
+            catalog, "SELECT sum(a) AS total FROM t GROUP BY b ORDER BY total"
+        )
+        assert isinstance(query.order_by[0].expr, ex.BAgg)
+
+    def test_nested_aggregates_rejected(self, catalog):
+        with pytest.raises(SemanticError, match="nested"):
+            analyze(catalog, "SELECT sum(count(*)) FROM t")
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            analyze(catalog, "SELECT 1 FROM t WHERE sum(a) > 3")
+
+    def test_having_without_aggregate_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            analyze(catalog, "SELECT a FROM t HAVING a > 1")
+
+    def test_count_distinct(self, catalog):
+        query = analyze(catalog, "SELECT count(distinct a) FROM t")
+        agg = query.targets[0][0]
+        assert isinstance(agg, ex.BAgg) and agg.distinct
+
+
+class TestSubqueries:
+    def test_scalar_subquery_captured(self, catalog):
+        query = analyze(catalog, "SELECT 1 FROM t WHERE a > (SELECT max(x) FROM s)")
+        subplans = [n for n in ex.walk(query.quals[0]) if isinstance(n, ex.BSubPlan)]
+        assert subplans[0].kind == "scalar"
+
+    def test_correlated_reference_level(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT 1 FROM t WHERE EXISTS (SELECT * FROM s WHERE x = a)",
+        )
+        subplan = query.quals[0]
+        assert subplan.kind == "exists"
+        inner_qual = subplan.query.quals[0]
+        levels = {v.level for v in ex.walk(inner_qual) if isinstance(v, ex.BVar)}
+        assert levels == {0, 1}
+
+    def test_not_exists_negation_folded(self, catalog):
+        query = analyze(
+            catalog, "SELECT 1 FROM t WHERE NOT EXISTS (SELECT * FROM s)"
+        )
+        assert query.quals[0].negated
+
+    def test_in_subquery_single_column(self, catalog):
+        with pytest.raises(SemanticError, match="one column"):
+            analyze(catalog, "SELECT 1 FROM t WHERE a IN (SELECT x, y FROM s)")
+
+    def test_scalar_subquery_single_column(self, catalog):
+        with pytest.raises(SemanticError, match="one column"):
+            analyze(catalog, "SELECT 1 FROM t WHERE a = (SELECT x, y FROM s)")
+
+
+class TestMisc:
+    def test_like_pattern_must_be_literal(self, catalog):
+        with pytest.raises(SemanticError, match="literal"):
+            analyze(catalog, "SELECT 1 FROM t, s WHERE a LIKE b")
+
+    def test_unknown_function(self, catalog):
+        with pytest.raises(SemanticError, match="unknown function"):
+            analyze(catalog, "SELECT frobnicate(a) FROM t")
+
+    def test_between_desugars(self, catalog):
+        query = analyze(catalog, "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5")
+        assert len(query.quals) == 2  # >= and <= conjuncts

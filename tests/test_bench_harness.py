@@ -1,0 +1,116 @@
+"""Tests for the benchmark harness: scale math, caching, comparisons."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchConfig,
+    HawqBench,
+    NOMINAL_160GB,
+    get_data,
+    get_hawq,
+    raw_bytes,
+    rows_match,
+    suite_seconds,
+)
+from repro.bench.reporting import format_table, print_figure
+
+
+class TestScaleMath:
+    def test_model_scale_definition(self):
+        config = BenchConfig(
+            nominal_bytes=160e9, sim_segments=16, paper_segments=96
+        )
+        # nominal per real segment / actual per simulated segment
+        actual = 2.5e6
+        expected = (160e9 / 96) / (actual / 16)
+        assert config.model_scale(actual) == pytest.approx(expected)
+
+    def test_raw_bytes_counts_all_tables(self):
+        data = get_data(0.001)
+        total = raw_bytes(data)
+        assert total > 0
+        assert total > sum(1 for _ in data.lineitem)  # more than 1B/row
+
+    def test_suite_seconds_skips_oom(self):
+        class FakeCost:
+            seconds = 2.0
+
+        class FakeResult:
+            cost = FakeCost()
+
+        class FakeStinger:
+            seconds = 5.0
+
+        results = {
+            1: FakeResult(),
+            2: (FakeStinger(), "ok"),
+            3: (None, "oom"),
+        }
+        assert suite_seconds(results) == 7.0
+
+
+class TestRowsMatch:
+    def test_order_insensitive(self):
+        assert rows_match([(1, "a"), (2, "b")], [(2, "b"), (1, "a")])
+
+    def test_float_tolerance(self):
+        assert rows_match([(1.0000000001,)], [(1.0,)])
+        assert not rows_match([(1.1,)], [(1.0,)])
+
+    def test_none_values(self):
+        assert rows_match([(None, 1)], [(None, 1)])
+        assert not rows_match([(None,)], [(1,)])
+
+    def test_length_mismatch(self):
+        assert not rows_match([(1,)], [(1,), (2,)])
+
+    def test_float_noise_does_not_reorder(self):
+        left = [(1.0, "x"), (1.0 + 1e-12, "y")]
+        right = [(1.0, "x"), (1.0, "y")]
+        assert rows_match(left, right)
+
+
+class TestCaching:
+    def test_data_memoized(self):
+        assert get_data(0.001) is get_data(0.001)
+        assert get_data(0.001) is not get_data(0.001, seed=1)
+
+    def test_hawq_bench_memoized(self):
+        config = BenchConfig(
+            nominal_bytes=NOMINAL_160GB, scale_factor=0.001, io_cached=True
+        )
+        assert get_hawq(config) is get_hawq(
+            BenchConfig(
+                nominal_bytes=NOMINAL_160GB, scale_factor=0.001, io_cached=True
+            )
+        )
+
+    def test_query_results_memoized(self):
+        config = BenchConfig(
+            nominal_bytes=NOMINAL_160GB, scale_factor=0.001, io_cached=True
+        )
+        bench = get_hawq(config)
+        assert bench.run_query(6) is bench.run_query(6)
+
+    def test_stored_bytes_positive(self):
+        config = BenchConfig(
+            nominal_bytes=NOMINAL_160GB, scale_factor=0.001, io_cached=True
+        )
+        bench = get_hawq(config)
+        assert bench.table_stored_bytes("lineitem") > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [("a", 1.5), ("long-name", 12345.0)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "12,345" in text
+
+    def test_print_figure_returns_text(self, capsys):
+        text = print_figure("Title", ["c"], [(1,)], notes=["note"])
+        assert "Title" in text
+        assert "note" in text
+        assert "Title" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""Tests for cluster fault tolerance: stateless-segment failover, the
+warm standby's log shipping and promotion, and fault detection."""
+
+import pytest
+
+from repro import Engine
+from repro.cluster import FaultDetector, Segment, StandbyMaster
+from repro.errors import ClusterError
+from repro.txn.wal import WriteAheadLog
+
+
+@pytest.fixture
+def engine():
+    return Engine(num_segment_hosts=3, segments_per_host=2, seed=5)
+
+
+def load_sample(engine):
+    session = engine.connect()
+    session.execute("CREATE TABLE t (a INT, b TEXT) DISTRIBUTED BY (a)")
+    rows = ", ".join(f"({i}, 'v{i}')" for i in range(30))
+    session.execute(f"INSERT INTO t VALUES {rows}")
+    return session
+
+
+class TestSegmentFailover:
+    def test_query_survives_segment_failure(self, engine):
+        session = load_sample(engine)
+        before = sorted(session.query("SELECT a FROM t"))
+        engine.fail_segment(0)
+        after = sorted(session.query("SELECT a FROM t"))
+        assert after == before
+
+    def test_failed_segment_marked_down_in_catalog(self, engine):
+        load_sample(engine)
+        engine.fail_segment(1)
+        snapshot = engine.txns.begin().statement_snapshot()
+        down = engine.catalog.segments(snapshot, status="down")
+        assert [s["segment_id"] for s in down] == [1]
+
+    def test_acting_host_differs_after_failover(self, engine):
+        session = load_sample(engine)
+        engine.fail_segment(0)
+        session.query("SELECT count(*) FROM t")  # triggers failover
+        segment = engine.segments[0]
+        assert segment.acting_host is not None
+        assert segment.acting_host != segment.host
+
+    def test_recovery_restores_segment(self, engine):
+        session = load_sample(engine)
+        engine.fail_segment(0)
+        session.query("SELECT count(*) FROM t")
+        engine.recover_segment(0)
+        assert engine.segments[0].acting_host is None
+        snapshot = engine.txns.begin().statement_snapshot()
+        assert not engine.catalog.segments(snapshot, status="down")
+        assert session.query("SELECT count(*) FROM t") == [(30,)]
+
+    def test_writes_after_failover(self, engine):
+        session = load_sample(engine)
+        engine.fail_segment(0)
+        session.execute("INSERT INTO t VALUES (1000, 'late')")
+        assert session.query("SELECT b FROM t WHERE a = 1000") == [("late",)]
+
+    def test_all_hosts_down_raises(self):
+        detector = FaultDetector(
+            [Segment(0, "h0", alive=False), Segment(1, "h1", alive=False)]
+        )
+        with pytest.raises(ClusterError):
+            detector.alive_hosts()
+
+    def test_hdfs_datanode_loss_masked(self, engine):
+        """User data survives a DataNode death via HDFS replication."""
+        session = load_sample(engine)
+        before = sorted(session.query("SELECT a FROM t"))
+        engine.hdfs.fail_datanode("host0")
+        engine.fail_segment(0)  # the segment on that host too
+        engine.fail_segment(3)
+        assert sorted(session.query("SELECT a FROM t")) == before
+
+
+class TestStandbyMaster:
+    def test_log_shipping_mirrors_catalog(self, engine):
+        load_sample(engine)
+        snapshot = engine.standby.snapshot()
+        mirrored = engine.standby.catalog.lookup_relation("t", snapshot)
+        assert mirrored is not None
+        assert mirrored["schema"].name == "t"
+
+    def test_aborted_txn_not_visible_on_standby(self, engine):
+        session = engine.connect()
+        session.execute("BEGIN")
+        session.execute("CREATE TABLE ghost (a INT)")
+        session.execute("ROLLBACK")
+        snapshot = engine.standby.snapshot()
+        assert engine.standby.catalog.lookup_relation("ghost", snapshot) is None
+
+    def test_segfile_lengths_replicated(self, engine):
+        load_sample(engine)
+        snapshot = engine.standby.snapshot()
+        files = engine.standby.catalog.segfiles("t", snapshot)
+        assert files
+        assert all(sum(f["paths"].values()) > 0 for f in files)
+
+    def test_updates_replicated_as_delete_insert(self, engine):
+        session = load_sample(engine)
+        session.execute("INSERT INTO t VALUES (99, 'again')")  # updates segfiles
+        primary_snapshot = engine.txns.begin().statement_snapshot()
+        standby_snapshot = engine.standby.snapshot()
+        primary = {
+            (f["segment_id"], f["segfile_id"]): f["paths"]
+            for f in engine.catalog.segfiles("t", primary_snapshot)
+        }
+        mirrored = {
+            (f["segment_id"], f["segfile_id"]): f["paths"]
+            for f in engine.standby.catalog.segfiles("t", standby_snapshot)
+        }
+        assert primary == mirrored
+
+    def test_promotion_serves_queries(self, engine):
+        session = load_sample(engine)
+        before = sorted(session.query("SELECT a FROM t"))
+        engine.promote_standby()
+        fresh = engine.connect()
+        assert sorted(fresh.query("SELECT a FROM t")) == before
+        # and the promoted master accepts writes
+        fresh.execute("INSERT INTO t VALUES (500, 'post-promotion')")
+        assert fresh.query("SELECT b FROM t WHERE a = 500") == [("post-promotion",)]
+
+    def test_pull_mode_catch_up(self):
+        wal = WriteAheadLog()
+        standby = StandbyMaster(wal, synchronous=False)
+        wal.append(1, "begin")
+        wal.append(1, "change", table="pg_depend", op="insert",
+                   row={"dependent": "a", "referenced": "b"})
+        wal.append(1, "commit")
+        assert standby.applied_lsn == 0
+        applied = standby.catch_up()
+        assert applied == 3
+        snapshot = standby.snapshot()
+        assert standby.catalog.table("pg_depend").scan(snapshot)
+
+    def test_catch_up_idempotent(self):
+        wal = WriteAheadLog()
+        standby = StandbyMaster(wal, synchronous=True)
+        wal.append(1, "begin")
+        wal.append(1, "commit")
+        assert standby.catch_up() == 0  # push already applied everything
+
+
+class TestFaultDetector:
+    def test_check_reports_down(self):
+        segments = [Segment(0, "h0"), Segment(1, "h1", alive=False)]
+        detector = FaultDetector(segments)
+        assert detector.check() == [1]
+
+    def test_failover_assignment_uses_alive_hosts(self):
+        segments = [
+            Segment(0, "h0", alive=False),
+            Segment(1, "h1"),
+            Segment(2, "h2"),
+        ]
+        detector = FaultDetector(segments, seed=3)
+        assignment = detector.assign_failover()
+        assert assignment[0] in ("h1", "h2")
+
+    def test_failover_randomizes_across_sessions(self):
+        """The paper: different sessions randomly fail over, balancing
+        load. With many draws both hosts should be chosen."""
+        segments = [
+            Segment(0, "h0", alive=False),
+            Segment(1, "h1"),
+            Segment(2, "h2"),
+        ]
+        detector = FaultDetector(segments, seed=4)
+        seen = {detector.assign_failover()[0] for _ in range(30)}
+        assert seen == {"h1", "h2"}
+
+
+class TestPromotionRegression:
+    def test_promoted_standby_unsubscribes_from_wal(self, engine):
+        """Regression: a promoted standby must stop consuming the WAL it
+        now writes, or every post-promotion change replays onto itself."""
+        load_sample(engine)
+        subscribers_before = len(engine.txns.wal._subscribers)
+        engine.promote_standby()
+        assert len(engine.txns.wal._subscribers) == subscribers_before - 1
+        fresh = engine.connect()
+        # Post-promotion writes are applied exactly once.
+        fresh.execute("INSERT INTO t VALUES (777, 'once')")
+        assert fresh.query("SELECT count(*) FROM t WHERE a = 777") == [(1,)]
+
+    def test_post_promotion_writes_logged_for_future_standby(self, engine):
+        load_sample(engine)
+        engine.promote_standby()
+        lsn_before = engine.txns.wal.last_lsn
+        engine.connect().execute("INSERT INTO t VALUES (888, 'logged')")
+        assert engine.txns.wal.last_lsn > lsn_before

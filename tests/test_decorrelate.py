@@ -1,0 +1,195 @@
+"""Tests for subquery decorrelation: every pattern the 22 TPC-H queries
+need, plus the rejections for shapes outside the supported set."""
+
+import pytest
+
+from repro.errors import PlannerError
+from repro.planner import exprs as ex
+from repro.planner.decorrelate import decorrelate
+from repro.planner.logical import DerivedSource
+from tests.test_analyzer import DictCatalog, analyze, table
+
+
+@pytest.fixture
+def catalog():
+    return DictCatalog(
+        tables={
+            "t": table("t", "a", "b", "c"),
+            "s": table("s", "x", "y"),
+        }
+    )
+
+
+class TestInitPlans:
+    def test_uncorrelated_scalar_becomes_param(self, catalog):
+        query = analyze(catalog, "SELECT 1 FROM t WHERE a > (SELECT max(x) FROM s)")
+        decorrelate(query)
+        assert len(query.init_plans) == 1
+        params = [n for n in ex.walk(query.quals[0]) if isinstance(n, ex.BParam)]
+        assert params == [ex.BParam(0)]
+
+    def test_uncorrelated_scalar_in_having(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT b, sum(a) FROM t GROUP BY b "
+            "HAVING sum(a) > (SELECT sum(x) FROM s)",
+        )
+        decorrelate(query)
+        assert len(query.init_plans) == 1
+
+    def test_two_init_plans_numbered(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT 1 FROM t WHERE a > (SELECT max(x) FROM s) "
+            "AND b < (SELECT min(y) FROM s)",
+        )
+        decorrelate(query)
+        assert len(query.init_plans) == 2
+        params = sorted(
+            n.index
+            for qual in query.quals
+            for n in ex.walk(qual)
+            if isinstance(n, ex.BParam)
+        )
+        assert params == [0, 1]
+
+
+class TestSemiJoins:
+    def test_in_subquery_becomes_semi(self, catalog):
+        query = analyze(catalog, "SELECT a FROM t WHERE a IN (SELECT x FROM s)")
+        decorrelate(query)
+        assert len(query.rels) == 2
+        new_rel = query.rels[1]
+        assert new_rel.join_type == "semi"
+        assert isinstance(new_rel.source, DerivedSource)
+        assert new_rel.join_cond is not None
+
+    def test_not_in_becomes_anti(self, catalog):
+        query = analyze(catalog, "SELECT a FROM t WHERE a NOT IN (SELECT x FROM s)")
+        decorrelate(query)
+        assert query.rels[1].join_type == "anti"
+
+    def test_correlated_exists(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE EXISTS (SELECT * FROM s WHERE x = a AND y > 0)",
+        )
+        decorrelate(query)
+        rel = query.rels[1]
+        assert rel.join_type == "semi"
+        sub = rel.source.query
+        # Non-correlated predicate stays inside the subquery...
+        assert len(sub.quals) == 1
+        # ...and the correlation became the join condition, with the
+        # inner column exported as a subquery output.
+        assert rel.join_cond is not None
+        assert len(sub.targets) == 1
+
+    def test_not_exists_becomes_anti(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM s WHERE x = a)",
+        )
+        decorrelate(query)
+        assert query.rels[1].join_type == "anti"
+
+    def test_exists_with_inequality_correlation(self, catalog):
+        """Q21's pattern: equality plus <> correlations both survive as
+        join conditions."""
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE EXISTS "
+            "(SELECT * FROM s WHERE x = a AND y <> b)",
+        )
+        decorrelate(query)
+        rel = query.rels[1]
+        conds = ex.conjuncts(rel.join_cond)
+        assert len(conds) == 2
+        assert len(rel.source.query.targets) == 2  # x and y exported
+
+    def test_in_subquery_with_aggregation(self, catalog):
+        """Q18's pattern: IN over a grouped/HAVING subquery."""
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE a IN "
+            "(SELECT x FROM s GROUP BY x HAVING sum(y) > 10)",
+        )
+        decorrelate(query)
+        assert query.rels[1].join_type == "semi"
+        assert query.rels[1].source.query.has_aggregates
+
+
+class TestCorrelatedScalarAggregates:
+    def test_q17_pattern(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE b < (SELECT avg(y) FROM s WHERE x = a)",
+        )
+        decorrelate(query)
+        assert len(query.rels) == 2
+        rel = query.rels[1]
+        assert rel.join_type == "inner"
+        sub = rel.source.query
+        assert sub.group_by  # grouped by the correlation column
+        assert len(sub.targets) == 2  # avg + group key
+        # The comparison references the derived value and a join qual
+        # equates the correlation columns.
+        eq_quals = [
+            q for q in query.quals if isinstance(q, ex.BOp) and q.op == "="
+        ]
+        assert eq_quals
+
+    def test_two_correlation_columns(self, catalog):
+        """Q20's pattern: correlation on two columns."""
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE c > "
+            "(SELECT sum(y) FROM s WHERE x = a AND y = b)",
+        )
+        decorrelate(query)
+        sub = query.rels[1].source.query
+        assert len(sub.group_by) == 2
+
+    def test_results_preserved_after_double_decorrelate(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE b < (SELECT avg(y) FROM s WHERE x = a)",
+        )
+        decorrelate(query)
+        rels_after_first = len(query.rels)
+        decorrelate(query)  # idempotent
+        assert len(query.rels) == rels_after_first
+
+
+class TestRejections:
+    def test_subquery_under_or_rejected(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE a = 1 OR EXISTS (SELECT * FROM s WHERE x = a)",
+        )
+        with pytest.raises(PlannerError):
+            decorrelate(query)
+
+    def test_correlated_non_aggregate_scalar_rejected(self, catalog):
+        query = analyze(
+            catalog, "SELECT a FROM t WHERE b = (SELECT y FROM s WHERE x = a)"
+        )
+        with pytest.raises(PlannerError):
+            decorrelate(query)
+
+    def test_correlated_exists_with_aggregate_rejected(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE EXISTS "
+            "(SELECT sum(y) FROM s WHERE x = a GROUP BY x)",
+        )
+        with pytest.raises(PlannerError):
+            decorrelate(query)
+
+    def test_non_equality_scalar_correlation_rejected(self, catalog):
+        query = analyze(
+            catalog,
+            "SELECT a FROM t WHERE b < (SELECT sum(y) FROM s WHERE x > a)",
+        )
+        with pytest.raises(PlannerError):
+            decorrelate(query)

@@ -1,0 +1,116 @@
+"""Tests for metadata dispatch: self-described plans (paper 3.1)."""
+
+import pytest
+
+from repro import Engine
+from repro.engine import _CatalogAdapter
+from repro.planner.analyzer import Analyzer
+from repro.planner.dispatch import build_self_described_plan, tables_in_plan
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def env():
+    engine = Engine(num_segment_hosts=2, segments_per_host=2)
+    session = engine.connect()
+    session.execute("CREATE TABLE t (a INT, b INT) DISTRIBUTED BY (a)")
+    session.execute("CREATE TABLE s (x INT) DISTRIBUTED BY (x)")
+    session.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    session.execute("INSERT INTO s VALUES (10)")
+    session.execute(
+        """
+        CREATE TABLE pt (id INT, g INT) DISTRIBUTED BY (id)
+        PARTITION BY RANGE (g) (START (0) END (10) EVERY (5))
+        """
+    )
+    session.execute("INSERT INTO pt VALUES (1, 2), (2, 7)")
+    return engine, session
+
+
+def plan_for(engine, session, sql):
+    txn = engine.txns.begin()
+    snapshot = txn.statement_snapshot()
+    analyzer = Analyzer(_CatalogAdapter(engine.catalog, snapshot))
+    query = analyzer.analyze(parse_statement(sql))
+    plan = session._plan(query, snapshot)
+    return plan, snapshot
+
+
+class TestTablesInPlan:
+    def test_join_lists_both(self, env):
+        engine, session = env
+        plan, _ = plan_for(engine, session, "SELECT 1 FROM t, s WHERE b = x")
+        assert tables_in_plan(plan) == {"t", "s"}
+
+    def test_partitioned_table_lists_selected_children(self, env):
+        engine, session = env
+        plan, _ = plan_for(engine, session, "SELECT * FROM pt WHERE g = 7")
+        names = tables_in_plan(plan)
+        assert names == {"pt_1_prt_2"}  # pruned to one child
+
+    def test_init_plan_tables_included(self, env):
+        engine, session = env
+        plan, _ = plan_for(
+            engine, session, "SELECT a FROM t WHERE b > (SELECT max(x) FROM s)"
+        )
+        assert tables_in_plan(plan) == {"t", "s"}
+
+
+class TestSelfDescribedPlan:
+    def test_contains_schemas_and_segfiles(self, env):
+        engine, session = env
+        plan, snapshot = plan_for(engine, session, "SELECT * FROM t")
+        sdp = build_self_described_plan(plan, engine.catalog, snapshot)
+        meta = sdp.metadata["t"]
+        assert meta.schema.name == "t"
+        assert meta.storage_format == "ao"
+        total_rows = sum(
+            lane.tupcount
+            for lanes in meta.segfiles.values()
+            for lane in lanes
+        )
+        assert total_rows == 2
+
+    def test_logical_lengths_follow_snapshot(self, env):
+        """The self-described plan carries the *snapshot's* logical
+        lengths — a later insert must not appear in an older plan."""
+        engine, session = env
+        plan, snapshot = plan_for(engine, session, "SELECT * FROM t")
+        before = build_self_described_plan(plan, engine.catalog, snapshot)
+        session.execute("INSERT INTO t VALUES (3, 30)")
+        after_txn = engine.txns.begin()
+        after = build_self_described_plan(
+            plan, engine.catalog, after_txn.statement_snapshot()
+        )
+        bytes_before = sum(
+            sum(lane.paths.values())
+            for lanes in before.metadata["t"].segfiles.values()
+            for lane in lanes
+        )
+        bytes_after = sum(
+            sum(lane.paths.values())
+            for lanes in after.metadata["t"].segfiles.values()
+            for lane in lanes
+        )
+        assert bytes_after > bytes_before
+
+    def test_plan_is_compressed(self, env):
+        engine, session = env
+        plan, snapshot = plan_for(
+            engine, session, "SELECT b, count(*) FROM t GROUP BY b"
+        )
+        sdp = build_self_described_plan(plan, engine.catalog, snapshot)
+        assert 0 < sdp.compressed_bytes < sdp.plan_bytes
+
+    def test_bigger_query_bigger_plan(self, env):
+        engine, session = env
+        small, snapshot = plan_for(engine, session, "SELECT a FROM t")
+        big, _ = plan_for(
+            engine,
+            session,
+            "SELECT t.b, count(*) FROM t, s WHERE t.b = s.x "
+            "GROUP BY t.b ORDER BY 2 DESC LIMIT 3",
+        )
+        small_sdp = build_self_described_plan(small, engine.catalog, snapshot)
+        big_sdp = build_self_described_plan(big, engine.catalog, snapshot)
+        assert big_sdp.plan_bytes > small_sdp.plan_bytes

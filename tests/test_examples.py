@@ -1,0 +1,45 @@
+"""The examples must stay runnable: each executes in a subprocess.
+
+(hawq_vs_stinger.py is exercised by the benchmark suite's machinery and
+takes ~30s, so it is excluded from the unit-test pass.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "data_lake_analytics.py",
+    "fault_tolerance_demo.py",
+    "interconnect_study.py",
+    "storage_design_tour.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should print their story"
+
+
+def test_expected_story_beats():
+    """Spot-check that key claims appear in example output."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert "direct dispatch" in result.stdout
+    assert "simulated execution time" in result.stdout

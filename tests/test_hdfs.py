@@ -1,0 +1,273 @@
+"""Tests for the simulated HDFS: namespace, append, truncate, leases,
+replication and failure masking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+    HdfsError,
+    LeaseConflict,
+    TruncateError,
+)
+from repro.hdfs import Hdfs
+
+
+@pytest.fixture
+def fs():
+    filesystem = Hdfs(block_size=64, replication=2, seed=1)
+    for host in ("h1", "h2", "h3"):
+        filesystem.add_datanode(host, num_disks=3)
+    return filesystem
+
+
+class TestNamespace:
+    def test_create_and_read(self, fs):
+        client = fs.client("h1")
+        client.write_file("/a/b", b"hello world")
+        assert client.read_file("/a/b") == b"hello world"
+
+    def test_create_existing_fails(self, fs):
+        client = fs.client("h1")
+        client.write_file("/x", b"1")
+        with pytest.raises(FileAlreadyExists):
+            client.create("/x")
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileNotFoundInHdfs):
+            fs.client("h1").read_file("/nope")
+
+    def test_exists(self, fs):
+        client = fs.client("h1")
+        assert not client.exists("/f")
+        client.write_file("/f", b"x")
+        assert client.exists("/f")
+
+    def test_delete(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"x" * 200)
+        client.delete("/f")
+        assert not client.exists("/f")
+        # replicas dropped from datanodes
+        for node in fs.datanodes.values():
+            assert all(not disk.blocks for disk in node.disks)
+
+    def test_rename(self, fs):
+        client = fs.client("h1")
+        client.write_file("/old", b"data")
+        fs.rename("/old", "/new")
+        assert client.read_file("/new") == b"data"
+        assert not client.exists("/old")
+
+    def test_list_status_prefix(self, fs):
+        client = fs.client("h1")
+        client.write_file("/t/a", b"1")
+        client.write_file("/t/b", b"22")
+        client.write_file("/u/c", b"333")
+        names = [s.path for s in fs.list_status("/t/")]
+        assert names == ["/t/a", "/t/b"]
+
+    def test_file_status(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"x" * 150)
+        status = client.file_status("/f")
+        assert status.length == 150
+        assert status.block_count == 3  # 64 + 64 + 22
+
+
+class TestBlocksAndAppend:
+    def test_multi_block_roundtrip(self, fs):
+        client = fs.client("h1")
+        data = bytes(range(256)) * 3
+        client.write_file("/f", data)
+        assert client.read_file("/f") == data
+
+    def test_append(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"a" * 100)
+        writer = client.append("/f")
+        writer.write(b"b" * 100)
+        writer.close()
+        assert client.read_file("/f") == b"a" * 100 + b"b" * 100
+
+    def test_streaming_writer(self, fs):
+        client = fs.client("h1")
+        writer = client.create("/f")
+        for i in range(10):
+            writer.write(bytes([i]) * 30)
+        writer.close()
+        assert len(client.read_file("/f")) == 300
+
+    def test_positioned_read(self, fs):
+        client = fs.client("h1")
+        data = bytes(range(200))
+        client.write_file("/f", data)
+        reader = client.open("/f")
+        reader.seek(70)
+        assert reader.read(60) == data[70:130]
+
+    def test_write_after_close_fails(self, fs):
+        client = fs.client("h1")
+        writer = client.create("/f")
+        writer.close()
+        with pytest.raises(HdfsError):
+            writer.write(b"x")
+
+    def test_replication_count(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"z" * 64)
+        locations = fs.block_locations("/f")
+        assert len(locations) == 1
+        assert len(locations[0].hosts) == 2
+
+
+class TestLeases:
+    def test_single_writer(self, fs):
+        client1 = fs.client("h1")
+        client2 = fs.client("h2")
+        writer = client1.create("/f")
+        writer.write(b"x")
+        with pytest.raises(LeaseConflict):
+            client2.append("/f")
+        writer.close()
+        # lease released: second writer may proceed
+        client2.append("/f").close()
+
+    def test_truncate_requires_free_lease(self, fs):
+        client1 = fs.client("h1")
+        client2 = fs.client("h2")
+        writer = client1.create("/f")
+        writer.write(b"x" * 100)
+        with pytest.raises(LeaseConflict):
+            client2.truncate("/f", 10)
+        writer.close()
+        client2.truncate("/f", 10)
+
+
+class TestTruncate:
+    def test_block_boundary(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"a" * 192)  # exactly 3 blocks
+        client.truncate("/f", 128)
+        assert client.read_file("/f") == b"a" * 128
+        assert client.file_status("/f").block_count == 2
+
+    def test_mid_block(self, fs):
+        client = fs.client("h1")
+        data = bytes(range(200))
+        client.write_file("/f", data)
+        client.truncate("/f", 100)
+        assert client.read_file("/f") == data[:100]
+
+    def test_to_zero(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"abc" * 50)
+        client.truncate("/f", 0)
+        assert client.read_file("/f") == b""
+
+    def test_noop(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"abc")
+        client.truncate("/f", 3)
+        assert client.read_file("/f") == b"abc"
+
+    def test_cannot_extend(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"abc")
+        with pytest.raises(TruncateError):
+            client.truncate("/f", 10)
+
+    def test_append_after_truncate(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"a" * 100)
+        client.truncate("/f", 50)
+        writer = client.append("/f")
+        writer.write(b"b" * 30)
+        writer.close()
+        assert client.read_file("/f") == b"a" * 50 + b"b" * 30
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["write", "truncate"]), st.integers(0, 150)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_matches_reference_bytearray(self, ops):
+        """Property: any append/truncate sequence matches a plain buffer."""
+        fs = Hdfs(block_size=32, replication=2, seed=7)
+        for host in ("h1", "h2"):
+            fs.add_datanode(host)
+        client = fs.client("h1")
+        client.write_file("/f", b"")
+        reference = bytearray()
+        counter = 0
+        for op, amount in ops:
+            if op == "write":
+                payload = bytes([counter % 251]) * amount
+                counter += 1
+                writer = client.append("/f")
+                writer.write(payload)
+                writer.close()
+                reference.extend(payload)
+            else:
+                target = min(amount, len(reference))
+                client.truncate("/f", target)
+                del reference[target:]
+        assert client.read_file("/f") == bytes(reference)
+
+
+class TestFailures:
+    def test_datanode_failure_masked(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"q" * 300)
+        fs.fail_datanode("h1")
+        assert client.read_file("/f") == b"q" * 300
+
+    def test_re_replication(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"q" * 300)
+        fs.fail_datanode("h1")
+        created = fs.check_replication()
+        assert created >= 0
+        for location in fs.block_locations("/f"):
+            assert all(h != "h1" for h in location.hosts)
+            assert len(location.hosts) == 2
+
+    def test_disk_failure_masked(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"w" * 300)
+        # Fail every disk holding data on h1.
+        node = fs.datanodes["h1"]
+        for disk in node.disks:
+            if disk.blocks:
+                node.fail_disk(disk.index)
+        assert client.read_file("/f") == b"w" * 300
+
+    def test_restore_datanode(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"e" * 100)
+        fs.fail_datanode("h2")
+        fs.restore_datanode("h2")
+        assert client.read_file("/f") == b"e" * 100
+
+    def test_locality_counters(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"r" * 64)
+        before_local = client.local_bytes_read
+        client.read_file("/f")
+        assert client.local_bytes_read > before_local  # first replica local
+
+    def test_remote_read_counted(self, fs):
+        writer_client = fs.client("h1")
+        writer_client.write_file("/f", b"r" * 64)
+        # a client on a host with no replica must read remotely
+        locations = fs.block_locations("/f")
+        hosts_with_replica = set(locations[0].hosts)
+        other = next(h for h in ("h1", "h2", "h3") if h not in hosts_with_replica)
+        remote_client = fs.client(other)
+        remote_client.read_file("/f")
+        assert remote_client.remote_bytes_read == 64

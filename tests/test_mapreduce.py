@@ -1,0 +1,165 @@
+"""Tests for the MapReduce/YARN substrate of the Stinger baseline."""
+
+import pytest
+
+from repro.baselines import MapReduceCluster, ReducerOutOfMemory
+from repro.baselines.mapreduce import Dataset
+from repro.simtime import CostModel
+
+
+def word_count_inputs(scale=1.0):
+    lines = [("the quick brown fox",), ("the lazy dog",), ("the fox",)]
+    dataset = Dataset.from_rows(lines, scale)
+
+    def mapper(row):
+        for word in row[0].split():
+            yield word, 1
+
+    return dataset, mapper
+
+
+def count_reduce(key, values):
+    total = 0
+    for value in values:
+        total += value[0] if isinstance(value, list) else value
+    yield (key, total)
+
+
+class TestJobExecution:
+    def test_word_count(self):
+        cluster = MapReduceCluster(num_nodes=2, containers_per_node=2)
+        dataset, mapper = word_count_inputs()
+        output, stats = cluster.run_job(
+            "wc", [(dataset, mapper)], count_reduce, num_reducers=2
+        )
+        assert dict(output.rows)["the"] == 3
+        assert dict(output.rows)["fox"] == 2
+        assert stats.seconds > 0
+
+    def test_combiner_reduces_pairs(self):
+        cluster = MapReduceCluster(num_nodes=2, containers_per_node=2)
+        dataset, mapper = word_count_inputs()
+
+        def combiner(key, values):
+            return [[sum(values)]]
+
+        output, stats = cluster.run_job(
+            "wc", [(dataset, mapper)], count_reduce, combine_fn=combiner
+        )
+        assert dict(output.rows)["the"] == 3
+
+    def test_multi_input_join_job(self):
+        cluster = MapReduceCluster(num_nodes=2, containers_per_node=2)
+        left = Dataset.from_rows([(1, "a"), (2, "b")], 1.0)
+        right = Dataset.from_rows([(1, "x"), (1, "y")], 1.0)
+
+        def left_map(row):
+            yield row[0], (0, row)
+
+        def right_map(row):
+            yield row[0], (1, row)
+
+        def join_reduce(key, values):
+            lrows = [r for tag, r in values if tag == 0]
+            rrows = [r for tag, r in values if tag == 1]
+            for l in lrows:
+                for r in rrows:
+                    yield l + r
+
+        output, _ = cluster.run_job(
+            "join", [(left, left_map), (right, right_map)], join_reduce
+        )
+        assert sorted(output.rows) == [(1, "a", 1, "x"), (1, "a", 1, "y")]
+
+    def test_map_only_job(self):
+        cluster = MapReduceCluster(num_nodes=2, containers_per_node=2)
+        dataset = Dataset.from_rows([(i,) for i in range(10)], 1.0)
+        output, stats = cluster.run_map_only_job(
+            "filter", dataset, lambda row: [row] if row[0] % 2 == 0 else []
+        )
+        assert len(output.rows) == 5
+        assert stats.reduce_tasks == 0
+
+
+class TestScheduling:
+    def test_wave_math(self):
+        model = CostModel()
+        cluster = MapReduceCluster(2, 2, model, scale=1.0)
+        big = Dataset(
+            rows=[(1,)], nominal_bytes=10 * model.mr_block_size,
+            split_bytes=10 * model.mr_block_size,
+        )
+        _, stats = cluster.run_job(
+            "waves", [(big, lambda row: [(1, row)])], lambda k, v: []
+        )
+        assert stats.map_tasks == 10
+        assert stats.map_waves == 3  # 10 tasks on 4 containers
+
+    def test_job_setup_floor(self):
+        model = CostModel()
+        cluster = MapReduceCluster(2, 2, model)
+        tiny = Dataset.from_rows([(1,)], 1.0)
+        _, stats = cluster.run_job(
+            "tiny", [(tiny, lambda row: [(1, row)])], lambda k, v: []
+        )
+        assert stats.seconds >= model.mr_job_setup
+
+    def test_bigger_scale_is_slower(self):
+        results = {}
+        for scale in (1.0, 1000.0):
+            cluster = MapReduceCluster(2, 2, scale=scale)
+            dataset, mapper = word_count_inputs(scale)
+            _, stats = cluster.run_job("wc", [(dataset, mapper)], count_reduce)
+            results[scale] = stats.seconds
+        assert results[1000.0] > results[1.0]
+
+    def test_cached_io_is_faster(self):
+        results = {}
+        for cached in (False, True):
+            model = CostModel()
+            model.io_cached = cached
+            cluster = MapReduceCluster(2, 2, model, scale=1e6)
+            dataset, mapper = word_count_inputs(1e6)
+            _, stats = cluster.run_job("wc", [(dataset, mapper)], count_reduce)
+            results[cached] = stats.seconds
+        assert results[True] < results[False]
+
+
+class TestReducerMemory:
+    def test_oom_raised(self):
+        model = CostModel()
+        model.mr_reducer_mem = 1000.0  # absurdly small
+        cluster = MapReduceCluster(2, 2, model, scale=1e6)
+        dataset, mapper = word_count_inputs(1e6)
+        with pytest.raises(ReducerOutOfMemory):
+            cluster.run_job(
+                "oom", [(dataset, mapper)], count_reduce, num_reducers=1
+            )
+
+    def test_check_memory_false_disables(self):
+        model = CostModel()
+        model.mr_reducer_mem = 1000.0
+        cluster = MapReduceCluster(2, 2, model, scale=1e6)
+        dataset, mapper = word_count_inputs(1e6)
+        output, _ = cluster.run_job(
+            "sort-ish",
+            [(dataset, mapper)],
+            count_reduce,
+            num_reducers=1,
+            check_memory=False,
+        )
+        assert output.rows
+
+
+class TestDatasets:
+    def test_cpu_rows_default(self):
+        dataset = Dataset.from_rows([(1,), (2,)], 1.0)
+        assert dataset.effective_cpu_rows == 2
+
+    def test_cpu_rows_prefilter(self):
+        dataset = Dataset(rows=[(1,)], nominal_bytes=100.0, cpu_rows=50)
+        assert dataset.effective_cpu_rows == 50
+
+    def test_split_bytes_default(self):
+        dataset = Dataset(rows=[], nominal_bytes=42.0)
+        assert dataset.effective_split_bytes == 42.0

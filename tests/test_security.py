@@ -1,0 +1,346 @@
+"""Tests for roles, privileges, resource queues, ALTER TABLE storage
+transformation, writable PXF tables, and the Hadoop Input/OutputFormats."""
+
+import pytest
+
+from repro import Engine
+from repro.catalog.security import (
+    PermissionDenied,
+    QueueLimitExceeded,
+    SecurityManager,
+)
+from repro.errors import CatalogError, PxfError, SemanticError
+from repro.storage.hadoop_formats import (
+    HawqTableInputFormat,
+    HawqTableOutputFormat,
+)
+
+
+class TestSecurityManager:
+    def test_default_superuser(self):
+        security = SecurityManager()
+        assert security.role("gpadmin").superuser
+        security.check("gpadmin", "select", "anything")  # no raise
+
+    def test_grant_check_revoke(self):
+        security = SecurityManager()
+        security.create_role("analyst")
+        with pytest.raises(PermissionDenied):
+            security.check("analyst", "select", "t")
+        security.grant("select", "t", "analyst")
+        security.check("analyst", "select", "t")
+        with pytest.raises(PermissionDenied):
+            security.check("analyst", "insert", "t")
+        security.revoke("select", "t", "analyst")
+        with pytest.raises(PermissionDenied):
+            security.check("analyst", "select", "t")
+
+    def test_all_privilege(self):
+        security = SecurityManager()
+        security.create_role("etl")
+        security.grant("all", "t", "etl")
+        security.check("etl", "select", "t")
+        security.check("etl", "insert", "t")
+
+    def test_duplicate_role(self):
+        security = SecurityManager()
+        security.create_role("r")
+        with pytest.raises(CatalogError):
+            security.create_role("r")
+
+    def test_drop_role_clears_grants(self):
+        security = SecurityManager()
+        security.create_role("r")
+        security.grant("select", "t", "r")
+        security.drop_role("r")
+        security.create_role("r")
+        with pytest.raises(PermissionDenied):
+            security.check("r", "select", "t")
+
+    def test_queue_admission(self):
+        security = SecurityManager()
+        security.create_queue("small", active_statements=2)
+        security.create_role("r", resource_queue="small")
+        queue = security.queue_for("r")
+        queue.admit()
+        queue.admit()
+        with pytest.raises(QueueLimitExceeded):
+            queue.admit()
+        queue.release()
+        queue.admit()  # freed slot reusable
+
+    def test_drop_queue_in_use(self):
+        security = SecurityManager()
+        security.create_queue("q")
+        security.create_role("r", resource_queue="q")
+        with pytest.raises(CatalogError):
+            security.drop_queue("q")
+
+    def test_cannot_drop_default_queue(self):
+        with pytest.raises(CatalogError):
+            SecurityManager().drop_queue("pg_default")
+
+
+class TestSqlSecurity:
+    @pytest.fixture
+    def engine(self):
+        engine = Engine(num_segment_hosts=2, segments_per_host=1)
+        admin = engine.connect()
+        admin.execute("CREATE ROLE analyst")
+        admin.execute("CREATE TABLE t (a INT) DISTRIBUTED BY (a)")
+        admin.execute("INSERT INTO t VALUES (1), (2)")
+        return engine
+
+    def test_select_denied_then_granted(self, engine):
+        analyst = engine.connect(role="analyst")
+        with pytest.raises(PermissionDenied):
+            analyst.query("SELECT * FROM t")
+        engine.connect().execute("GRANT select ON t TO analyst")
+        assert sorted(analyst.query("SELECT * FROM t")) == [(1,), (2,)]
+
+    def test_insert_needs_separate_privilege(self, engine):
+        admin = engine.connect()
+        admin.execute("GRANT select ON t TO analyst")
+        analyst = engine.connect(role="analyst")
+        with pytest.raises(PermissionDenied):
+            analyst.execute("INSERT INTO t VALUES (3)")
+        admin.execute("GRANT insert ON t TO analyst")
+        analyst.execute("INSERT INTO t VALUES (3)")
+
+    def test_owner_has_implicit_rights(self, engine):
+        analyst = engine.connect(role="analyst")
+        analyst.execute("CREATE TABLE mine (x INT) DISTRIBUTED BY (x)")
+        analyst.execute("INSERT INTO mine VALUES (1)")
+        assert analyst.query("SELECT * FROM mine") == [(1,)]
+        analyst.execute("DROP TABLE mine")
+
+    def test_drop_requires_ownership(self, engine):
+        analyst = engine.connect(role="analyst")
+        with pytest.raises(PermissionDenied):
+            analyst.execute("DROP TABLE t")
+
+    def test_non_superuser_cannot_create_roles(self, engine):
+        analyst = engine.connect(role="analyst")
+        with pytest.raises(PermissionDenied):
+            analyst.execute("CREATE ROLE sneaky SUPERUSER")
+
+    def test_resource_queue_via_sql(self, engine):
+        admin = engine.connect()
+        admin.execute(
+            "CREATE RESOURCE QUEUE tiny WITH (active_statements=1, "
+            "memory_limit=1000000)"
+        )
+        admin.execute("ALTER ROLE analyst RESOURCE QUEUE tiny")
+        assert engine.security.role("analyst").resource_queue == "tiny"
+        queue = engine.security.queue_for("analyst")
+        assert queue.active_statements == 1
+
+    def test_set_role(self, engine):
+        session = engine.connect()
+        session.execute("SET role TO analyst")
+        assert session.role == "analyst"
+        with pytest.raises(PermissionDenied):
+            session.execute("CREATE ROLE another")
+
+    def test_revoke_via_sql(self, engine):
+        admin = engine.connect()
+        admin.execute("GRANT select ON t TO analyst")
+        admin.execute("REVOKE select ON t FROM analyst")
+        analyst = engine.connect(role="analyst")
+        with pytest.raises(PermissionDenied):
+            analyst.query("SELECT * FROM t")
+
+
+class TestAlterTableStorage:
+    """The paper's roadmap feature: automatic storage transformation."""
+
+    @pytest.fixture
+    def session(self):
+        engine = Engine(num_segment_hosts=2, segments_per_host=2)
+        session = engine.connect()
+        session.execute(
+            "CREATE TABLE t (a INT, b TEXT) WITH (appendonly=true, "
+            "orientation=row) DISTRIBUTED BY (a)"
+        )
+        session.execute(
+            "INSERT INTO t VALUES " + ", ".join(f"({i}, 'v{i}')" for i in range(20))
+        )
+        return session
+
+    def current_schema(self, session):
+        engine = session.engine
+        snapshot = engine.txns.begin().statement_snapshot()
+        return engine.catalog.get_schema("t", snapshot)
+
+    def test_row_to_column(self, session):
+        before = sorted(session.query("SELECT a, b FROM t"))
+        session.execute(
+            "ALTER TABLE t SET WITH (orientation=column, compresstype=zlib, "
+            "compresslevel=5)"
+        )
+        schema = self.current_schema(session)
+        assert schema.storage_format == "co"
+        assert schema.compression == "zlib5"
+        assert sorted(session.query("SELECT a, b FROM t")) == before
+
+    def test_writes_after_transformation(self, session):
+        session.execute("ALTER TABLE t SET WITH (orientation=parquet)")
+        session.execute("INSERT INTO t VALUES (100, 'new')")
+        assert session.query("SELECT b FROM t WHERE a = 100") == [("new",)]
+
+    def test_alter_rolls_back(self, session):
+        before = sorted(session.query("SELECT a, b FROM t"))
+        session.execute("BEGIN")
+        session.execute("ALTER TABLE t SET WITH (orientation=column)")
+        session.execute("ROLLBACK")
+        schema = self.current_schema(session)
+        assert schema.storage_format == "ao"
+        assert sorted(session.query("SELECT a, b FROM t")) == before
+
+    def test_alter_missing_table(self, session):
+        from repro.errors import UndefinedObject
+
+        with pytest.raises(UndefinedObject):
+            session.execute("ALTER TABLE nope SET WITH (orientation=column)")
+
+    def test_alter_partitioned_table(self, session):
+        session.execute(
+            """
+            CREATE TABLE pt (id INT, g INT)
+            DISTRIBUTED BY (id)
+            PARTITION BY RANGE (g) (START (0) END (10) EVERY (5))
+            """
+        )
+        session.execute("INSERT INTO pt VALUES (1, 1), (2, 7)")
+        session.execute("ALTER TABLE pt SET WITH (orientation=column)")
+        assert sorted(session.query("SELECT id FROM pt")) == [(1,), (2,)]
+
+
+class TestWritableExternalTables:
+    @pytest.fixture
+    def session(self):
+        return Engine(num_segment_hosts=2, segments_per_host=1).connect()
+
+    def test_text_export_roundtrip(self, session):
+        session.execute(
+            """
+            CREATE WRITABLE EXTERNAL TABLE out_t (id INT, name TEXT)
+            LOCATION ('pxf://svc/exports/a.tbl?profile=HdfsTextSimple')
+            FORMAT 'TEXT' ()
+            """
+        )
+        session.execute("INSERT INTO out_t VALUES (1, 'a'), (2, NULL)")
+        raw = session.engine.hdfs.client().read_file("/exports/a.tbl")
+        assert raw == b"1|a\n2|\n"
+
+    def test_insert_into_readable_rejected(self, session):
+        session.engine.hdfs.client().write_file("/x.tbl", b"1\n")
+        session.execute(
+            """
+            CREATE EXTERNAL TABLE in_t (id INT)
+            LOCATION ('pxf://svc/x.tbl?profile=HdfsTextSimple') FORMAT 'TEXT' ()
+            """
+        )
+        with pytest.raises(SemanticError, match="READABLE"):
+            session.execute("INSERT INTO in_t VALUES (9)")
+
+    def test_export_then_query_back(self, session):
+        session.execute("CREATE TABLE src (id INT, v TEXT) DISTRIBUTED BY (id)")
+        session.execute("INSERT INTO src VALUES (1,'x'), (2,'y'), (3,'z')")
+        session.execute(
+            """
+            CREATE WRITABLE EXTERNAL TABLE sink (id INT, v TEXT)
+            LOCATION ('pxf://svc/exports/sink.tbl?profile=HdfsTextSimple')
+            FORMAT 'TEXT' ()
+            """
+        )
+        session.execute("INSERT INTO sink SELECT id, v FROM src WHERE id > 1")
+        session.execute(
+            """
+            CREATE EXTERNAL TABLE back (id INT, v TEXT)
+            LOCATION ('pxf://svc/exports/sink.tbl?profile=HdfsTextSimple')
+            FORMAT 'TEXT' ()
+            """
+        )
+        assert sorted(session.query("SELECT id, v FROM back")) == [
+            (2, "y"),
+            (3, "z"),
+        ]
+
+    def test_profile_without_writer(self, session):
+        session.execute(
+            """
+            CREATE WRITABLE EXTERNAL TABLE ws (id INT)
+            LOCATION ('pxf://svc/exports/x.seq?profile=SequenceFile')
+            FORMAT 'CUSTOM' ()
+            """
+        )
+        with pytest.raises(PxfError, match="writer"):
+            session.execute("INSERT INTO ws VALUES (1)")
+
+
+class TestHadoopFormats:
+    """Paper Section 2.1: MapReduce bypasses SQL and reads table files."""
+
+    @pytest.fixture
+    def engine(self):
+        engine = Engine(num_segment_hosts=2, segments_per_host=2)
+        session = engine.connect()
+        session.execute(
+            "CREATE TABLE words (id INT, text TEXT) WITH (appendonly=true, "
+            "orientation=column, compresstype=quicklz) DISTRIBUTED BY (id)"
+        )
+        session.execute(
+            "INSERT INTO words VALUES (1, 'the quick fox'), (2, 'the dog'), "
+            "(3, 'quick quick')"
+        )
+        return engine
+
+    def test_splits_carry_locality(self, engine):
+        splits = HawqTableInputFormat(engine).get_splits("words")
+        assert splits
+        assert all(s.host.startswith("host") for s in splits)
+
+    def test_read_respects_logical_lengths(self, engine):
+        """An aborted append must be invisible to the InputFormat too."""
+        session = engine.connect()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO words VALUES (99, 'garbage')")
+        session.execute("ROLLBACK")
+        rows = sorted(HawqTableInputFormat(engine).read_table("words"))
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_column_projection(self, engine):
+        fmt = HawqTableInputFormat(engine)
+        split = fmt.get_splits("words")[0]
+        for row in fmt.read_split(split, columns=[0]):
+            assert row[1] is None  # unread column placeholder
+
+    def test_mapreduce_wordcount_over_hawq_table(self, engine):
+        """An actual MR job consuming HAWQ table files directly."""
+        from repro.baselines import MapReduceCluster
+        from repro.baselines.mapreduce import Dataset
+
+        fmt = HawqTableInputFormat(engine)
+        rows = list(fmt.read_table("words"))
+        cluster = MapReduceCluster(num_nodes=2, containers_per_node=2)
+
+        def mapper(row):
+            for word in row[1].split():
+                yield word, 1
+
+        def reducer(key, values):
+            yield (key, sum(values))
+
+        output, _ = cluster.run_job(
+            "wordcount", [(Dataset.from_rows(rows, 1.0), mapper)], reducer
+        )
+        counts = dict(output.rows)
+        assert counts["quick"] == 3
+        assert counts["the"] == 2
+
+    def test_output_format_loads(self, engine):
+        out = HawqTableOutputFormat(engine)
+        assert out.write_table("words", [(10, "bulk"), (11, "load")]) == 2
+        session = engine.connect()
+        assert session.query("SELECT count(*) FROM words") == [(5,)]

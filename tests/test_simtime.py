@@ -1,0 +1,160 @@
+"""Tests for the simulated clock, the event network, and the cost
+accumulator's scaled/fixed cost split."""
+
+import pytest
+
+from repro.errors import InterconnectError
+from repro.network import NetworkConditions, SimNetwork
+from repro.simtime import CostAccumulator, CostModel, QueryCost
+
+
+class TestCostAccumulator:
+    def test_fixed_costs_ignore_scale(self):
+        model = CostModel()
+        model.scale = 1000.0
+        acc = CostAccumulator(model)
+        acc.fixed(2.0)
+        assert acc.seconds == 2.0
+
+    def test_scaled_disk_read(self):
+        model = CostModel()
+        model.scale = 10.0
+        acc = CostAccumulator(model)
+        acc.disk_read(int(model.disk_seq_bw))  # 1 second of data
+        assert acc.seconds == pytest.approx(10.0)
+        assert acc.disk_read_bytes == int(model.disk_seq_bw)
+
+    def test_cached_reads_free(self):
+        model = CostModel()
+        model.io_cached = True
+        acc = CostAccumulator(model)
+        acc.disk_read(10**9)
+        assert acc.seconds == 0.0
+        assert acc.disk_read_bytes == 10**9  # still counted
+
+    def test_replicated_write_costs_more(self):
+        model = CostModel()
+        plain = CostAccumulator(model)
+        replicated = CostAccumulator(model)
+        plain.disk_write(10**6)
+        replicated.disk_write(10**6, replicated=True)
+        assert replicated.seconds == pytest.approx(
+            plain.seconds * model.hdfs_replication
+        )
+
+    def test_cpu_tuples(self):
+        model = CostModel()
+        acc = CostAccumulator(model)
+        acc.cpu_tuples(1000, ncolumns=4)
+        expected = 1000 * (model.cpu_tuple + 4 * model.cpu_column)
+        assert acc.seconds == pytest.approx(expected)
+        assert acc.tuples == 1000
+
+    def test_network_includes_latency(self):
+        model = CostModel()
+        acc = CostAccumulator(model)
+        acc.network(0)
+        assert acc.seconds == pytest.approx(model.net_latency)
+
+    def test_merge_max_and_sum(self):
+        model = CostModel()
+        a, b = CostAccumulator(model), CostAccumulator(model)
+        a.fixed(2.0)
+        b.fixed(3.0)
+        a.merge_max(b)
+        assert a.seconds == 3.0
+        a.merge_sum(b)
+        assert a.seconds == 6.0
+
+    def test_model_copy_is_independent(self):
+        model = CostModel()
+        clone = model.copy()
+        clone.scale = 99.0
+        assert model.scale != clone.scale
+
+    def test_query_cost_from_accumulator(self):
+        acc = CostAccumulator(CostModel())
+        acc.fixed(1.5)
+        acc.disk_read(100)
+        cost = QueryCost.from_accumulator(acc)
+        assert cost.seconds == acc.seconds
+        assert cost.disk_read_bytes == 100
+
+
+class TestSimNetwork:
+    def test_timer_ordering(self):
+        net = SimNetwork()
+        fired = []
+        net.schedule(0.3, lambda: fired.append("late"))
+        net.schedule(0.1, lambda: fired.append("early"))
+        net.run()
+        assert fired == ["early", "late"]
+
+    def test_timer_cancellation(self):
+        net = SimNetwork()
+        fired = []
+        handle = net.schedule(0.1, lambda: fired.append("x"))
+        handle.cancel()
+        net.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimNetwork().schedule(-1, lambda: None)
+
+    def test_datagram_delivery(self):
+        net = SimNetwork()
+        got = []
+        net.register(("b", 1), lambda d: got.append(d.payload))
+        net.send(("a", 1), ("b", 1), "hello", size=10)
+        net.run()
+        assert got == ["hello"]
+
+    def test_unbound_port_drops_silently(self):
+        net = SimNetwork()
+        net.send(("a", 1), ("nowhere", 1), "x", size=5)
+        net.run()  # no error
+
+    def test_loss_accounting_deterministic(self):
+        results = []
+        for _ in range(2):
+            net = SimNetwork(NetworkConditions(loss_rate=0.5), seed=42)
+            net.register(("b", 1), lambda d: None)
+            for i in range(100):
+                net.send(("a", 1), ("b", 1), i, size=10)
+            net.run()
+            results.append((net.dropped, net.delivered))
+        assert results[0] == results[1]
+        assert results[0][0] > 0
+
+    def test_duplicate_bound(self):
+        net = SimNetwork(NetworkConditions(dup_rate=1.0), seed=1)
+        got = []
+        net.register(("b", 1), lambda d: got.append(d.payload))
+        net.send(("a", 1), ("b", 1), "x", size=10)
+        net.run()
+        assert len(got) == 2
+
+    def test_max_time_exceeded(self):
+        net = SimNetwork()
+
+        def reschedule():
+            net.schedule(10.0, reschedule)
+
+        net.schedule(10.0, reschedule)
+        with pytest.raises(InterconnectError):
+            net.run(until=lambda: False, max_time=25.0)
+
+    def test_until_predicate_stops_early(self):
+        net = SimNetwork()
+        fired = []
+        net.schedule(0.1, lambda: fired.append(1))
+        net.schedule(0.2, lambda: fired.append(2))
+        net.run(until=lambda: len(fired) >= 1)
+        assert fired == [1]
+
+    def test_double_register_rejected(self):
+        net = SimNetwork()
+        net.register(("a", 1), lambda d: None)
+        with pytest.raises(InterconnectError):
+            net.register(("a", 1), lambda d: None)

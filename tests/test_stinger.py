@@ -1,0 +1,122 @@
+"""Tests for the Stinger (Hive-on-MapReduce) baseline engine."""
+
+import pytest
+
+from repro.baselines import StingerEngine
+from repro.catalog.schema import Column, DataType, Distribution, TableSchema
+
+
+def schema(name, cols, types=None):
+    types = types or ["INT"] * len(cols)
+    return TableSchema(
+        name=name,
+        columns=[Column(c, DataType.parse(t)) for c, t in zip(cols, types)],
+        distribution=Distribution.random(),
+    )
+
+
+@pytest.fixture
+def engine():
+    stinger = StingerEngine(num_nodes=2, containers_per_node=2, scale=10.0)
+    stinger.load_table(
+        schema("t", ["a", "b", "c"]),
+        [(i, i % 3, i * 10) for i in range(30)],
+    )
+    stinger.load_table(
+        schema("s", ["x", "label"], ["INT", "TEXT"]),
+        [(0, "zero"), (1, "one"), (2, "two")],
+    )
+    return stinger
+
+
+class TestQueries:
+    def test_scan_filter_project(self, engine):
+        result = engine.execute("SELECT a FROM t WHERE a < 3 ORDER BY a")
+        assert result.rows == [(0,), (1,), (2,)]
+        assert result.seconds > 0
+
+    def test_aggregation(self, engine):
+        result = engine.execute(
+            "SELECT b, count(*), sum(c) FROM t GROUP BY b ORDER BY b"
+        )
+        assert result.rows[0][0] == 0
+        assert sum(r[1] for r in result.rows) == 30
+
+    def test_join(self, engine):
+        result = engine.execute(
+            "SELECT label, count(*) FROM t, s WHERE b = x "
+            "GROUP BY label ORDER BY label"
+        )
+        assert len(result.rows) == 3
+
+    def test_order_by_single_reducer(self, engine):
+        result = engine.execute("SELECT a FROM t ORDER BY a DESC LIMIT 3")
+        assert result.rows == [(29,), (28,), (27,)]
+        sort_jobs = [j for j in result.jobs if j.name == "order-by"]
+        assert sort_jobs and sort_jobs[0].reduce_tasks == 1
+
+    def test_each_stage_is_a_job(self, engine):
+        """Rule-based Hive: join + group-by + order-by = separate jobs."""
+        result = engine.execute(
+            "SELECT label, count(*) FROM t, s WHERE b = x "
+            "GROUP BY label ORDER BY label"
+        )
+        names = [j.name for j in result.jobs]
+        assert any("join" in n for n in names)
+        assert "group-by" in names
+        assert "order-by" in names
+
+    def test_views(self, engine):
+        engine.execute("CREATE VIEW v AS SELECT a, b FROM t WHERE a < 10")
+        result = engine.execute("SELECT count(*) FROM v")
+        assert result.rows == [(10,)]
+        engine.execute("DROP VIEW v")
+
+    def test_scalar_subquery(self, engine):
+        result = engine.execute(
+            "SELECT count(*) FROM t WHERE a > (SELECT avg(a) FROM t)"
+        )
+        assert result.rows == [(15,)]
+
+    def test_in_subquery(self, engine):
+        result = engine.execute(
+            "SELECT count(*) FROM t WHERE b IN (SELECT x FROM s WHERE x > 0)"
+        )
+        assert result.rows[0][0] == sum(1 for i in range(30) if i % 3 in (1, 2))
+
+    def test_distinct(self, engine):
+        result = engine.execute("SELECT DISTINCT b FROM t ORDER BY b")
+        assert result.rows == [(0,), (1,), (2,)]
+
+    def test_left_join(self, engine):
+        engine.load_table(schema("small", ["x", "v"]), [(0, 100)])
+        result = engine.execute(
+            "SELECT count(*) FROM t LEFT JOIN small ON b = small.x"
+        )
+        assert result.rows == [(30,)]
+
+
+class TestCosting:
+    def test_map_join_for_small_tables(self, engine):
+        result = engine.execute("SELECT count(*) FROM t, s WHERE b = x")
+        assert any(j.name == "map-join" for j in result.jobs)
+
+    def test_common_join_above_threshold(self):
+        stinger = StingerEngine(num_nodes=2, containers_per_node=2, scale=2e5)
+        stinger.load_table(
+            schema("l", ["a", "b"]), [(i, i % 5) for i in range(200)]
+        )
+        stinger.load_table(
+            schema("r", ["b", "v"]), [(i, i) for i in range(200)]
+        )
+        result = stinger.execute("SELECT count(*) FROM l, r WHERE l.b = r.b")
+        assert any(j.name == "common-join" for j in result.jobs)
+
+    def test_materialization_charged(self, engine):
+        """Every job pays its own start-up: more stages = more seconds."""
+        simple = engine.execute("SELECT a FROM t WHERE a = 1")
+        complex_query = engine.execute(
+            "SELECT label, count(*) FROM t, s WHERE b = x "
+            "GROUP BY label ORDER BY label"
+        )
+        assert complex_query.seconds > simple.seconds

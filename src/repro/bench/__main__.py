@@ -3,6 +3,9 @@
     python -m repro.bench            # all figures
     python -m repro.bench fig6 fig12 # a subset
     REPRO_TPCH_SF=0.005 python -m repro.bench fig7
+
+    python -m repro.bench --wallclock          # real-time row vs batch
+    python -m repro.bench --wallclock --check  # perf guard (exit 1 on fail)
 """
 
 from __future__ import annotations
@@ -132,6 +135,18 @@ FIGURES = {"fig6": fig6, "fig7": fig7, "fig12": fig12, "fig13": fig13}
 
 
 def main(argv) -> int:
+    if "--wallclock" in argv:
+        from repro.bench.wallclock import run_wallclock
+
+        check = "--check" in argv
+        extra = [a for a in argv if a not in ("--wallclock", "--check")]
+        if extra:
+            print(f"--wallclock takes no figure names: {extra}")
+            return 2
+        return run_wallclock(check=check)
+    if "--check" in argv:
+        print("--check requires --wallclock")
+        return 2
     chosen = argv or sorted(FIGURES)
     unknown = [name for name in chosen if name not in FIGURES]
     if unknown:

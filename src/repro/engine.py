@@ -69,6 +69,10 @@ from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.storage import get_codec, get_format
 from repro.storage.base import ScanStats
+from repro.storage.cache import (
+    DEFAULT_CAPACITY_BYTES as DEFAULT_CACHE_BYTES,
+    BlockDecodeCache,
+)
 from repro.txn.locks import LockMode
 from repro.txn.manager import IsolationLevel, Transaction, TransactionManager
 from repro.txn.mvcc import Snapshot
@@ -92,6 +96,9 @@ class Engine:
         work_mem: float = 1.5e9,
         data_path: str = "/hawq",
         with_standby: bool = True,
+        executor_mode: str = "batch",
+        block_cache_bytes: int = DEFAULT_CACHE_BYTES,
+        cache_simulated_costs: bool = True,
     ):
         self.cost_model = cost_model or CostModel()
         self.interconnect = interconnect
@@ -101,6 +108,21 @@ class Engine:
         self.data_path = data_path
         self.planner_options = planner_options or PlannerOptions()
         self.seed = seed
+        if executor_mode not in ("row", "batch"):
+            raise ReproError(f"unknown executor_mode {executor_mode!r}")
+        #: 'batch' (default) vectorizes SeqScan→Filter→Project pipelines
+        #: and key/aggregate extraction; 'row' is the differential-test
+        #: fallback. Results and simulated costs are identical.
+        self.executor_mode = executor_mode
+        #: Segment-local LRU cache of decoded storage blocks; 0 disables.
+        #: With ``cache_simulated_costs`` (default) cache hits replay
+        #: their original simulated charges so figures are unchanged;
+        #: disabling it makes hits free on the simulated clock as well.
+        self.block_cache = (
+            BlockDecodeCache(block_cache_bytes, charge_hits=cache_simulated_costs)
+            if block_cache_bytes
+            else None
+        )
 
         self.hdfs = Hdfs(block_size=block_size, replication=replication, seed=seed)
         self.hosts = [f"host{i}" for i in range(num_segment_hosts)]
@@ -406,10 +428,12 @@ class Session:
             num_segments=engine.num_segments,
             cost_model=engine.cost_model,
             scan_provider=self._scan_provider(sdp),
+            batch_scan_provider=self._batch_scan_provider(sdp),
             external_provider=self._external_provider(),
             interconnect=engine.interconnect,
             pipelined=engine.pipelined,
             work_mem=min(engine.work_mem, queue.memory_limit),
+            executor_mode=engine.executor_mode,
         )
         result = execute_plan(plan, ctx)
         result.cost.seconds += self._dispatch_cost(plan, sdp)
@@ -442,45 +466,99 @@ class Session:
             )
             segment = engine.segments[segment_id]
             client = segment.client(engine.hdfs)
-            model = engine.cost_model
             for name in names:
                 meta = sdp.metadata[name]
                 fmt = get_format(meta.storage_format)
-                codec = get_codec(meta.compression)
-                io_factor = (
-                    model.parquet_io_amplification
-                    if meta.storage_format == "parquet"
-                    else 1.0
-                )
-                cpu_factor = (
-                    model.parquet_cpu_factor
-                    if meta.storage_format == "parquet"
-                    else 1.0
-                )
                 for lane in meta.segfiles.get(segment_id, []):
-                    stats = ScanStats()
-                    remote_before = client.remote_bytes_read
-                    try:
-                        yield from fmt.scan(
-                            client,
-                            lane.paths,
-                            meta.schema,
-                            meta.compression,
-                            columns=columns,
-                            stats=stats,
-                        )
-                    finally:
-                        acc.disk_read(int(stats.compressed_bytes * io_factor))
-                        acc.cpu_bytes(
-                            stats.uncompressed_bytes,
-                            (codec.decompress_cost + model.cpu_format_byte)
-                            * cpu_factor,
-                        )
-                        remote = client.remote_bytes_read - remote_before
-                        if remote:
-                            acc.network(remote)
+                    yield from self._charged_scan(
+                        fmt.scan,
+                        client,
+                        lane.paths,
+                        meta,
+                        columns,
+                        acc,
+                    )
 
         return provider
+
+    def _batch_scan_provider(self, sdp: SelfDescribedPlan):
+        """Block-granular sibling of :meth:`_scan_provider`: returns an
+        iterator of ``(row_count, {column_index: values})`` column blocks
+        for the vectorized executor, or None when the source only exists
+        as rows (catalog relations)."""
+        engine = self.engine
+
+        def provider(table_source, partitions, segment_id, columns, acc):
+            if table_source.table_name in CATALOG_RELATION_COLUMNS:
+                return None  # master-only catalog data: row fallback
+            names = (
+                partitions if partitions is not None else [table_source.table_name]
+            )
+            segment = engine.segments[segment_id]
+            client = segment.client(engine.hdfs)
+
+            def blocks():
+                for name in names:
+                    meta = sdp.metadata[name]
+                    fmt = get_format(meta.storage_format)
+                    for lane in meta.segfiles.get(segment_id, []):
+                        yield from self._charged_scan(
+                            fmt.scan_blocks,
+                            client,
+                            lane.paths,
+                            meta,
+                            columns,
+                            acc,
+                        )
+
+            return blocks()
+
+        return provider
+
+    def _charged_scan(self, scan_fn, client, paths, meta, columns, acc):
+        """Run one segfile-lane scan, charging the cost model the same
+        way regardless of entry point (row tuples or column blocks):
+        disk for compressed bytes, CPU for decompression + decode, and
+        network for remote-replica reads — including charges the decode
+        cache *replays* on hits (``ScanStats.remote_bytes``). Charging
+        happens in ``finally`` so an abandoned scan (LIMIT) still pays
+        for the blocks it decoded."""
+        engine = self.engine
+        model = engine.cost_model
+        codec = get_codec(meta.compression)
+        io_factor = (
+            model.parquet_io_amplification
+            if meta.storage_format == "parquet"
+            else 1.0
+        )
+        cpu_factor = (
+            model.parquet_cpu_factor
+            if meta.storage_format == "parquet"
+            else 1.0
+        )
+        stats = ScanStats()
+        remote_before = client.remote_bytes_read
+        try:
+            yield from scan_fn(
+                client,
+                paths,
+                meta.schema,
+                meta.compression,
+                columns=columns,
+                stats=stats,
+                cache=engine.block_cache,
+            )
+        finally:
+            acc.disk_read(int(stats.compressed_bytes * io_factor))
+            acc.cpu_bytes(
+                stats.uncompressed_bytes,
+                (codec.decompress_cost + model.cpu_format_byte) * cpu_factor,
+            )
+            remote = (
+                client.remote_bytes_read - remote_before + stats.remote_bytes
+            )
+            if remote:
+                acc.network(remote)
 
     def _external_provider(self):
         engine = self.engine
@@ -991,7 +1069,11 @@ class Session:
             segment = engine.segments[segfile["segment_id"]]
             client = segment.client(engine.hdfs)
             yield from fmt.scan(
-                client, segfile["paths"], schema, schema.compression
+                client,
+                segfile["paths"],
+                schema,
+                schema.compression,
+                cache=engine.block_cache,
             )
 
     # --------------------------------------------------------------- EXPLAIN

@@ -1,0 +1,66 @@
+"""Column batches for the vectorized execution path.
+
+A :class:`ColumnBatch` is the unit of data flow between batch-aware
+operators: per-column Python lists (``None`` marks SQL NULL — no
+separate mask is needed since every value slot is a Python object)
+plus the row count. Storage scans produce batches of
+``DEFAULT_BATCH_ROWS`` rows (aligned with the storage block size so a
+decoded block becomes a batch with zero copying), and
+``compile_expr_batch`` kernels evaluate expressions over whole batches.
+
+Batches are read-only by convention: operators build new column lists
+rather than mutating inputs, because a projection may alias an input
+column (zero-copy column references).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.base import DEFAULT_BLOCK_ROWS
+
+#: Rows per batch on the vectorized path. Matches the storage block row
+#: count so decoded blocks map 1:1 onto batches.
+DEFAULT_BATCH_ROWS = DEFAULT_BLOCK_ROWS
+
+
+class ColumnBatch:
+    """``nrows`` rows held as per-column value lists."""
+
+    __slots__ = ("columns", "nrows")
+
+    def __init__(self, columns: List[list], nrows: int):
+        self.columns = columns
+        self.nrows = nrows
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple], ncols: int) -> "ColumnBatch":
+        """Transpose row tuples into a batch (``ncols`` governs the
+        column count even when ``rows`` is empty)."""
+        if not rows:
+            return cls([[] for _ in range(ncols)], 0)
+        return cls([list(col) for col in zip(*rows)], len(rows))
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Yield the batch's rows as tuples (the row-path interface)."""
+        if not self.columns:
+            for _ in range(self.nrows):
+                yield ()
+            return
+        yield from zip(*self.columns)
+
+    def take(self, sel: Sequence[int]) -> "ColumnBatch":
+        """New batch containing the rows selected by index vector ``sel``."""
+        return ColumnBatch(
+            [[col[i] for i in sel] for col in self.columns], len(sel)
+        )
+
+
+def rows_of(columns: Sequence[list], nrows: int) -> Iterator[tuple]:
+    """Yield tuples from positional column vectors (zero-column safe)."""
+    if not columns:
+        for _ in range(nrows):
+            yield ()
+        return
+    for row in zip(*columns):
+        yield row

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import calendar
 import datetime
+import operator
 import re
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -20,19 +21,27 @@ from repro.planner.physical import ColumnId
 
 RowFn = Callable[[tuple], object]
 
+#: Batch evaluator: ``fn(cols, n, sel)`` over column vectors (see
+#: :func:`compile_expr_batch`).
+BatchFn = Callable[[Sequence[list], int, Optional[List[int]]], list]
+
 _LIKE_CACHE: Dict[str, "re.Pattern"] = {}
+
+
+def _like_pattern(pattern: str) -> "re.Pattern":
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        compiled = re.compile(f"^{regex}$", re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
 
 
 def like_match(value: Optional[str], pattern: str) -> Optional[bool]:
     """SQL LIKE; ``%`` and ``_`` wildcards, anchored both ends."""
     if value is None:
         return None
-    compiled = _LIKE_CACHE.get(pattern)
-    if compiled is None:
-        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-        compiled = re.compile(f"^{regex}$", re.DOTALL)
-        _LIKE_CACHE[pattern] = compiled
-    return compiled.match(value) is not None
+    return _like_pattern(pattern).match(value) is not None
 
 
 def add_interval(
@@ -106,27 +115,105 @@ class _Interval:
         self.unit = unit
 
 
+#: Exact sizes for exact types (bool keys before it would match int;
+#: ``type()`` dispatch keeps bool/int distinct, unlike ``isinstance``).
+_FIXED_VALUE_BYTES = {
+    type(None): 1,
+    bool: 1,
+    int: 8,
+    float: 8,
+    datetime.date: 4,
+    datetime.datetime: 4,
+}
+
+
+def _generic_value_bytes(value: object) -> int:
+    """The original isinstance chain, kept for subclasses and types
+    outside the dispatch table — byte-identical to the historical sizes."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, (str, bytes)):
+        return 4 + len(value)
+    if isinstance(value, datetime.date):
+        return 4
+    if isinstance(value, tuple):
+        return estimate_row_bytes(value)
+    return 8
+
+
 def estimate_row_bytes(row: Sequence[object]) -> int:
     """Approximate on-the-wire size of a tuple (for the cost model)."""
     total = 4
     for value in row:
-        if value is None:
-            total += 1
-        elif isinstance(value, bool):
-            total += 1
-        elif isinstance(value, (int, float)):
-            total += 8
-        elif isinstance(value, str):
+        size = _FIXED_VALUE_BYTES.get(type(value))
+        if size is not None:
+            total += size
+        elif type(value) is str or type(value) is bytes:
             total += 4 + len(value)
-        elif isinstance(value, bytes):
-            total += 4 + len(value)
-        elif isinstance(value, datetime.date):
-            total += 4
-        elif isinstance(value, tuple):
+        elif type(value) is tuple:
             total += estimate_row_bytes(value)
         else:
-            total += 8
+            total += _generic_value_bytes(value)
     return total
+
+
+class RowSizer:
+    """:func:`estimate_row_bytes` with the fixed portion memoized per row
+    type-signature.
+
+    Motion and spill paths size every tuple they move; a stream has only
+    a handful of type signatures (NULLs flip one entry), so memoizing the
+    fixed byte total per signature collapses the per-value dispatch to
+    one dict hit plus the variable-length (str/bytes/tuple) terms. Byte
+    counts are exactly those of :func:`estimate_row_bytes` — the cost
+    model's figures must not move.
+    """
+
+    __slots__ = ("_plans",)
+
+    #: Sentinel plan: a type outside the table appeared; size per-row.
+    _FALLBACK = (None, ())
+
+    def __init__(self) -> None:
+        self._plans: Dict[tuple, Tuple[Optional[int], tuple]] = {}
+
+    def __call__(self, row: Sequence[object]) -> int:
+        key = tuple(map(type, row))
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._compile(key)
+            self._plans[key] = plan
+        fixed, var_positions = plan
+        if fixed is None:
+            return estimate_row_bytes(row)
+        total = fixed
+        for position in var_positions:
+            value = row[position]
+            if type(value) is tuple:
+                total += self(value)
+            else:
+                total += len(value)
+        return total
+
+    def _compile(self, key: tuple) -> Tuple[Optional[int], tuple]:
+        fixed = 4
+        variable = []
+        for i, t in enumerate(key):
+            size = _FIXED_VALUE_BYTES.get(t)
+            if size is not None:
+                fixed += size
+            elif t is str or t is bytes:
+                fixed += 4
+                variable.append(i)
+            elif t is tuple:
+                variable.append(i)
+            else:
+                return self._FALLBACK
+        return fixed, tuple(variable)
 
 
 def compile_expr(
@@ -323,6 +410,397 @@ def compile_expr(
             def f_nullif(row):
                 a, b = args[0](row), args[1](row)
                 return None if a == b else a
+            return f_nullif
+        raise ExecutorError(f"unknown function {name!r}")
+
+    return compile_node(expr)
+
+
+_CMP_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def compile_expr_batch(
+    expr: ex.BoundExpr,
+    layout: Sequence[ColumnId],
+    params: Optional[Sequence[object]] = None,
+) -> BatchFn:
+    """Compile a bound expression into a batch (vectorized) evaluator.
+
+    The returned function has signature ``fn(cols, n, sel=None)``:
+    ``cols`` are the input's column vectors in ``layout`` order and ``n``
+    the batch row count. With ``sel=None`` it returns one value per row;
+    with a selection vector (list of row indices) it returns one value
+    per selected row, in ``sel`` order. Results must be treated as
+    read-only — a bare column reference returns the input vector itself.
+
+    Selection vectors keep AND/OR/CASE/COALESCE/IN lazily evaluated with
+    exactly the row path's short-circuit structure, so guarded
+    expressions (``x <> 0 AND y / x > 1``) never raise on rows the guard
+    excludes, and semantics (including which rows can raise) match
+    :func:`compile_expr` on every input.
+    """
+    index_of = {cid: i for i, cid in enumerate(layout)}
+    params = list(params or [])
+
+    def constant(value) -> BatchFn:
+        def f_const(cols, n, sel):
+            return [value] * (n if sel is None else len(sel))
+        return f_const
+
+    def column(position: int) -> BatchFn:
+        def f_col(cols, n, sel):
+            col = cols[position]
+            if sel is None:
+                return col
+            return [col[i] for i in sel]
+        return f_col
+
+    def row_fallback(node: ex.BoundExpr) -> BatchFn:
+        """Bridge rare node types through the row compiler."""
+        row_fn = compile_expr(node, layout, params)
+        def f_fallback(cols, n, sel):
+            indices = range(n) if sel is None else sel
+            return [row_fn(tuple(col[i] for col in cols)) for i in indices]
+        return f_fallback
+
+    def compile_node(node: ex.BoundExpr) -> BatchFn:
+        if isinstance(node, ex.BConst):
+            return constant(node.value)
+        if isinstance(node, ex.BInterval):
+            return constant(_Interval(node.quantity, node.unit))
+        if isinstance(node, ex.BVar):
+            if node.level != 0:
+                raise ExecutorError(
+                    "correlated variable survived planning (unsupported query shape)"
+                )
+            key = ("r", node.rel, node.col)
+            position = index_of.get(key)
+            if position is None:
+                raise ExecutorError(f"column {key} not in layout {layout}")
+            return column(position)
+        if isinstance(node, ex.BGroupRef):
+            position = index_of.get(("g", node.index))
+            if position is None:
+                raise ExecutorError(f"group ref {node.index} not in layout")
+            return column(position)
+        if isinstance(node, ex.BAggRef):
+            position = index_of.get(("a", node.index))
+            if position is None:
+                raise ExecutorError(f"agg ref {node.index} not in layout")
+            return column(position)
+        if isinstance(node, ex.BTargetRef):
+            position = index_of.get(("t", node.index))
+            if position is None:
+                raise ExecutorError(f"target ref {node.index} not in layout")
+            return column(position)
+        if isinstance(node, ex.BParam):
+            if node.index >= len(params):
+                raise ExecutorError(f"missing InitPlan param {node.index}")
+            return constant(params[node.index])
+        if isinstance(node, ex.BOp):
+            left = compile_node(node.left)
+            right = compile_node(node.right)
+            op = node.op
+            if op == "and":
+                def f_and(cols, n, sel):
+                    a = left(cols, n, sel)
+                    indices = range(n) if sel is None else sel
+                    sub = [i for i, av in zip(indices, a) if av is not False]
+                    if not sub:
+                        return a
+                    b = right(cols, n, sub)
+                    out = list(a)
+                    bi = 0
+                    for j, av in enumerate(out):
+                        if av is not False:
+                            bv = b[bi]
+                            bi += 1
+                            if bv is False:
+                                out[j] = False
+                            elif av is None or bv is None:
+                                out[j] = None
+                            else:
+                                out[j] = True
+                    return out
+                return f_and
+            if op == "or":
+                def f_or(cols, n, sel):
+                    a = left(cols, n, sel)
+                    indices = range(n) if sel is None else sel
+                    sub = [i for i, av in zip(indices, a) if av is not True]
+                    if not sub:
+                        return a
+                    b = right(cols, n, sub)
+                    out = list(a)
+                    bi = 0
+                    for j, av in enumerate(out):
+                        if av is not True:
+                            bv = b[bi]
+                            bi += 1
+                            if bv is True:
+                                out[j] = True
+                            elif av is None or bv is None:
+                                out[j] = None
+                            else:
+                                out[j] = False
+                    return out
+                return f_or
+            if op in _CMP_OPS:
+                py_op = _CMP_OPS[op]
+                def f_cmp(cols, n, sel):
+                    l = left(cols, n, sel)
+                    r = right(cols, n, sel)
+                    return [
+                        None if a is None or b is None else py_op(a, b)
+                        for a, b in zip(l, r)
+                    ]
+                return f_cmp
+            if op in ("+", "-", "*"):
+                # Fast elementwise path; the per-value _Interval check
+                # keeps date arithmetic identical to sql_arith.
+                sign = -1 if op == "-" else 1
+                py_op = {"+": operator.add, "-": operator.sub,
+                         "*": operator.mul}[op]
+                def f_arith(cols, n, sel):
+                    l = left(cols, n, sel)
+                    r = right(cols, n, sel)
+                    return [
+                        None if a is None or b is None
+                        else (
+                            py_op(a, b)
+                            if type(b) is not _Interval
+                            else sql_arith(op, a, b)
+                        )
+                        for a, b in zip(l, r)
+                    ]
+                return f_arith
+            def f_arith_slow(cols, n, sel):
+                l = left(cols, n, sel)
+                r = right(cols, n, sel)
+                return [sql_arith(op, a, b) for a, b in zip(l, r)]
+            return f_arith_slow
+        if isinstance(node, ex.BNot):
+            operand = compile_node(node.operand)
+            def f_not(cols, n, sel):
+                return [
+                    None if v is None else not v
+                    for v in operand(cols, n, sel)
+                ]
+            return f_not
+        if isinstance(node, ex.BCase):
+            whens = [(compile_node(c), compile_node(r)) for c, r in node.whens]
+            else_fn = (
+                compile_node(node.else_result)
+                if node.else_result is not None
+                else None
+            )
+            def f_case(cols, n, sel):
+                rows = list(range(n)) if sel is None else list(sel)
+                out = [None] * len(rows)
+                positions = list(range(len(rows)))
+                for cond, result in whens:
+                    if not rows:
+                        break
+                    cvals = cond(cols, n, rows)
+                    hit_pos = [p for p, cv in zip(positions, cvals) if cv is True]
+                    if hit_pos:
+                        hit_rows = [r for r, cv in zip(rows, cvals) if cv is True]
+                        rvals = result(cols, n, hit_rows)
+                        for p, v in zip(hit_pos, rvals):
+                            out[p] = v
+                        positions = [
+                            p for p, cv in zip(positions, cvals) if cv is not True
+                        ]
+                        rows = [r for r, cv in zip(rows, cvals) if cv is not True]
+                if rows and else_fn is not None:
+                    evals = else_fn(cols, n, rows)
+                    for p, v in zip(positions, evals):
+                        out[p] = v
+                return out
+            return f_case
+        if isinstance(node, ex.BCast):
+            operand = compile_node(node.operand)
+            coerce = DataType.parse(node.type_name).coerce
+            def f_cast(cols, n, sel):
+                return [coerce(v) for v in operand(cols, n, sel)]
+            return f_cast
+        if isinstance(node, ex.BLike):
+            operand = compile_node(node.operand)
+            match = _like_pattern(node.pattern).match
+            if node.negated:
+                def f_nlike(cols, n, sel):
+                    return [
+                        None if v is None else match(v) is None
+                        for v in operand(cols, n, sel)
+                    ]
+                return f_nlike
+            def f_like(cols, n, sel):
+                return [
+                    None if v is None else match(v) is not None
+                    for v in operand(cols, n, sel)
+                ]
+            return f_like
+        if isinstance(node, ex.BIn):
+            operand = compile_node(node.operand)
+            negated = node.negated
+            if all(isinstance(i, ex.BConst) for i in node.items):
+                # Tuple membership performs the same ==-scan any() did.
+                items = tuple(i.value for i in node.items)
+                def f_in_const(cols, n, sel):
+                    out = []
+                    for v in operand(cols, n, sel):
+                        if v is None:
+                            out.append(None)
+                        else:
+                            found = v in items
+                            out.append((not found) if negated else found)
+                    return out
+                return f_in_const
+            item_fns = [compile_node(i) for i in node.items]
+            def f_in(cols, n, sel):
+                vals = operand(cols, n, sel)
+                rows = list(range(n)) if sel is None else list(sel)
+                out = [None] * len(rows)
+                pending = [
+                    (p, r) for p, (r, v) in enumerate(zip(rows, vals))
+                    if v is not None
+                ]
+                for p, _r in pending:
+                    out[p] = negated  # "not found" until an item matches
+                for item in item_fns:
+                    if not pending:
+                        break
+                    sub_rows = [r for _p, r in pending]
+                    ivals = item(cols, n, sub_rows)
+                    still = []
+                    for (p, r), iv in zip(pending, ivals):
+                        if iv == vals[p]:
+                            out[p] = not negated
+                        else:
+                            still.append((p, r))
+                    pending = still
+                return out
+            return f_in
+        if isinstance(node, ex.BIsNull):
+            operand = compile_node(node.operand)
+            if node.negated:
+                def f_notnull(cols, n, sel):
+                    return [v is not None for v in operand(cols, n, sel)]
+                return f_notnull
+            def f_isnull(cols, n, sel):
+                return [v is None for v in operand(cols, n, sel)]
+            return f_isnull
+        if isinstance(node, ex.BExtract):
+            operand = compile_node(node.operand)
+            part = node.part
+            def f_extract(cols, n, sel):
+                return [
+                    None if v is None else getattr(v, part)
+                    for v in operand(cols, n, sel)
+                ]
+            return f_extract
+        if isinstance(node, ex.BFunc):
+            return compile_function(node)
+        if isinstance(node, ex.BAgg):
+            raise ExecutorError(
+                "raw aggregate reached expression compilation (planner bug)"
+            )
+        if isinstance(node, ex.BSubPlan):
+            raise ExecutorError(
+                "subplan survived decorrelation (unsupported query shape)"
+            )
+        return row_fallback(node)
+
+    def compile_function(node: ex.BFunc) -> BatchFn:
+        args = [compile_node(a) for a in node.args]
+        name = node.name
+        if name == "upper":
+            def f_upper(cols, n, sel):
+                return [
+                    None if v is None else v.upper()
+                    for v in args[0](cols, n, sel)
+                ]
+            return f_upper
+        if name == "lower":
+            def f_lower(cols, n, sel):
+                return [
+                    None if v is None else v.lower()
+                    for v in args[0](cols, n, sel)
+                ]
+            return f_lower
+        if name == "length":
+            def f_length(cols, n, sel):
+                return [
+                    None if v is None else len(v)
+                    for v in args[0](cols, n, sel)
+                ]
+            return f_length
+        if name == "abs":
+            def f_abs(cols, n, sel):
+                return [
+                    None if v is None else abs(v)
+                    for v in args[0](cols, n, sel)
+                ]
+            return f_abs
+        if name == "substring":
+            def f_substring(cols, n, sel):
+                vals = args[0](cols, n, sel)
+                starts = args[1](cols, n, sel)
+                lengths = args[2](cols, n, sel) if len(args) > 2 else None
+                out = []
+                for j, v in enumerate(vals):
+                    if v is None:
+                        out.append(None)
+                        continue
+                    start = int(starts[j]) - 1
+                    if lengths is not None:
+                        out.append(v[start : start + int(lengths[j])])
+                    else:
+                        out.append(v[start:])
+                return out
+            return f_substring
+        if name == "round":
+            def f_round(cols, n, sel):
+                vals = args[0](cols, n, sel)
+                digits = args[1](cols, n, sel) if len(args) > 1 else None
+                return [
+                    None if v is None
+                    else round(v, int(digits[j]) if digits is not None else 0)
+                    for j, v in enumerate(vals)
+                ]
+            return f_round
+        if name == "coalesce":
+            def f_coalesce(cols, n, sel):
+                rows = list(range(n)) if sel is None else list(sel)
+                out = [None] * len(rows)
+                positions = list(range(len(rows)))
+                for arg in args:
+                    if not rows:
+                        break
+                    vals = arg(cols, n, rows)
+                    next_pos = []
+                    next_rows = []
+                    for p, r, v in zip(positions, rows, vals):
+                        if v is not None:
+                            out[p] = v
+                        else:
+                            next_pos.append(p)
+                            next_rows.append(r)
+                    positions, rows = next_pos, next_rows
+                return out
+            return f_coalesce
+        if name == "nullif":
+            def f_nullif(cols, n, sel):
+                avals = args[0](cols, n, sel)
+                bvals = args[1](cols, n, sel)
+                return [None if a == b else a for a, b in zip(avals, bvals)]
             return f_nullif
         raise ExecutorError(f"unknown function {name!r}")
 

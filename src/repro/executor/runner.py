@@ -24,7 +24,13 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.catalog.schema import hash_values
 from repro.errors import ExecutorError
 from repro.executor.aggregates import make_state
-from repro.executor.expr import compile_expr, estimate_row_bytes
+from repro.executor.batch import rows_of
+from repro.executor.expr import (
+    RowSizer,
+    compile_expr,
+    compile_expr_batch,
+    estimate_row_bytes,
+)
 from repro.planner import exprs as ex
 from repro.planner.physical import (
     ExternalScan,
@@ -58,8 +64,16 @@ class ExecutionContext:
     #: scan_provider(table_source, partitions, segment_id, columns, acc)
     #: -> iterable of schema-shaped tuples for that segment.
     scan_provider: Callable = None
+    #: batch_scan_provider(table_source, partitions, segment_id, columns,
+    #: acc) -> iterator of (row_count, {column_index: values}) blocks, or
+    #: None when the source cannot serve column blocks (row fallback).
+    batch_scan_provider: Callable = None
     #: external_provider(table_source, segment_id, columns, pushed, acc)
     external_provider: Callable = None
+    #: 'batch' routes SeqScan/Filter/Project through the vectorized
+    #: path (identical results and identical simulated charges); 'row'
+    #: forces tuple-at-a-time execution everywhere.
+    executor_mode: str = "row"
     params: List[object] = field(default_factory=list)
     #: 'udp' or 'tcp' — which interconnect carries the motions.
     interconnect: str = "udp"
@@ -181,7 +195,7 @@ class _PlanRunner:
             for segment in _gang_segments(self.plan, plan_slice, self.ctx):
                 acc = CostAccumulator(self.ctx.cost_model)
                 self.accumulators[(plan_slice.slice_id, segment)] = acc
-                rows = self._run_node(plan_slice.root, segment, acc)
+                rows = self._input_rows(plan_slice.root, segment, acc)
                 if is_top:
                     result.extend(rows)
                 else:
@@ -257,6 +271,135 @@ class _PlanRunner:
             return self._run_result(node, segment, acc)
         raise ExecutorError(f"no executor for {type(node).__name__}")
 
+    # ------------------------------------------------------------- batch path
+    def _input_rows(
+        self, node: PlanNode, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        """Row view of a child: the vectorized pipeline when available
+        (flattened back to tuples at this boundary), else the row path."""
+        if self.ctx.executor_mode == "batch":
+            batches = self._run_node_batches(node, segment, acc)
+            if batches is not None:
+                return self._flatten_batches(batches)
+        return self._run_node(node, segment, acc)
+
+    @staticmethod
+    def _flatten_batches(batches) -> Iterator[tuple]:
+        for cols, n in batches:
+            yield from rows_of(cols, n)
+
+    def _run_node_batches(
+        self, node: PlanNode, segment: int, acc: CostAccumulator
+    ):
+        """Vectorized execution of a subtree, or None if unsupported.
+
+        Yields ``(cols, n)`` pairs: column vectors in ``node.layout``
+        order. Simulated charges mirror the row operators exactly,
+        including the trailing per-operator CPU charge being skipped
+        when a consumer (LIMIT) abandons the stream.
+        """
+        if self.ctx.executor_mode != "batch":
+            return None
+        if isinstance(node, SeqScan):
+            return self._scan_batches(node, segment, acc)
+        if isinstance(node, SubqueryScan):
+            # Pass-through: positions are unchanged, only labels differ.
+            return self._run_node_batches(node.child, segment, acc)
+        if isinstance(node, Filter):
+            return self._filter_batches(node, segment, acc)
+        if isinstance(node, Project):
+            return self._project_batches(node, segment, acc)
+        return None
+
+    def _scan_batches(self, node: SeqScan, segment: int, acc: CostAccumulator):
+        provider = self.ctx.batch_scan_provider
+        if provider is None:
+            return None
+        source = provider(
+            node.table, node.partitions, segment, node.columns, acc
+        )
+        if source is None:
+            return None
+        predicate = (
+            compile_expr_batch(
+                node.filter, self._scan_layout(node), self.ctx.params
+            )
+            if node.filter is not None
+            else None
+        )
+        ncols = len(node.table.schema.columns)
+        out_positions = list(node.columns)
+
+        def gen():
+            count = 0
+            for row_count, vectors in source:
+                count += row_count
+                if predicate is None:
+                    yield [vectors[c] for c in out_positions], row_count
+                    continue
+                # The scan filter is compiled against the full table row
+                # shape; the planner guarantees every referenced column
+                # is decoded, so unrequested positions never get read.
+                # Undecoded columns share one NULL vector — the same
+                # None placeholders the row-path provider materializes.
+                placeholder = [None] * row_count
+                full = [vectors.get(c, placeholder) for c in range(ncols)]
+                mask = predicate(full, row_count, None)
+                sel = [i for i, m in enumerate(mask) if m is True]
+                if len(sel) == row_count:
+                    yield [vectors[c] for c in out_positions], row_count
+                elif sel:
+                    yield [
+                        [vectors[c][i] for i in sel] for c in out_positions
+                    ], len(sel)
+            acc.cpu_tuples(count, ncolumns=len(node.columns))
+
+        return gen()
+
+    def _filter_batches(
+        self, node: Filter, segment: int, acc: CostAccumulator
+    ):
+        child = self._run_node_batches(node.child, segment, acc)
+        if child is None:
+            return None
+        predicate = compile_expr_batch(
+            node.cond, node.child.layout, self.ctx.params
+        )
+
+        def gen():
+            count = 0
+            for cols, n in child:
+                count += n
+                mask = predicate(cols, n, None)
+                sel = [i for i, m in enumerate(mask) if m is True]
+                if len(sel) == n:
+                    yield cols, n
+                elif sel:
+                    yield [[col[i] for i in sel] for col in cols], len(sel)
+            acc.cpu_tuples(count, weight=0.5)
+
+        return gen()
+
+    def _project_batches(
+        self, node: Project, segment: int, acc: CostAccumulator
+    ):
+        child = self._run_node_batches(node.child, segment, acc)
+        if child is None:
+            return None
+        fns = [
+            compile_expr_batch(e, node.child.layout, self.ctx.params)
+            for e in node.exprs
+        ]
+
+        def gen():
+            count = 0
+            for cols, n in child:
+                count += n
+                yield [fn(cols, n, None) for fn in fns], n
+            acc.cpu_tuples(count, ncolumns=len(fns))
+
+        return gen()
+
     # ------------------------------------------------------------------ scans
     def _run_seqscan(
         self, node: SeqScan, segment: int, acc: CostAccumulator
@@ -317,9 +460,10 @@ class _PlanRunner:
         sent_bytes = 0
         count = 0
         slice_id = self._slice_of(node)
-        for row in self._run_node(node.child, segment, acc):
+        sizer = RowSizer()
+        for row in self._input_rows(node.child, segment, acc):
             count += 1
-            size = estimate_row_bytes(row)
+            size = sizer(row)
             if node.kind == "gather":
                 targets = [receivers[0]]
             elif node.kind == "broadcast":
@@ -402,14 +546,6 @@ class _PlanRunner:
     def _run_hash_join(
         self, node: HashJoin, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
-        left_fns = [
-            compile_expr(e, node.left.layout, self.ctx.params)
-            for e in node.left_keys
-        ]
-        right_fns = [
-            compile_expr(e, node.right.layout, self.ctx.params)
-            for e in node.right_keys
-        ]
         residual = (
             compile_expr(node.residual, node.layout_for_residual(), self.ctx.params)
             if node.residual is not None
@@ -419,13 +555,15 @@ class _PlanRunner:
         table: Dict[tuple, List[tuple]] = defaultdict(list)
         build_count = 0
         build_bytes = 0
-        for row in self._run_node(node.right, segment, acc):
-            key = tuple(fn(row) for fn in right_fns)
+        sizer = RowSizer()
+        for row, key in self._keyed_rows(
+            node.right, node.right_keys, segment, acc
+        ):
             if any(k is None for k in key):
                 continue  # NULL never matches an equality key
             table[key].append(row)
             build_count += 1
-            build_bytes += estimate_row_bytes(row)
+            build_bytes += sizer(row)
         acc.cpu_tuples(build_count, weight=1.2)
         self._charge_spill(acc, build_bytes)
 
@@ -433,9 +571,10 @@ class _PlanRunner:
         out_count = 0
         join_type = node.join_type
         pad = (None,) * len(node.right.layout)
-        for row in self._run_node(node.left, segment, acc):
+        for row, key in self._keyed_rows(
+            node.left, node.left_keys, segment, acc
+        ):
             probe_count += 1
-            key = tuple(fn(row) for fn in left_fns)
             matches = table.get(key, []) if not any(k is None for k in key) else []
             if residual is not None and matches:
                 matches = [m for m in matches if residual(row + m) is True]
@@ -464,10 +603,41 @@ class _PlanRunner:
         acc.cpu_tuples(probe_count, weight=1.0)
         acc.cpu_tuples(out_count, weight=0.3)
 
+    def _keyed_rows(
+        self,
+        node: PlanNode,
+        key_exprs: List[ex.BoundExpr],
+        segment: int,
+        acc: CostAccumulator,
+    ) -> Iterator[Tuple[tuple, tuple]]:
+        """Yield ``(row, key)`` pairs for a join input, extracting keys
+        with batch kernels when the child produces column batches."""
+        if self.ctx.executor_mode == "batch":
+            batches = self._run_node_batches(node, segment, acc)
+            if batches is not None:
+                key_fns = [
+                    compile_expr_batch(e, node.layout, self.ctx.params)
+                    for e in key_exprs
+                ]
+                for cols, n in batches:
+                    if key_fns:
+                        key_cols = [fn(cols, n, None) for fn in key_fns]
+                        yield from zip(rows_of(cols, n), zip(*key_cols))
+                    else:
+                        empty = ()
+                        for row in rows_of(cols, n):
+                            yield row, empty
+                return
+        fns = [
+            compile_expr(e, node.layout, self.ctx.params) for e in key_exprs
+        ]
+        for row in self._run_node(node, segment, acc):
+            yield row, tuple(fn(row) for fn in fns)
+
     def _run_nest_loop(
         self, node: NestLoopJoin, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
-        inner = list(self._run_node(node.right, segment, acc))
+        inner = list(self._input_rows(node.right, segment, acc))
         cond = (
             compile_expr(node.cond, node.layout_for_residual(), self.ctx.params)
             if node.cond is not None
@@ -476,7 +646,7 @@ class _PlanRunner:
         pad = (None,) * len(node.right.layout)
         outer_count = 0
         comparisons = 0
-        for row in self._run_node(node.left, segment, acc):
+        for row in self._input_rows(node.left, segment, acc):
             outer_count += 1
             matches = []
             for inner_row in inner:
@@ -506,16 +676,13 @@ class _PlanRunner:
         self, node: HashAgg, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
         child_layout = node.child.layout
-        key_fns = [
-            compile_expr(e, child_layout, self.ctx.params) for e in node.group_keys
-        ]
         phase = node.phase
         nkeys = len(node.group_keys)
         if phase == "final":
             # Input rows are (group values..., states...) from partials.
             groups: Dict[tuple, List] = {}
             count = 0
-            for row in self._run_node(node.child, segment, acc):
+            for row in self._input_rows(node.child, segment, acc):
                 count += 1
                 key = row[:nkeys]
                 states = row[nkeys:]
@@ -530,25 +697,63 @@ class _PlanRunner:
                 yield key + tuple(state.finalize() for state in states)
             return
 
-        arg_fns = [
-            compile_expr(a.arg, child_layout, self.ctx.params)
-            if a.arg is not None
-            else None
-            for a in node.aggs
-        ]
         groups = {}
         count = 0
         group_bytes = 0
-        for row in self._run_node(node.child, segment, acc):
-            count += 1
-            key = tuple(fn(row) for fn in key_fns)
-            states = groups.get(key)
-            if states is None:
-                states = [make_state(a) for a in node.aggs]
-                groups[key] = states
-                group_bytes += estimate_row_bytes(key) + 16 * len(states)
-            for state, arg_fn in zip(states, arg_fns):
-                state.accumulate(arg_fn(row) if arg_fn is not None else 1)
+        sizer = RowSizer()
+        batches = self._run_node_batches(node.child, segment, acc)
+        if batches is not None:
+            # Vectorized accumulation: group keys and aggregate arguments
+            # are evaluated over whole batches, then folded per row.
+            key_fns_b = [
+                compile_expr_batch(e, child_layout, self.ctx.params)
+                for e in node.group_keys
+            ]
+            arg_fns_b = [
+                compile_expr_batch(a.arg, child_layout, self.ctx.params)
+                if a.arg is not None
+                else None
+                for a in node.aggs
+            ]
+            for cols, n in batches:
+                count += n
+                if key_fns_b:
+                    keys = list(zip(*(fn(cols, n, None) for fn in key_fns_b)))
+                else:
+                    keys = [()] * n
+                arg_vecs = [
+                    fn(cols, n, None) if fn is not None else None
+                    for fn in arg_fns_b
+                ]
+                for i, key in enumerate(keys):
+                    states = groups.get(key)
+                    if states is None:
+                        states = [make_state(a) for a in node.aggs]
+                        groups[key] = states
+                        group_bytes += sizer(key) + 16 * len(states)
+                    for state, vec in zip(states, arg_vecs):
+                        state.accumulate(vec[i] if vec is not None else 1)
+        else:
+            key_fns = [
+                compile_expr(e, child_layout, self.ctx.params)
+                for e in node.group_keys
+            ]
+            arg_fns = [
+                compile_expr(a.arg, child_layout, self.ctx.params)
+                if a.arg is not None
+                else None
+                for a in node.aggs
+            ]
+            for row in self._run_node(node.child, segment, acc):
+                count += 1
+                key = tuple(fn(row) for fn in key_fns)
+                states = groups.get(key)
+                if states is None:
+                    states = [make_state(a) for a in node.aggs]
+                    groups[key] = states
+                    group_bytes += sizer(key) + 16 * len(states)
+                for state, arg_fn in zip(states, arg_fns):
+                    state.accumulate(arg_fn(row) if arg_fn is not None else 1)
         acc.cpu_tuples(count, weight=1.2 + 0.3 * len(node.aggs))
         self._charge_spill(acc, group_bytes)
         if not groups and not node.group_keys and node.aggs:
@@ -565,7 +770,7 @@ class _PlanRunner:
     def _run_sort(
         self, node: Sort, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
-        rows = list(self._run_node(node.child, segment, acc))
+        rows = list(self._input_rows(node.child, segment, acc))
         key_fns = [
             (
                 compile_expr(k.expr, node.child.layout, self.ctx.params),
@@ -574,7 +779,10 @@ class _PlanRunner:
             )
             for k in node.keys
         ]
-        # Stable multi-key sort: apply keys right-to-left.
+        # Stable multi-key sort: apply keys right-to-left. Each pass
+        # evaluates its key expression once per row up front and sorts an
+        # index array over the decorated values, so the per-comparison
+        # path never re-enters the compiled closure chain.
         for fn, ascending, nulls_first in reversed(key_fns):
             if nulls_first is None:
                 # PostgreSQL defaults: NULLS LAST ascending, FIRST descending.
@@ -584,25 +792,30 @@ class _PlanRunner:
             else:
                 # The whole sort is reversed, so the bucket order flips too.
                 null_bucket = 2 if nulls_first else 0
-
-            def sort_key(row, fn=fn, null_bucket=null_bucket):
-                value = fn(row)
-                if value is None:
-                    return (null_bucket, 0)
-                return (1, value)
-
-            rows.sort(key=sort_key, reverse=not ascending)
+            decorated = [
+                (null_bucket, 0) if value is None else (1, value)
+                for value in map(fn, rows)
+            ]
+            # sorted(reverse=True) keeps equal elements in their original
+            # order, so descending passes stay stable too.
+            order = sorted(
+                range(len(rows)),
+                key=decorated.__getitem__,
+                reverse=not ascending,
+            )
+            rows = [rows[i] for i in order]
         count = len(rows)
         if count > 1:
             acc.cpu_tuples(count, weight=0.25 * math.log2(count))
-        self._charge_spill(acc, sum(estimate_row_bytes(r) for r in rows))
+        sizer = RowSizer()
+        self._charge_spill(acc, sum(sizer(r) for r in rows))
         return iter(rows)
 
     def _run_limit(
         self, node: Limit, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
         produced = 0
-        for row in self._run_node(node.child, segment, acc):
+        for row in self._input_rows(node.child, segment, acc):
             if produced >= node.count:
                 break
             produced += 1

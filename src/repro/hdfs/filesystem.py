@@ -78,6 +78,11 @@ class Hdfs:
         self.block_size = block_size
         self.replication = replication
         self._inodes: Dict[str, _INode] = {}
+        #: Per-path mutation counter consumed by the block decode cache.
+        #: Bumped only when previously written bytes can change or vanish
+        #: (truncate, delete, rename) — appends never rewrite old offsets,
+        #: so they leave the epoch alone and cached prefixes stay valid.
+        self._write_epochs: Dict[str, int] = {}
         self._datanodes: Dict[str, DataNode] = {}
         self._block_ids = itertools.count(1)
         self._rng = DeterministicRng(seed, "hdfs")
@@ -116,12 +121,22 @@ class Hdfs:
             for host in block.hosts:
                 self._datanodes[host].drop_block(block.block_id)
         del self._inodes[path]
+        self.bump_write_epoch(path)
 
     def rename(self, src: str, dst: str) -> None:
         if dst in self._inodes:
             raise FileAlreadyExists(dst)
         self._inodes[dst] = self._inodes.pop(src)
         self._inodes[dst].path = dst
+        self.bump_write_epoch(src)
+        self.bump_write_epoch(dst)
+
+    def write_epoch(self, path: str) -> int:
+        """Mutation counter for ``path`` (cache-invalidation token)."""
+        return self._write_epochs.get(path, 0)
+
+    def bump_write_epoch(self, path: str) -> None:
+        self._write_epochs[path] = self._write_epochs.get(path, 0) + 1
 
     def block_locations(self, path: str) -> List[BlockLocation]:
         inode = self._inode(path)
@@ -299,6 +314,10 @@ class HdfsClient:
     def delete(self, path: str) -> None:
         self.fs.delete(path)
 
+    def write_epoch(self, path: str) -> int:
+        """See :meth:`Hdfs.write_epoch`."""
+        return self.fs.write_epoch(path)
+
     # ------------------------------------------------------------- truncate
     def truncate(self, path: str, length: int) -> None:
         """Truncate ``path`` to exactly ``length`` bytes (paper 5.3).
@@ -316,6 +335,10 @@ class HdfsClient:
                 )
             if length == inode.length:
                 return
+            # Bytes beyond ``length`` are about to disappear (and may be
+            # re-appended with different content): invalidate cached
+            # decodes of this file.
+            self.fs.bump_write_epoch(path)
             kept: List[BlockInfo] = []
             consumed = 0
             partial: Optional[BlockInfo] = None

@@ -19,8 +19,10 @@ from repro.storage.base import (
     WriteResult,
     batched,
     iter_blocks,
+    iter_framed_blocks,
     pack_block,
 )
+from repro.storage.cache import CachedBlock
 from repro.storage.compression import get_codec
 
 name = "ao"
@@ -67,6 +69,7 @@ def scan(
     codec_name: str = "none",
     columns: Optional[Sequence[int]] = None,
     stats: Optional[ScanStats] = None,
+    cache=None,
 ) -> Iterator[Tuple[object, ...]]:
     """Scan rows up to each path's logical length.
 
@@ -74,13 +77,116 @@ def scan(
     whole rows regardless; projection happens above. ``paths`` maps the
     data file to its transaction-visible logical length.
     """
+    codec = get_codec(codec_name)
     for path, logical_length in paths.items():
         if logical_length <= 0:
             continue
+        if cache is None:
+            data = client.read_file(path, logical_length)
+            for row_count, payload in iter_blocks(data, codec, stats):
+                offset = 0
+                for _ in range(row_count):
+                    row, offset = schema.decode_row(payload, offset)
+                    yield row
+        else:
+            for rows in _row_blocks(
+                client, path, logical_length, schema, codec, codec_name,
+                stats, cache,
+            ):
+                yield from rows
+
+
+def scan_blocks(
+    client: HdfsClient,
+    paths: Dict[str, int],
+    schema: TableSchema,
+    codec_name: str = "none",
+    columns: Optional[Sequence[int]] = None,
+    stats: Optional[ScanStats] = None,
+    cache=None,
+) -> Iterator[Tuple[int, Dict[int, List[object]]]]:
+    """Yield ``(row_count, {column_index: values})`` per block. AO must
+    decode whole rows, so every column is present in the dict."""
+    ncols = len(schema.columns)
+    codec = get_codec(codec_name)
+    for path, logical_length in paths.items():
+        if logical_length <= 0:
+            continue
+        for rows in _row_blocks(
+            client, path, logical_length, schema, codec, codec_name,
+            stats, cache,
+        ):
+            if not rows:
+                continue
+            vectors = [list(col) for col in zip(*rows)]
+            yield len(rows), {i: vectors[i] for i in range(ncols)}
+
+
+def _row_blocks(
+    client: HdfsClient,
+    path: str,
+    logical_length: int,
+    schema: TableSchema,
+    codec,
+    codec_name: str,
+    stats: Optional[ScanStats],
+    cache,
+) -> Iterator[List[Tuple[object, ...]]]:
+    """Yield each block's rows as a list, serving/filling the decode
+    cache when one is provided (see ``storage/cache.py``)."""
+    if cache is None:
         data = client.read_file(path, logical_length)
-        codec = get_codec(codec_name)
         for row_count, payload in iter_blocks(data, codec, stats):
+            rows: List[Tuple[object, ...]] = []
             offset = 0
             for _ in range(row_count):
                 row, offset = schema.decode_row(payload, offset)
-                yield row
+                rows.append(row)
+            yield rows
+        return
+    key = ("ao", path, client.write_epoch(path), codec_name)
+    entry = cache.open_entry(key)
+    served = 0
+    for block in entry.blocks:
+        if served + block.compressed_bytes > logical_length:
+            break
+        cache.replay(block, stats)
+        served += block.compressed_bytes
+        yield block.data
+    if served >= logical_length:
+        return
+    reader = client.open(path)
+    reader.seek(served)
+    remote_before = client.remote_bytes_read
+    data = reader.read(logical_length - served)
+    remote_total = client.remote_bytes_read - remote_before
+    tail_len = len(data)
+    consumed = 0
+    for row_count, payload, framed, uncompressed in iter_framed_blocks(
+        data, codec, stats
+    ):
+        start = consumed
+        consumed += framed
+        remote = (
+            remote_total * consumed // tail_len
+            - remote_total * start // tail_len
+        )
+        rows = []
+        offset = 0
+        for _ in range(row_count):
+            row, offset = schema.decode_row(payload, offset)
+            rows.append(row)
+        if entry.end_offset == served + start:
+            before = entry.nbytes
+            entry.append(
+                CachedBlock(
+                    row_count=row_count,
+                    compressed_bytes=framed,
+                    uncompressed_bytes=uncompressed,
+                    remote_bytes=remote,
+                    data=rows,
+                )
+            )
+            cache.misses += 1
+            cache.account(entry, entry.nbytes - before)
+        yield rows

@@ -40,6 +40,13 @@ class ScanStats:
     uncompressed_bytes: int = 0
     rows: int = 0
     blocks: int = 0
+    #: Bytes served by a non-local HDFS replica (folded into the engine's
+    #: network charge; lets the decode cache replay remote reads on hits).
+    remote_bytes: int = 0
+    #: Work *skipped* thanks to decode-cache hits when the engine's
+    #: ``cache_simulated_costs`` knob is off — never charged to the model.
+    cached_compressed_bytes: int = 0
+    cached_uncompressed_bytes: int = 0
 
 
 def pack_block(payload: bytes, row_count: int, codec: Codec) -> bytes:
@@ -80,6 +87,34 @@ def iter_blocks(
             stats.rows += rows
             stats.blocks += 1
         yield rows, payload
+
+
+def iter_framed_blocks(
+    data: bytes, codec: Codec, stats: Optional[ScanStats] = None
+) -> Iterator[Tuple[int, bytes, int, int]]:
+    """Like :func:`iter_blocks` but also yields each block's framed
+    on-disk size (header + compressed payload) and uncompressed length:
+    ``(row_count, payload, framed_size, uncompressed_len)``. The decode
+    cache needs framed sizes to track file-offset coverage."""
+    offset = 0
+    while offset < len(data):
+        if offset + BLOCK_HEADER_SIZE > len(data):
+            raise StorageError("truncated block header")
+        rows, uncompressed_len, compressed_len = unpack_block_header(data, offset)
+        offset += BLOCK_HEADER_SIZE
+        compressed = data[offset : offset + compressed_len]
+        if len(compressed) != compressed_len:
+            raise StorageError("truncated block payload")
+        offset += compressed_len
+        payload = codec.decompress(compressed)
+        if len(payload) != uncompressed_len:
+            raise StorageError("block failed decompression length check")
+        if stats is not None:
+            stats.compressed_bytes += BLOCK_HEADER_SIZE + compressed_len
+            stats.uncompressed_bytes += uncompressed_len
+            stats.rows += rows
+            stats.blocks += 1
+        yield rows, payload, BLOCK_HEADER_SIZE + compressed_len, uncompressed_len
 
 
 # ------------------------------------------------------- column-vector codec

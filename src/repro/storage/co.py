@@ -21,8 +21,10 @@ from repro.storage.base import (
     decode_column,
     encode_column,
     iter_blocks,
+    iter_framed_blocks,
     pack_block,
 )
+from repro.storage.cache import CachedBlock
 from repro.storage.compression import get_codec
 
 name = "co"
@@ -76,12 +78,34 @@ def scan(
     codec_name: str = "none",
     columns: Optional[Sequence[int]] = None,
     stats: Optional[ScanStats] = None,
+    cache=None,
 ) -> Iterator[Tuple[object, ...]]:
     """Scan, decoding only the requested columns.
 
     Unrequested columns come back as None placeholders so tuple shape
     matches the schema (the executor projects by position).
     """
+    ncols = len(schema.columns)
+    for row_count, vectors in scan_blocks(
+        client, paths, schema, codec_name, columns, stats, cache
+    ):
+        for r in range(row_count):
+            yield tuple(
+                vectors[i][r] if i in vectors else None for i in range(ncols)
+            )
+
+
+def scan_blocks(
+    client: HdfsClient,
+    paths: Dict[str, int],
+    schema: TableSchema,
+    codec_name: str = "none",
+    columns: Optional[Sequence[int]] = None,
+    stats: Optional[ScanStats] = None,
+    cache=None,
+) -> Iterator[Tuple[int, Dict[int, List[object]]]]:
+    """Yield ``(row_count, {column_index: values})`` per storage block,
+    only for the requested columns — the batch executor's scan entry."""
     ncols = len(schema.columns)
     wanted = sorted(set(columns)) if columns is not None else list(range(ncols))
     if not wanted:
@@ -101,7 +125,8 @@ def scan(
             raise StorageError(f"missing column file for column {index}")
         path, logical_length = by_column[index]
         iterators[index] = _column_blocks(
-            client, path, logical_length, schema, index, codec, stats
+            client, path, logical_length, schema, index, codec, codec_name,
+            stats, cache,
         )
     while True:
         vectors: Dict[int, List[object]] = {}
@@ -120,10 +145,7 @@ def scan(
         if done:
             break
         assert row_count is not None
-        for r in range(row_count):
-            yield tuple(
-                vectors[i][r] if i in vectors else None for i in range(ncols)
-            )
+        yield row_count, vectors
 
 
 def _column_blocks(
@@ -133,12 +155,66 @@ def _column_blocks(
     schema: TableSchema,
     column_index: int,
     codec,
+    codec_name: str,
     stats: Optional[ScanStats],
+    cache,
 ) -> Iterator[List[object]]:
     if logical_length <= 0:
         return
-    data = client.read_file(path, logical_length)
     column = schema.columns[column_index]
-    for row_count, payload in iter_blocks(data, codec, stats):
+    if cache is None:
+        data = client.read_file(path, logical_length)
+        for row_count, payload in iter_blocks(data, codec, stats):
+            values, _ = decode_column(payload, 0, row_count, column)
+            yield values
+        return
+    key = ("co", path, client.write_epoch(path), codec_name)
+    entry = cache.open_entry(key)
+    # Serve the cached prefix up to the transaction-visible length (the
+    # logical length always falls on a block boundary: appends write
+    # whole blocks).
+    served = 0
+    for block in entry.blocks:
+        if served + block.compressed_bytes > logical_length:
+            break
+        cache.replay(block, stats)
+        served += block.compressed_bytes
+        yield block.data
+    if served >= logical_length:
+        return
+    # Decode (and cache) the appended tail only. Decoding stays lazy so
+    # a consumer that abandons the scan charges exactly what the row
+    # path would.
+    reader = client.open(path)
+    reader.seek(served)
+    remote_before = client.remote_bytes_read
+    data = reader.read(logical_length - served)
+    remote_total = client.remote_bytes_read - remote_before
+    tail_len = len(data)
+    consumed = 0
+    for row_count, payload, framed, uncompressed in iter_framed_blocks(
+        data, codec, stats
+    ):
+        start = consumed
+        consumed += framed
+        # Telescoping proportional split of the tail read's remote bytes
+        # over its blocks — exact-summing without knowing the block count.
+        remote = (
+            remote_total * consumed // tail_len
+            - remote_total * start // tail_len
+        )
         values, _ = decode_column(payload, 0, row_count, column)
+        if entry.end_offset == served + start:  # still contiguous: cacheable
+            before = entry.nbytes
+            entry.append(
+                CachedBlock(
+                    row_count=row_count,
+                    compressed_bytes=framed,
+                    uncompressed_bytes=uncompressed,
+                    remote_bytes=remote,
+                    data=values,
+                )
+            )
+            cache.misses += 1
+            cache.account(entry, entry.nbytes - before)
         yield values

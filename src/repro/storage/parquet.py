@@ -30,6 +30,7 @@ from repro.storage.base import (
     decode_column,
     encode_column,
 )
+from repro.storage.cache import CachedBlock
 from repro.storage.compression import get_codec
 
 name = "parquet"
@@ -88,8 +89,34 @@ def scan(
     codec_name: str = "none",
     columns: Optional[Sequence[int]] = None,
     stats: Optional[ScanStats] = None,
+    cache=None,
 ) -> Iterator[Tuple[object, ...]]:
     """Scan row groups, reading only the projected columns' chunks."""
+    ncols = len(schema.columns)
+    for row_count, vectors in scan_blocks(
+        client, paths, schema, codec_name, columns, stats, cache
+    ):
+        for r in range(row_count):
+            yield tuple(
+                vectors[i][r] if i in vectors else None for i in range(ncols)
+            )
+
+
+def scan_blocks(
+    client: HdfsClient,
+    paths: Dict[str, int],
+    schema: TableSchema,
+    codec_name: str = "none",
+    columns: Optional[Sequence[int]] = None,
+    stats: Optional[ScanStats] = None,
+    cache=None,
+) -> Iterator[Tuple[int, Dict[int, List[object]]]]:
+    """Yield ``(row_count, {column_index: values})`` per row group.
+
+    With a decode cache, group headers/directories and decoded column
+    chunks are cached per ``(path, write_epoch)``; chunks for columns a
+    previous scan did not project are decoded (and added) lazily.
+    """
     ncols = len(schema.columns)
     wanted = sorted(set(columns)) if columns is not None else list(range(ncols))
     if not wanted:
@@ -100,8 +127,53 @@ def scan(
             continue
         reader = client.open(path)
         offset = 0
+        if cache is not None:
+            key = ("parquet", path, client.write_epoch(path), codec_name)
+            entry = cache.open_entry(key)
+            # Serve cached row groups inside the visible prefix.
+            for block in entry.blocks:
+                if offset + block.compressed_bytes > logical_length:
+                    break
+                detail = block.detail
+                row_count = block.row_count
+                if stats is not None:
+                    stats.rows += row_count
+                    stats.blocks += 1
+                cache.replay_bytes(
+                    stats, detail["header_bytes"], 0, detail["header_remote"]
+                )
+                vectors: Dict[int, List[object]] = {}
+                directory = detail["directory"]
+                decoded = detail["columns"]
+                chunk_offset = detail["chunks_start"]
+                for i in range(ncols):
+                    uncompressed_len, compressed_len = directory[i]
+                    if i in wanted:
+                        hit = decoded.get(i)
+                        if hit is not None:
+                            values, chunk_remote = hit
+                            cache.replay_bytes(
+                                stats, compressed_len, uncompressed_len,
+                                chunk_remote,
+                            )
+                        else:
+                            values, chunk_remote = _read_chunk(
+                                client, reader, chunk_offset, compressed_len,
+                                uncompressed_len, row_count,
+                                schema.columns[i], codec, stats,
+                            )
+                            decoded[i] = (values, chunk_remote)
+                            added = max(uncompressed_len, 64)
+                            entry.nbytes += added
+                            cache.misses += 1
+                            cache.account(entry, added)
+                        vectors[i] = values
+                    chunk_offset += compressed_len
+                yield row_count, vectors
+                offset += block.compressed_bytes
         while offset < logical_length:
             reader.seek(offset)
+            remote_before = client.remote_bytes_read
             header = reader.read(_GROUP_HEADER.size)
             if len(header) < _GROUP_HEADER.size:
                 raise StorageError("truncated row-group header")
@@ -111,6 +183,7 @@ def scan(
             if file_ncols != ncols:
                 raise StorageError("row group column count != schema")
             directory_raw = reader.read(_CHUNK_DIR.size * ncols)
+            header_remote = client.remote_bytes_read - remote_before
             directory = [
                 _CHUNK_DIR.unpack_from(directory_raw, i * _CHUNK_DIR.size)
                 for i in range(ncols)
@@ -120,24 +193,69 @@ def scan(
                 stats.compressed_bytes += _GROUP_HEADER.size + len(directory_raw)
                 stats.rows += row_count
                 stats.blocks += 1
-            vectors: Dict[int, List[object]] = {}
+            vectors = {}
+            decoded = {}
             chunk_offset = chunks_start
             for i in range(ncols):
                 uncompressed_len, compressed_len = directory[i]
                 if i in wanted:
-                    reader.seek(chunk_offset)
-                    compressed = reader.read(compressed_len)
-                    payload = codec.decompress(compressed)
-                    if len(payload) != uncompressed_len:
-                        raise StorageError("chunk failed decompression check")
-                    values, _ = decode_column(payload, 0, row_count, schema.columns[i])
+                    values, chunk_remote = _read_chunk(
+                        client, reader, chunk_offset, compressed_len,
+                        uncompressed_len, row_count, schema.columns[i],
+                        codec, stats,
+                    )
                     vectors[i] = values
-                    if stats is not None:
-                        stats.compressed_bytes += compressed_len
-                        stats.uncompressed_bytes += uncompressed_len
+                    decoded[i] = (values, chunk_remote)
                 chunk_offset += compressed_len
-            for r in range(row_count):
-                yield tuple(
-                    vectors[i][r] if i in vectors else None for i in range(ncols)
+            if cache is not None and entry.end_offset == offset:
+                before = entry.nbytes
+                entry.append(
+                    CachedBlock(
+                        row_count=row_count,
+                        compressed_bytes=chunk_offset - offset,
+                        uncompressed_bytes=0,  # chunk bytes tracked below
+                        remote_bytes=0,
+                        data=None,
+                        detail={
+                            "header_bytes": _GROUP_HEADER.size
+                            + len(directory_raw),
+                            "header_remote": header_remote,
+                            "directory": directory,
+                            "chunks_start": chunks_start,
+                            "columns": decoded,
+                        },
+                    )
                 )
+                entry.nbytes += sum(
+                    max(directory[i][0], 64) for i in decoded
+                )
+                cache.misses += 1
+                cache.account(entry, entry.nbytes - before)
+            yield row_count, vectors
             offset = chunk_offset
+
+
+def _read_chunk(
+    client: HdfsClient,
+    reader,
+    chunk_offset: int,
+    compressed_len: int,
+    uncompressed_len: int,
+    row_count: int,
+    column,
+    codec,
+    stats: Optional[ScanStats],
+) -> Tuple[List[object], int]:
+    """Read + decode one column chunk; returns (values, remote bytes)."""
+    reader.seek(chunk_offset)
+    remote_before = client.remote_bytes_read
+    compressed = reader.read(compressed_len)
+    chunk_remote = client.remote_bytes_read - remote_before
+    payload = codec.decompress(compressed)
+    if len(payload) != uncompressed_len:
+        raise StorageError("chunk failed decompression check")
+    values, _ = decode_column(payload, 0, row_count, column)
+    if stats is not None:
+        stats.compressed_bytes += compressed_len
+        stats.uncompressed_bytes += uncompressed_len
+    return values, chunk_remote

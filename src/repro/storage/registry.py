@@ -4,8 +4,15 @@ Every format module exposes the same interface::
 
     write(client, base_path, rows, schema, codec_name, append, block_rows)
         -> WriteResult
-    scan(client, paths, schema, codec_name, columns, stats)
+    scan(client, paths, schema, codec_name, columns, stats, cache)
         -> Iterator[tuple]
+    scan_blocks(client, paths, schema, codec_name, columns, stats, cache)
+        -> Iterator[(row_count, {column_index: values})]
+
+``scan_blocks`` is the vectorized entry: it yields decoded column
+vectors block-at-a-time for the batch executor. ``cache`` is an
+optional ``storage.cache.BlockDecodeCache`` that both entries use to
+skip re-reading + re-decoding unchanged file prefixes.
 """
 
 from __future__ import annotations

@@ -260,6 +260,29 @@ class TestOperatorsEndToEnd:
         rows = session.query("SELECT b FROM nums ORDER BY b DESC LIMIT 5")
         assert rows[0][0] is None
 
+    def test_sort_multi_key_stable_with_nulls(self, session):
+        rows = session.query(
+            "SELECT t, b, a FROM nums ORDER BY t NULLS LAST, b DESC, a"
+        )
+
+        def reference_key(row):
+            t, b, a = row
+            return (
+                (1, t) if t is not None else (2, ""),  # asc, NULLS LAST
+                (0,) if b is None else (1, -b),        # desc, NULLS FIRST
+                a,
+            )
+
+        assert rows == sorted(rows, key=reference_key)
+        # Same multiset of rows, and ties on (t, b) keep ascending a —
+        # i.e. the later keys really are applied, not just the first.
+        assert sorted(rows, key=repr) == sorted(
+            session.query("SELECT t, b, a FROM nums"), key=repr
+        )
+        for prev, cur in zip(rows, rows[1:]):
+            if prev[0] == cur[0] and prev[1] == cur[1]:
+                assert prev[2] < cur[2]
+
     def test_limit(self, session):
         assert len(session.query("SELECT a FROM nums LIMIT 7")) == 7
 

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and the chaos property suite.
+
+Everything here is seeded: a :class:`FaultPlan` drawn from a seed plus
+the :class:`FaultInjector`'s simulated chaos clock reproduce the same
+faults at the same points of the same workload, every run. See
+``DESIGN.md`` ("Fault injection & recovery") for the mapping from paper
+§2.6 claims to fault kinds and pinning tests.
+"""
+
+from repro.chaos.injector import FaultInjector
+from repro.chaos.netdrill import DEGRADED, DrillReport, run_drill
+from repro.chaos.plan import EVENT_KINDS, FaultEvent, FaultPlan, random_plan
+from repro.chaos.suite import (
+    Baseline,
+    ScheduleReport,
+    build_engine,
+    fault_free_baseline,
+    generate_data,
+    heal,
+    load_workload,
+    orphaned_files,
+    run_schedule,
+    run_smoke,
+    script,
+)
+
+__all__ = [
+    "Baseline",
+    "DEGRADED",
+    "DrillReport",
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "ScheduleReport",
+    "build_engine",
+    "fault_free_baseline",
+    "generate_data",
+    "heal",
+    "load_workload",
+    "orphaned_files",
+    "random_plan",
+    "run_drill",
+    "run_schedule",
+    "run_smoke",
+    "script",
+]

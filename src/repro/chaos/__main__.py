@@ -1,0 +1,58 @@
+"""``python -m repro.chaos``: run a seeded chaos sweep from the shell.
+
+``--smoke`` runs the short tier-1 sweep (a handful of schedules, ~30s);
+``--schedules N`` widens it. Exit status 0 means every chaos property
+held; 1 means at least one violation (printed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.suite import SCALE, run_smoke
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="seeded fault-injection sweep over the TPC-H chaos workload",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the quick tier-1 sweep (default if no flags given)",
+    )
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=5,
+        help="number of seeded fault schedules to run (default 5)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=SCALE,
+        help=f"TPC-H scale factor for the workload (default {SCALE})",
+    )
+    args = parser.parse_args(argv)
+
+    summary = run_smoke(schedules=args.schedules, scale=args.scale)
+    print(
+        f"chaos sweep: {summary['schedules']} schedules, "
+        f"{summary['faults_fired']} faults fired, "
+        f"{summary['clean_failures']} clean failures, "
+        f"{summary['retries']} query restarts, "
+        f"{summary['promotions']} master promotions"
+    )
+    if summary["violations"]:
+        print(f"{len(summary['violations'])} VIOLATIONS:")
+        for violation in summary["violations"]:
+            print(f"  - {violation}")
+        return 1
+    print("all chaos properties held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,327 @@
+"""The chaos property suite: seeded fault schedules over a TPC-H subset.
+
+One *schedule* is: build a small cluster (3 hosts x 2 segments, a warm
+standby master, 3-way HDFS replication), load a TPC-H subset, attach a
+:class:`FaultInjector` carrying a :func:`random_plan` draw, then run a
+fixed script of TPC-H queries interleaved with single-row inserts while
+the plan kills segments, fails disks and DataNodes, crashes the master
+and aborts transactions. The properties asserted per schedule:
+
+* **No wrong answers** — every statement that *returns* must return the
+  fault-free twin's rows bit-identically; a fault may only surface as a
+  clean :class:`~repro.errors.ClusterError`.
+* **No hangs** — simulated cost per statement is bounded, and the
+  interconnect drill's event loop runs under a simulated-clock deadline.
+* **Recovery invariants** — after healing (recover segments, restore
+  DataNodes, let the NameNode re-replicate): the replication factor is
+  restored, the (possibly promoted-standby) catalog answers every query
+  with fault-free rows, committed inserts survive exactly (no lost
+  commits, no resurrected aborts) and no non-empty HDFS file is
+  unreferenced by the catalog (no orphaned segfiles).
+
+The *fault-free twin* doubles as the metronome: an empty-plan injector
+meters how many chaos-clock seconds the script takes, and that horizon
+seeds the random plan so faults land inside the run deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.injector import FaultInjector
+from repro.chaos.netdrill import DrillReport, run_drill
+from repro.chaos.plan import FaultPlan, random_plan
+from repro.engine import Engine
+from repro.errors import ClusterError
+from repro.tpch import QUERIES, create_table_sql, generate
+
+#: TPC-H scale factor for chaos runs: small enough that one schedule is
+#: sub-second, large enough that every segment holds multiple blocks.
+SCALE = 0.0005
+DATA_SEED = 19940601
+#: Tables needed by the query mix (Q1/Q6 on lineitem, Q3 joins all three).
+CHAOS_TABLES = ("customer", "orders", "lineitem")
+#: Chaos-clock seconds charged between statements (dispatch overhead),
+#: kept small so in-query scan pulses are a big slice of the horizon.
+STATEMENT_QUANTUM = 0.01
+#: A statement whose simulated cost exceeds this has hung by any
+#: reasonable reading of the cost model (the whole script costs < 10s).
+SIM_WATCHDOG_SECONDS = 3600.0
+REPLICATION = 3
+
+
+def build_engine(seed: int = 0) -> Engine:
+    """A chaos-sized cluster: small blocks force multi-block files."""
+    return Engine(
+        num_segment_hosts=3,
+        segments_per_host=2,
+        seed=seed,
+        replication=REPLICATION,
+        block_size=16 * 1024,
+    )
+
+
+def generate_data(scale: float = SCALE, seed: int = DATA_SEED):
+    return generate(scale, seed=seed)
+
+
+def load_workload(engine: Engine, data):
+    """Create + load the TPC-H subset and the chaos_log scratch table."""
+    session = engine.connect()
+    for table in CHAOS_TABLES:
+        session.execute(create_table_sql(table))
+        session.load_rows(table, getattr(data, table))
+    session.execute(
+        "CREATE TABLE chaos_log (id INTEGER, note VARCHAR(32)) DISTRIBUTED BY (id)"
+    )
+    session.execute("ANALYZE")
+    return session
+
+
+def script() -> List[Tuple[str, str, str]]:
+    """The fixed statement script every schedule runs: (kind, name, sql)."""
+    return [
+        ("query", "q6", QUERIES[6][0]),
+        ("insert", "ins0", "INSERT INTO chaos_log VALUES (0, 'chaos-0')"),
+        ("query", "q1", QUERIES[1][0]),
+        ("insert", "ins1", "INSERT INTO chaos_log VALUES (1, 'chaos-1')"),
+        ("query", "q3", QUERIES[3][0]),
+        ("insert", "ins2", "INSERT INTO chaos_log VALUES (2, 'chaos-2')"),
+        ("query", "q6-again", QUERIES[6][0]),
+    ]
+
+
+@dataclass
+class Baseline:
+    """The fault-free twin: expected rows per query step + the horizon."""
+
+    expected: Dict[int, List[tuple]]
+    horizon: float
+
+
+@dataclass
+class ScheduleReport:
+    """What one chaos schedule did and whether any property broke."""
+
+    seed: int
+    violations: List[str]
+    clean_failures: List[str]
+    fired: List[Tuple[float, str]]
+    retries: int
+    promoted: bool
+    committed: int
+    drill: Optional[DrillReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def fault_free_baseline(data) -> Baseline:
+    """Run the script with an empty plan: expected rows + chaos horizon."""
+    engine = build_engine()
+    session = load_workload(engine, data)
+    meter = FaultInjector(engine, FaultPlan())
+    engine.attach_chaos(meter)
+    expected: Dict[int, List[tuple]] = {}
+    for index, (kind, _name, sql) in enumerate(script()):
+        result = session.execute(sql)
+        if kind == "query":
+            expected[index] = result.rows
+        meter.pulse(STATEMENT_QUANTUM)
+    meter.detach()
+    return Baseline(expected=expected, horizon=max(meter.clock, STATEMENT_QUANTUM))
+
+
+def run_schedule(seed: int, data, baseline: Baseline) -> ScheduleReport:
+    """Run the script under one seeded fault schedule and check every
+    chaos property; any violation lands in the report's ``violations``."""
+    engine = build_engine()
+    session = load_workload(engine, data)
+    plan = random_plan(
+        seed,
+        baseline.horizon,
+        hosts=engine.hosts,
+        num_segments=engine.num_segments,
+        replication=REPLICATION,
+    )
+    injector = FaultInjector(engine, plan)
+    engine.attach_chaos(injector)
+
+    violations: List[str] = []
+    clean_failures: List[str] = []
+    committed = 0
+    retries = 0
+
+    def quantum() -> None:
+        # Applying a due event can itself run a catalog transaction
+        # (fault detection marking a segment down) and trip a WAL abort
+        # trigger — a clean failure with no statement attached.
+        try:
+            injector.pulse(STATEMENT_QUANTUM)
+        except ClusterError as exc:
+            clean_failures.append(
+                f"between statements: {type(exc).__name__}: {exc}"
+            )
+
+    for index, (kind, name, sql) in enumerate(script()):
+        try:
+            result = session.execute(sql)
+        except ClusterError as exc:
+            # The allowed failure mode: a clean, typed cluster error.
+            clean_failures.append(f"step {index} ({name}): {type(exc).__name__}: {exc}")
+            quantum()
+            continue
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            violations.append(
+                f"step {index} ({name}): NON-CLEAN failure "
+                f"{type(exc).__name__}: {exc}"
+            )
+            quantum()
+            continue
+        retries += result.retries
+        if result.cost.seconds > SIM_WATCHDOG_SECONDS:
+            violations.append(
+                f"step {index} ({name}): simulated hang "
+                f"({result.cost.seconds:.1f}s simulated)"
+            )
+        if kind == "query" and result.rows != baseline.expected[index]:
+            violations.append(f"step {index} ({name}): WRONG ANSWER under faults")
+        if kind == "insert":
+            committed += 1
+        quantum()
+
+    # Fire whatever the plan still holds so heal sees the full fault
+    # state, then stop injecting before recovery runs. Events are popped
+    # before application, so draining past a WAL-trigger abort resumes
+    # with the next event.
+    while True:
+        try:
+            if injector.drain() == 0:
+                break
+        except ClusterError as exc:
+            clean_failures.append(f"during drain: {type(exc).__name__}: {exc}")
+    promoted = engine.standby is None
+    net_conditions = injector.net_conditions
+    engine.chaos = None
+    injector.detach()
+
+    heal(engine)
+    check_recovery_invariants(engine, session, baseline, committed, violations)
+
+    # Packet-level chaos: the paper-§4 UDP protocol must still deliver
+    # exactly-once in-order over the plan's degraded fabric.
+    drill = run_drill(seed, conditions=net_conditions)
+    if not drill.ok:
+        violations.append(
+            f"interconnect drill: delivered {drill.delivered}/{drill.messages},"
+            f" in_order={drill.in_order}"
+        )
+
+    return ScheduleReport(
+        seed=seed,
+        violations=violations,
+        clean_failures=clean_failures,
+        fired=list(injector.fired),
+        retries=retries,
+        promoted=promoted,
+        committed=committed,
+        drill=drill,
+    )
+
+
+def heal(engine: Engine) -> None:
+    """The operator playbook: recover segments, restore DataNodes, let
+    the NameNode re-replicate until nothing is under-replicated."""
+    for segment in engine.segments:
+        if not segment.alive:
+            engine.recover_segment(segment.segment_id)
+    for host, node in engine.hdfs.datanodes.items():
+        if not node.alive:
+            engine.hdfs.restore_datanode(host)
+    for _ in range(4):
+        engine.hdfs.check_replication()
+        if not engine.hdfs.under_replicated():
+            break
+
+
+def check_recovery_invariants(
+    engine: Engine,
+    session,
+    baseline: Baseline,
+    committed: int,
+    violations: List[str],
+) -> None:
+    """Post-heal invariants: replication restored, catalog correct on the
+    serving master, committed data exact, no orphaned segfiles."""
+    under = engine.hdfs.under_replicated()
+    if under:
+        violations.append(f"replication factor not restored for blocks {under}")
+
+    for index, (kind, name, sql) in enumerate(script()):
+        if kind != "query":
+            continue
+        try:
+            rows = session.query(sql)
+        except Exception as exc:  # noqa: BLE001 - post-heal must succeed
+            violations.append(
+                f"post-heal {name}: {type(exc).__name__}: {exc}"
+            )
+            continue
+        if rows != baseline.expected[index]:
+            violations.append(f"post-heal {name}: rows diverge from fault-free run")
+
+    try:
+        count = session.query("SELECT count(*) FROM chaos_log")[0][0]
+    except Exception as exc:  # noqa: BLE001
+        violations.append(f"post-heal chaos_log count: {type(exc).__name__}: {exc}")
+    else:
+        if count != committed:
+            violations.append(
+                f"durability: chaos_log has {count} rows,"
+                f" client saw {committed} commits"
+            )
+
+    orphans = orphaned_files(engine)
+    if orphans:
+        violations.append(f"orphaned segfiles: {orphans[:3]}")
+
+
+def orphaned_files(engine: Engine) -> List[str]:
+    """Non-empty HDFS files under the data path no catalog segfile
+    references — bytes an aborted transaction failed to reclaim."""
+    with engine.txns.run() as txn:
+        snapshot = txn.statement_snapshot()
+        referenced = set()
+        for relation in engine.catalog.relations(snapshot):
+            if relation.get("kind") != "table":
+                continue
+            for segfile in engine.catalog.segfiles(relation["name"], snapshot):
+                # ``paths`` maps file path -> committed logical length.
+                referenced.update(segfile["paths"].keys())
+    return [
+        status.path
+        for status in engine.hdfs.list_status(engine.data_path)
+        if status.length > 0 and status.path not in referenced
+    ]
+
+
+def run_smoke(
+    schedules: int = 5, scale: float = SCALE, data=None
+) -> Dict[str, object]:
+    """A quick seeded chaos sweep (the ``python -m repro.chaos --smoke``
+    entry point and the tier-1 smoke test)."""
+    if data is None:
+        data = generate_data(scale)
+    baseline = fault_free_baseline(data)
+    reports = [run_schedule(seed, data, baseline) for seed in range(schedules)]
+    return {
+        "schedules": len(reports),
+        "violations": [v for r in reports for v in r.violations],
+        "clean_failures": sum(len(r.clean_failures) for r in reports),
+        "retries": sum(r.retries for r in reports),
+        "promotions": sum(1 for r in reports if r.promoted),
+        "faults_fired": sum(len(r.fired) for r in reports),
+        "ok": all(r.ok for r in reports),
+    }

@@ -46,6 +46,11 @@ class FaultDetector:
         Called per session, so different sessions spread a failed
         segment's work across the cluster (the paper's load-balancing
         argument for random failover).
+
+        The failed segment's own host is never a candidate, even when a
+        sibling segment on it is alive (or came back alive mid-session):
+        the host just lost this segment's process, so until the segment
+        itself is recovered the host cannot be trusted to act for it.
         """
         hosts = self.alive_hosts()
         assignment: Dict[int, str] = {}
@@ -53,7 +58,13 @@ class FaultDetector:
             if segment.alive:
                 segment.acting_host = None
                 continue
-            acting = self._rng.choice(hosts)
+            candidates = [h for h in hosts if h != segment.host]
+            if not candidates:
+                raise ClusterError(
+                    f"no failover host for segment {segment.segment_id}: "
+                    f"only its own host {segment.host!r} remains alive"
+                )
+            acting = self._rng.choice(candidates)
             segment.acting_host = acting
             assignment[segment.segment_id] = acting
         return assignment

@@ -38,7 +38,13 @@ class StandbyMaster:
 
     def apply(self, record: WalRecord) -> None:
         if record.lsn <= self.applied_lsn:
-            return  # already applied (subscribe + catch_up overlap)
+            return  # duplicate replay (subscribe + catch_up overlap)
+        if record.lsn > self.applied_lsn + 1:
+            # Out-of-order shipping left a gap: pull the missing records
+            # from the log in order (this record rides along), keeping
+            # ``applied_lsn`` monotonic and the replay exactly-once.
+            self.catch_up()
+            return
         self.applied_lsn = record.lsn
         if record.kind == "begin":
             self._ensure_active(record.xid)
@@ -88,6 +94,11 @@ class StandbyMaster:
         """
         self.catch_up()
         self._wal.unsubscribe(self.apply)
+        # Transactions still in flight died with the primary: no commit
+        # record can ever arrive for them, so their xids abort and their
+        # catalog changes stay invisible (restart over recover, §2.6).
+        for xid in sorted(self.xids.active):
+            self.xids.abort(xid)
         self.promoted = True
         return self.catalog
 

@@ -45,8 +45,13 @@ from repro.cluster.fault import FaultDetector
 from repro.cluster.segment import Segment
 from repro.cluster.standby import StandbyMaster
 from repro.errors import (
+    ClusterError,
     ExecutorError,
+    HdfsError,
+    MasterUnavailable,
+    QueryRetriesExhausted,
     ReproError,
+    SegmentDown,
     SemanticError,
     SqlError,
     TransactionError,
@@ -99,6 +104,8 @@ class Engine:
         executor_mode: str = "batch",
         block_cache_bytes: int = DEFAULT_CACHE_BYTES,
         cache_simulated_costs: bool = True,
+        max_query_retries: int = 3,
+        retry_backoff: float = 0.25,
     ):
         self.cost_model = cost_model or CostModel()
         self.interconnect = interconnect
@@ -123,6 +130,15 @@ class Engine:
             if block_cache_bytes
             else None
         )
+        #: Bounded query-restart policy (paper §2.6: restarting a query
+        #: against failover assignments beats heavyweight recovery).
+        self.max_query_retries = max_query_retries
+        #: Base simulated-clock backoff before a retry; doubles per retry.
+        self.retry_backoff = retry_backoff
+        #: Optional chaos fault injector (see :mod:`repro.chaos`). The
+        #: engine reports scan progress to it and it fires scheduled
+        #: faults on the simulated clock, possibly mid-query.
+        self.chaos = None
 
         self.hdfs = Hdfs(block_size=block_size, replication=replication, seed=seed)
         self.hosts = [f"host{i}" for i in range(num_segment_hosts)]
@@ -194,6 +210,44 @@ class Engine:
         self.catalog._on_change = self._on_catalog_change
         for table in self.catalog.tables.values():
             table._on_change = self._on_catalog_change
+
+    def crash_master(self) -> List[int]:
+        """Simulate a primary-master crash and fail over to the standby.
+
+        In-flight transactions die with the master: they are aborted
+        (running truncate-on-abort, the stand-in for post-crash garbage
+        collection) so committed data survives intact and uncommitted
+        appends leave no bytes behind. The warm standby is promoted and
+        becomes the authoritative catalog; the consumed standby slot is
+        cleared. Returns the aborted xids.
+        """
+        if self.standby is None:
+            raise MasterUnavailable(
+                "primary master crashed and no standby remains to promote"
+            )
+        aborted = self.txns.abort_all_active()
+        self.promote_standby()
+        self.standby = None
+        return aborted
+
+    # ----------------------------------------------------------- chaos hooks
+    def attach_chaos(self, injector) -> None:
+        """Install a :class:`repro.chaos.FaultInjector` on this engine."""
+        if self.chaos is not None:
+            self.chaos.detach()
+        self.chaos = injector
+
+    def chaos_point(self, segment_id: Optional[int] = None) -> None:
+        """Instrumented execution point: fire any due fault events."""
+        if self.chaos is not None:
+            self.chaos.tick(segment_id=segment_id, in_query=True)
+
+    def chaos_progress(
+        self, seconds: float, segment_id: Optional[int] = None
+    ) -> None:
+        """Advance the chaos clock by completed simulated work."""
+        if self.chaos is not None:
+            self.chaos.pulse(seconds, segment_id=segment_id, in_query=True)
 
     # --------------------------------------------------------------- helpers
     def segment_data_path(self, table: str, segment_id: int, segfile_id: int) -> str:
@@ -418,10 +472,45 @@ class Session:
     def _dispatch_and_execute(
         self, plan, snapshot: Snapshot, txn: Transaction
     ) -> QueryResult:
+        """Dispatch with bounded query restart (paper Section 2.6).
+
+        Stateless segments make restart cheaper than recovery: when a
+        segment dies mid-execution (or a block is transiently
+        unreadable) the dispatcher backs off on the simulated clock,
+        re-runs fault detection so the session picks up fresh failover
+        assignments, and re-dispatches the same plan. After
+        ``max_query_retries`` failed attempts the query fails with a
+        clean :class:`QueryRetriesExhausted`. Master failover
+        (:class:`MasterUnavailable`) is never retried here — the
+        transaction died with the master, so the *statement* fails and
+        the client restarts it against the promoted standby.
+        """
         engine = self.engine
-        if engine.run_fault_detection():
-            # Sessions randomly fail down segments over to live hosts.
-            engine.fault_detector.assign_failover()
+        retries = 0
+        backoff_seconds = 0.0
+        while True:
+            if engine.run_fault_detection():
+                # Sessions randomly fail down segments over to live hosts.
+                engine.fault_detector.assign_failover()
+            try:
+                result = self._execute_attempt(plan, snapshot, txn)
+            except (SegmentDown, HdfsError) as exc:
+                retries += 1
+                if retries > engine.max_query_retries:
+                    raise QueryRetriesExhausted(
+                        f"query failed after {engine.max_query_retries} "
+                        f"restarts: {exc}"
+                    ) from exc
+                backoff_seconds += engine.retry_backoff * (2 ** (retries - 1))
+                continue
+            result.retries = retries
+            result.cost.seconds += backoff_seconds
+            return result
+
+    def _execute_attempt(
+        self, plan, snapshot: Snapshot, txn: Transaction
+    ) -> QueryResult:
+        engine = self.engine
         sdp = build_self_described_plan(plan, engine.catalog, snapshot)
         queue = engine.security.queue_for(self.role)
         ctx = ExecutionContext(
@@ -465,6 +554,7 @@ class Session:
                 partitions if partitions is not None else [table_source.table_name]
             )
             segment = engine.segments[segment_id]
+            self._check_segment_up(segment)
             client = segment.client(engine.hdfs)
             for name in names:
                 meta = sdp.metadata[name]
@@ -477,6 +567,7 @@ class Session:
                         meta,
                         columns,
                         acc,
+                        segment_id=segment_id,
                     )
 
         return provider
@@ -495,6 +586,7 @@ class Session:
                 partitions if partitions is not None else [table_source.table_name]
             )
             segment = engine.segments[segment_id]
+            self._check_segment_up(segment)
             client = segment.client(engine.hdfs)
 
             def blocks():
@@ -509,21 +601,40 @@ class Session:
                             meta,
                             columns,
                             acc,
+                            segment_id=segment_id,
                         )
 
             return blocks()
 
         return provider
 
-    def _charged_scan(self, scan_fn, client, paths, meta, columns, acc):
+    @staticmethod
+    def _check_segment_up(segment) -> None:
+        """A scan may only run on an alive segment or an acting host."""
+        if not segment.alive and segment.acting_host is None:
+            raise SegmentDown(
+                f"segment {segment.segment_id} is down with no acting host"
+            )
+
+    def _charged_scan(
+        self, scan_fn, client, paths, meta, columns, acc, segment_id=None
+    ):
         """Run one segfile-lane scan, charging the cost model the same
         way regardless of entry point (row tuples or column blocks):
         disk for compressed bytes, CPU for decompression + decode, and
         network for remote-replica reads — including charges the decode
         cache *replays* on hits (``ScanStats.remote_bytes``). Charging
         happens in ``finally`` so an abandoned scan (LIMIT) still pays
-        for the blocks it decoded."""
+        for the blocks it decoded.
+
+        Chaos instrumentation: the lane is an execution point (due fault
+        events fire before the scan starts) and, on normal completion,
+        the lane's charged simulated seconds advance the chaos clock —
+        so a seeded fault schedule can land *inside* a running query.
+        Abandoned scans (LIMIT) skip the progress pulse: firing faults
+        while a generator is being closed would corrupt the unwind."""
         engine = self.engine
+        engine.chaos_point(segment_id=segment_id)
         model = engine.cost_model
         codec = get_codec(meta.compression)
         io_factor = (
@@ -538,6 +649,7 @@ class Session:
         )
         stats = ScanStats()
         remote_before = client.remote_bytes_read
+        seconds_before = acc.seconds
         try:
             yield from scan_fn(
                 client,
@@ -559,6 +671,9 @@ class Session:
             )
             if remote:
                 acc.network(remote)
+        engine.chaos_progress(
+            acc.seconds - seconds_before, segment_id=segment_id
+        )
 
     def _external_provider(self):
         engine = self.engine

@@ -109,6 +109,23 @@ class MasterUnavailable(ClusterError):
     """Neither primary nor standby master can serve the request."""
 
 
+class QueryRetriesExhausted(ClusterError):
+    """A query kept hitting dead segments after every bounded retry."""
+
+
+class FaultInjected(ClusterError):
+    """An error raised on purpose by the chaos fault-injection layer.
+
+    Chaos failures subclass :class:`ClusterError` because that is the
+    contract the engine gives clients: injected faults must surface as
+    the same clean errors real faults would, never as wrong answers.
+    """
+
+
+class TransactionAbortedByFault(FaultInjected):
+    """The fault plan aborted the running transaction at a WAL point."""
+
+
 class PxfError(ReproError):
     """Base class for extension-framework errors."""
 

@@ -96,6 +96,9 @@ class QueryResult:
     slice_seconds: Dict[int, float] = field(default_factory=dict)
     #: Per-slice output row counts (rows buffered at each motion).
     slice_rows: Dict[int, int] = field(default_factory=dict)
+    #: Number of dispatch attempts abandoned to a dead segment before
+    #: this result was produced (query restart beats heavy recovery).
+    retries: int = 0
 
 
 def execute_plan(plan: PhysicalPlan, ctx: ExecutionContext) -> QueryResult:

@@ -200,6 +200,60 @@ class Hdfs:
     def restore_datanode(self, host: str) -> None:
         self._datanodes[host].alive = True
 
+    def fail_disk(self, host: str, disk_index: int) -> List[int]:
+        """Fail one disk on a DataNode and process its block-report delta.
+
+        The DataNode reports which replicas the dead volume held; the
+        NameNode removes this host from those blocks' location lists so
+        the blocks become *detectably* under-replicated (and
+        :meth:`check_replication` can heal them). Returns the lost
+        block ids.
+        """
+        lost = self._datanodes[host].fail_disk(disk_index)
+        self.report_lost_replicas(host, lost)
+        return lost
+
+    def report_lost_replicas(self, host: str, block_ids: Sequence[int]) -> int:
+        """Block-report delta: drop location entries for lost replicas.
+
+        Only replicas the DataNode can no longer serve are dropped — a
+        block id whose replica survives on another healthy disk of the
+        same node keeps its entry. Returns locations removed.
+        """
+        wanted = set(block_ids)
+        node = self._datanodes[host]
+        removed = 0
+        for inode in self._inodes.values():
+            for block in inode.blocks:
+                if (
+                    block.block_id in wanted
+                    and host in block.hosts
+                    and not node.has_block(block.block_id)
+                ):
+                    block.hosts.remove(host)
+                    removed += 1
+        return removed
+
+    def under_replicated(self) -> List[int]:
+        """Block ids with fewer live replicas than the achievable factor.
+
+        The achievable factor is ``min(replication, usable hosts)`` so a
+        shrunken cluster is not reported as permanently degraded.
+        """
+        target = min(self.replication, max(len(self._usable_hosts()), 1))
+        out: List[int] = []
+        for inode in self._inodes.values():
+            for block in inode.blocks:
+                live = [
+                    h
+                    for h in block.hosts
+                    if self._datanodes[h].alive
+                    and self._datanodes[h].has_block(block.block_id)
+                ]
+                if len(live) < target:
+                    out.append(block.block_id)
+        return out
+
     def check_replication(self) -> int:
         """Re-replicate under-replicated blocks; returns replicas created.
 

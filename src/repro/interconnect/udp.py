@@ -89,6 +89,8 @@ class UdpEndpoint:
         self.tuning = tuning or UdpTuning()
         self._senders: Dict[StreamKey, UdpSender] = {}
         self._receivers: Dict[StreamKey, UdpReceiver] = {}
+        #: Datagrams discarded because the packet checksum failed.
+        self.corrupt_dropped = 0
         network.register(address, self._on_datagram)
 
     def close(self) -> None:
@@ -118,6 +120,12 @@ class UdpEndpoint:
 
     # ---------------------------------------------------------------- demux
     def _on_datagram(self, datagram: Datagram) -> None:
+        if datagram.corrupted:
+            # Checksum failure: discard silently. A corrupted DATA packet
+            # will be retransmitted; a corrupted ACK is recovered by the
+            # next cumulative ack or a STATUS_QUERY probe.
+            self.corrupt_dropped += 1
+            return
         packet: Packet = datagram.payload
         if packet.kind in (PacketType.DATA, PacketType.EOS, PacketType.STATUS_QUERY):
             receiver = self._receivers.get(packet.stream)

@@ -39,6 +39,10 @@ class NetworkConditions:
     jitter: float = 50e-6
     loss_rate: float = 0.0
     dup_rate: float = 0.0
+    #: Probability a delivered datagram arrives bit-flipped. Receivers
+    #: that checksum (the UDP interconnect) drop corrupted datagrams, so
+    #: corruption behaves like loss discovered one hop later.
+    corrupt_rate: float = 0.0
     #: Link bandwidth in bytes/second used for serialization delay.
     bandwidth: float = 1.25e9
 
@@ -51,6 +55,9 @@ class Datagram:
     dst: Address
     payload: object
     size: int
+    #: True when the fabric flipped bits in transit; a checksumming
+    #: receiver will discard this datagram on arrival.
+    corrupted: bool = False
 
 
 class SimNetwork:
@@ -70,6 +77,7 @@ class SimNetwork:
         self.delivered = 0
         self.dropped = 0
         self.duplicated = 0
+        self.corrupted = 0
         self.bytes_sent = 0
 
     # ------------------------------------------------------------------ time
@@ -115,7 +123,12 @@ class SimNetwork:
                 + self._rng.random() * self.conditions.jitter
                 + size / self.conditions.bandwidth
             )
-            datagram = Datagram(src=src, dst=dst, payload=payload, size=size)
+            corrupt = self._rng.chance(self.conditions.corrupt_rate)
+            if corrupt:
+                self.corrupted += 1
+            datagram = Datagram(
+                src=src, dst=dst, payload=payload, size=size, corrupted=corrupt
+            )
             self.schedule(delay, lambda d=datagram: self._deliver(d))
 
     def _deliver(self, datagram: Datagram) -> None:

@@ -109,6 +109,9 @@ class TransactionManager:
         self.locks = LockManager()
         self.wal = wal or WriteAheadLog()
         self.segfiles = SegfileAllocator()
+        #: Live Transaction objects by xid, so a master crash can abort
+        #: every in-flight transaction (and run truncate-on-abort).
+        self._live: Dict[int, Transaction] = {}
 
     # ------------------------------------------------------------ lifecycle
     def begin(
@@ -116,7 +119,9 @@ class TransactionManager:
     ) -> Transaction:
         xid = self.xids.begin()
         self.wal.append(xid, "begin")
-        return Transaction(self, xid, isolation)
+        txn = Transaction(self, xid, isolation)
+        self._live[xid] = txn
+        return txn
 
     def commit(self, txn: Transaction) -> None:
         if txn.state != "active":
@@ -140,8 +145,23 @@ class TransactionManager:
         self._cleanup(txn)
 
     def _cleanup(self, txn: Transaction) -> None:
+        self._live.pop(txn.xid, None)
         self.segfiles.release(txn.xid)
         self.locks.release_all(txn.xid)
+
+    def abort_all_active(self) -> List[int]:
+        """Abort every in-flight transaction (master crash / failover).
+
+        Each abort truncates the transaction's appended user-data bytes
+        back to the committed logical length, so no garbage outlives the
+        crash. Returns the aborted xids.
+        """
+        aborted: List[int] = []
+        for txn in list(self._live.values()):
+            if txn.state == "active":
+                self.abort(txn)
+                aborted.append(txn.xid)
+        return aborted
 
     # --------------------------------------------------------------- helpers
     def run(self, isolation: IsolationLevel = IsolationLevel.READ_COMMITTED):

@@ -195,3 +195,166 @@ class TestPromotionRegression:
         lsn_before = engine.txns.wal.last_lsn
         engine.connect().execute("INSERT INTO t VALUES (888, 'logged')")
         assert engine.txns.wal.last_lsn > lsn_before
+
+
+class TestFailoverReviveRace:
+    """Regression: a failed segment's own host must never act for it —
+    even when a sibling segment on that host is alive (or came back
+    alive mid-session). The host just lost this segment's process."""
+
+    def _segments(self):
+        # Two segments share h0; segment 0 is down, its sibling is up,
+        # so h0 is in alive_hosts() — the revive race.
+        return [
+            Segment(0, "h0", alive=False),
+            Segment(1, "h0"),
+            Segment(2, "h1"),
+            Segment(3, "h2"),
+        ]
+
+    def test_own_host_excluded_even_when_alive(self):
+        detector = FaultDetector(self._segments(), seed=11)
+        for _ in range(30):  # random choice: every draw must exclude h0
+            assignment = detector.assign_failover()
+            assert assignment[0] != "h0"
+            assert assignment[0] in ("h1", "h2")
+
+    def test_only_own_host_left_raises_clean(self):
+        segments = [Segment(0, "h0", alive=False), Segment(1, "h0")]
+        detector = FaultDetector(segments, seed=11)
+        with pytest.raises(ClusterError):
+            detector.assign_failover()
+
+    def test_mid_session_revival_still_excluded(self):
+        segments = self._segments()
+        segments[1].alive = False  # sibling dies too: h0 fully dark
+        detector = FaultDetector(segments, seed=11)
+        assignment = detector.assign_failover()
+        assert assignment[0] in ("h1", "h2")
+        segments[1].alive = True  # sibling revives mid-session
+        assignment = detector.assign_failover()
+        assert assignment[0] != "h0"  # segment 0 itself is still down
+
+
+class TestPromoteMidTransaction:
+    """Paper section 2.6 via the standby: a master crash aborts in-flight
+    transactions; committed WAL records survive on the promoted catalog."""
+
+    def test_committed_survives_inflight_aborts(self, engine):
+        session = load_sample(engine)
+        committed = sorted(session.query("SELECT a FROM t"))
+        other = engine.connect()
+        other.execute("BEGIN")
+        other.execute("INSERT INTO t VALUES (4000, 'uncommitted')")
+        aborted = engine.crash_master()
+        assert aborted  # the in-flight xid was aborted, not lost
+        fresh = engine.connect()
+        assert sorted(fresh.query("SELECT a FROM t")) == committed
+        assert fresh.query("SELECT count(*) FROM t WHERE a = 4000") == [(0,)]
+
+    def test_catalog_identical_on_promoted_standby(self, engine):
+        load_sample(engine)
+        snapshot = engine.txns.begin().statement_snapshot()
+        before = {
+            (f["segment_id"], f["segfile_id"]): f["paths"]
+            for f in engine.catalog.segfiles("t", snapshot)
+        }
+        engine.crash_master()
+        snapshot = engine.txns.begin().statement_snapshot()
+        after = {
+            (f["segment_id"], f["segfile_id"]): f["paths"]
+            for f in engine.catalog.segfiles("t", snapshot)
+        }
+        assert after == before
+
+    def test_promote_aborts_unfinished_xids(self):
+        wal = WriteAheadLog()
+        standby = StandbyMaster(wal)
+        wal.append(1, "begin")
+        wal.append(
+            1, "change", table="pg_depend", op="insert",
+            row={"dependent": "a", "referenced": "b"},
+        )
+        # No commit record can ever arrive: the primary died.
+        standby.promote()
+        assert 1 in standby.xids.aborted
+        snapshot = standby.snapshot()
+        assert not standby.catalog.table("pg_depend").scan(snapshot)
+
+    def test_truncate_on_abort_runs_at_crash(self, engine):
+        session = load_sample(engine)
+        other = engine.connect()
+        other.execute("BEGIN")
+        other.execute("INSERT INTO t VALUES (4001, 'garbage')")
+        engine.crash_master()
+        # No physical file may keep bytes beyond its committed length.
+        snapshot = engine.txns.begin().statement_snapshot()
+        client = engine.hdfs.client()
+        for segfile in engine.catalog.segfiles("t", snapshot):
+            for path, logical in segfile["paths"].items():
+                assert client.file_status(path).length == logical
+
+
+class TestStandbyReplayOrdering:
+    """applied_lsn stays monotonic and replay exactly-once under
+    duplicate and out-of-order WAL shipping."""
+
+    ROW = {"dependent": "a", "referenced": "b"}
+
+    def test_duplicate_replay_is_idempotent(self):
+        wal = WriteAheadLog()
+        standby = StandbyMaster(wal, synchronous=False)
+        records = [
+            wal.append(1, "begin"),
+            wal.append(1, "change", table="pg_depend", op="insert", row=self.ROW),
+            wal.append(1, "commit"),
+        ]
+        for record in records:
+            standby.apply(record)
+        assert standby.applied_lsn == 3
+        standby.apply(records[1])  # shipped twice
+        assert standby.applied_lsn == 3
+        assert len(standby.catalog.table("pg_depend")._rows) == 1
+
+    def test_out_of_order_replay_fills_the_gap(self):
+        wal = WriteAheadLog()
+        standby = StandbyMaster(wal, synchronous=False)
+        wal.append(1, "begin")
+        wal.append(1, "change", table="pg_depend", op="insert", row=self.ROW)
+        commit = wal.append(1, "commit")
+        standby.apply(commit)  # lsn 3 arrives first
+        assert standby.applied_lsn == 3  # missing records pulled in order
+        assert 1 in standby.xids.committed
+        assert len(standby.catalog.table("pg_depend")._rows) == 1
+
+    def test_applied_lsn_monotonic_under_shuffled_replay(self):
+        import random
+
+        wal = WriteAheadLog()
+        records = []
+        for xid in (1, 2, 3):
+            records.append(wal.append(xid, "begin"))
+            records.append(
+                wal.append(
+                    xid, "change", table="pg_depend", op="insert",
+                    row={"dependent": f"d{xid}", "referenced": "r"},
+                )
+            )
+            records.append(wal.append(xid, "commit"))
+        shuffled = StandbyMaster(wal, synchronous=False)
+        ordered = StandbyMaster(wal, synchronous=False)
+        shuffle_rng = random.Random(42)
+        sequence = list(records)
+        shuffle_rng.shuffle(sequence)
+        seen = 0
+        for record in sequence:
+            shuffled.apply(record)
+            assert shuffled.applied_lsn >= seen  # never rewinds
+            seen = shuffled.applied_lsn
+        ordered.catch_up()
+        assert shuffled.applied_lsn == ordered.applied_lsn == len(records)
+        assert (
+            [v.data for v in shuffled.catalog.table("pg_depend")._rows]
+            == [v.data for v in ordered.catalog.table("pg_depend")._rows]
+        )
+        assert shuffled.xids.committed == ordered.xids.committed

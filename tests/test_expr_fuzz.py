@@ -111,3 +111,125 @@ def test_division_by_zero_raises():
 @given(a=st.integers(-20, 20), b=st.integers(1, 20))
 def test_division_matches_python_true_division(a, b):
     assert compile_expr_value_sql(f"{a} / {b}") == pytest.approx(a / b)
+
+
+# ---------------------------------------------------------------------------
+# Fuzzed expressions in row AND batch mode under a fault schedule: the
+# differential invariant (identical rows, identical simulated cost) must
+# hold even when every scan is reading around a dead DataNode and a dead
+# segment's failover host.
+# ---------------------------------------------------------------------------
+
+from hypothesis import HealthCheck
+
+from repro.chaos import FaultEvent, FaultInjector, FaultPlan
+from repro.engine import Engine
+
+FAULT_FUZZ_ROWS = [(i, (i * 7) % 23 - 11) for i in range(600)]
+
+
+def _faulted_session(mode):
+    """An engine in ``mode`` with a dead DataNode (scans must fall back
+    to surviving replicas) and a dead segment (dispatch must use its
+    failover assignment) — the same deterministic faults for both modes."""
+    engine = Engine(
+        num_segment_hosts=3,
+        segments_per_host=2,
+        seed=0,
+        block_size=16 * 1024,
+        executor_mode=mode,
+    )
+    session = engine.connect()
+    session.execute("CREATE TABLE fuzz (a INTEGER, b INTEGER) DISTRIBUTED BY (a)")
+    session.load_rows("fuzz", FAULT_FUZZ_ROWS)
+    injector = FaultInjector(
+        engine,
+        FaultPlan(
+            [
+                FaultEvent(0.0, "kill_segment", 2),
+                FaultEvent(0.0, "fail_datanode", "host0"),
+            ]
+        ),
+    )
+    engine.attach_chaos(injector)
+    injector.drain()  # apply the faults before the fuzz queries
+    session.query("SELECT count(*) FROM fuzz")  # dispatch assigns failover
+    assert engine.segments[2].acting_host is not None
+    assert not engine.hdfs.datanodes["host0"].alive
+    return session
+
+
+@pytest.fixture(scope="module")
+def row_faulted():
+    return _faulted_session("row")
+
+
+@pytest.fixture(scope="module")
+def batch_faulted():
+    return _faulted_session("batch")
+
+
+@st.composite
+def column_arithmetic(draw, depth=0):
+    """Arithmetic over the fuzz table's columns; the oracle is the other
+    executor mode, not Python."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from(["a", "b"]))
+        value = draw(st.integers(-20, 20))
+        return f"({value})" if value < 0 else str(value)
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(column_arithmetic(depth=depth + 1))
+    right = draw(column_arithmetic(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(expr=column_arithmetic(), ascending=st.booleans())
+def test_fuzzed_exprs_row_vs_batch_under_faults(
+    row_faulted, batch_faulted, expr, ascending
+):
+    order = "ASC" if ascending else "DESC"
+    sql = (
+        f"SELECT a, {expr} FROM fuzz"
+        f" WHERE ({expr}) % 5 <> 1 ORDER BY a {order}"
+    )
+    a = row_faulted.execute(sql)
+    b = batch_faulted.execute(sql)
+    assert a.rows == b.rows  # exact: values AND order
+    assert a.cost.seconds == b.cost.seconds
+
+
+def test_mid_query_restart_preserves_differential():
+    """A segment killed mid-query forces a restart in both modes; the
+    retried results must still match bit-for-bit, including the
+    simulated backoff charge."""
+    results = {}
+    for mode in ("row", "batch"):
+        engine = Engine(
+            num_segment_hosts=3,
+            segments_per_host=2,
+            seed=0,
+            block_size=16 * 1024,
+            executor_mode=mode,
+        )
+        session = engine.connect()
+        session.execute(
+            "CREATE TABLE fuzz (a INTEGER, b INTEGER) DISTRIBUTED BY (a)"
+        )
+        session.load_rows("fuzz", FAULT_FUZZ_ROWS)
+        engine.attach_chaos(
+            FaultInjector(
+                engine, FaultPlan([FaultEvent(1e-9, "kill_segment", 1)])
+            )
+        )
+        results[mode] = session.execute(
+            "SELECT count(*), sum(b), min(a * b) FROM fuzz"
+        )
+        assert results[mode].retries >= 1
+    assert results["row"].rows == results["batch"].rows
+    assert results["row"].cost.seconds == results["batch"].cost.seconds

@@ -271,3 +271,54 @@ class TestFailures:
         remote_client = fs.client(other)
         remote_client.read_file("/f")
         assert remote_client.remote_bytes_read == 64
+
+
+class TestDiskFailureBlockReport:
+    """A failed disk must emit a block-report delta to the NameNode so
+    the lost replicas become *detectably* under-replicated (and the
+    background re-replication job can heal them)."""
+
+    def _fail_a_loaded_disk(self, fs, host):
+        node = fs.datanodes[host]
+        disk = next(d for d in node.disks if d.blocks)
+        return fs.fail_disk(host, disk.index)
+
+    def test_fail_disk_marks_blocks_under_replicated(self, fs):
+        client = fs.client("h1")
+        client.write_file("/f", b"w" * 300)
+        assert fs.under_replicated() == []
+        lost = self._fail_a_loaded_disk(fs, "h1")
+        assert lost  # the dead volume held replicas
+        under = fs.under_replicated()
+        assert set(lost) <= set(under)
+        # The NameNode dropped h1 from the lost blocks' location lists.
+        for block in fs._inodes["/f"].blocks:
+            if block.block_id in lost:
+                assert "h1" not in block.hosts
+
+    def test_surviving_disk_keeps_location_entry(self, fs):
+        """Only replicas the node can no longer serve are dropped: block
+        ids still present on a healthy disk of the same host keep it."""
+        client = fs.client("h1")
+        client.write_file("/f", b"w" * 600)
+        node = fs.datanodes["h1"]
+        loaded = [d for d in node.disks if d.blocks]
+        if len(loaded) < 2:
+            pytest.skip("all replicas landed on one disk for this seed")
+        survivors = set(loaded[1].blocks)
+        fs.fail_disk("h1", loaded[0].index)
+        for block in fs._inodes["/f"].blocks:
+            if block.block_id in survivors:
+                assert "h1" in block.hosts
+
+    def test_check_replication_heals_disk_loss(self, fs):
+        client = fs.client("h1")
+        payload = b"w" * 300
+        client.write_file("/f", payload)
+        self._fail_a_loaded_disk(fs, "h1")
+        assert fs.under_replicated()
+        fs.check_replication()
+        assert fs.under_replicated() == []
+        assert client.read_file("/f") == payload
+        for location in fs.block_locations("/f"):
+            assert len(location.hosts) == fs.replication

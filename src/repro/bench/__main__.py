@@ -136,16 +136,25 @@ FIGURES = {"fig6": fig6, "fig7": fig7, "fig12": fig12, "fig13": fig13}
 
 def main(argv) -> int:
     if "--wallclock" in argv:
-        from repro.bench.wallclock import run_wallclock
+        from repro.bench.wallclock import DEFAULT_SEED, run_wallclock
 
         check = "--check" in argv
-        extra = [a for a in argv if a not in ("--wallclock", "--check")]
-        if extra:
-            print(f"--wallclock takes no figure names: {extra}")
+        seed = DEFAULT_SEED
+        rest = [a for a in argv if a not in ("--wallclock", "--check")]
+        if "--seed" in rest:
+            at = rest.index("--seed")
+            try:
+                seed = int(rest[at + 1])
+            except (IndexError, ValueError):
+                print("--seed requires an integer value")
+                return 2
+            del rest[at : at + 2]
+        if rest:
+            print(f"--wallclock takes no figure names: {rest}")
             return 2
-        return run_wallclock(check=check)
-    if "--check" in argv:
-        print("--check requires --wallclock")
+        return run_wallclock(check=check, seed=seed)
+    if "--check" in argv or "--seed" in argv:
+        print("--check/--seed require --wallclock")
         return 2
     chosen = argv or sorted(FIGURES)
     unknown = [name for name in chosen if name not in FIGURES]

@@ -16,7 +16,6 @@ cache and requires batch mode to beat row mode by ``CHECK_THRESHOLD``.
 from __future__ import annotations
 
 import json
-import random
 import time
 from typing import Dict, Optional
 
@@ -29,9 +28,14 @@ from repro.bench.harness import (
 from repro.bench.reporting import print_figure
 from repro.engine import Engine
 from repro.tpch.queries import COMPLEX_JOIN_QUERIES, SIMPLE_SELECTION_QUERIES
+from repro.util import DeterministicRng
 
 #: Minimum warm-cache speedup of batch over row mode on the microbench.
 CHECK_THRESHOLD = 1.5
+
+#: Root seed for the microbenchmark's engine and data; override with
+#: ``python -m repro.bench --wallclock --seed N``.
+DEFAULT_SEED = 77
 
 #: Rows in the scan-filter-agg microbenchmark table.
 MICROBENCH_ROWS = 100_000
@@ -76,11 +80,11 @@ def run_tpch_wallclock(repeats: int = 3) -> Dict[str, dict]:
     return out
 
 
-def _make_microbench_engine(executor_mode: str) -> "Engine":
+def _make_microbench_engine(executor_mode: str, seed: int = DEFAULT_SEED) -> "Engine":
     engine = Engine(
         num_segment_hosts=4,
         segments_per_host=1,
-        seed=77,
+        seed=seed,
         executor_mode=executor_mode,
     )
     session = engine.connect()
@@ -88,7 +92,7 @@ def _make_microbench_engine(executor_mode: str) -> "Engine":
         "CREATE TABLE wallclock_mb (a INT, b DOUBLE, c INT) "
         "WITH (appendonly=true, orientation=column) DISTRIBUTED BY (a)"
     )
-    rng = random.Random(77)
+    rng = DeterministicRng(seed, "wallclock", "microbench-data")
     rows = [
         (i, rng.random(), i % 23) for i in range(MICROBENCH_ROWS)
     ]
@@ -96,8 +100,8 @@ def _make_microbench_engine(executor_mode: str) -> "Engine":
     return engine
 
 
-def _time_microbench(executor_mode: str, repeats: int) -> float:
-    engine = _make_microbench_engine(executor_mode)
+def _time_microbench(executor_mode: str, repeats: int, seed: int) -> float:
+    engine = _make_microbench_engine(executor_mode, seed=seed)
     session = engine.connect()
     session.execute(MICROBENCH_QUERY)  # warm the block decode cache
     best = float("inf")
@@ -108,12 +112,13 @@ def _time_microbench(executor_mode: str, repeats: int) -> float:
     return best
 
 
-def run_microbench(repeats: int = 3) -> dict:
+def run_microbench(repeats: int = 3, seed: int = DEFAULT_SEED) -> dict:
     """Warm-cache scan-filter-agg over 100k CO rows: row vs batch."""
-    row_s = _time_microbench("row", repeats)
-    batch_s = _time_microbench("batch", repeats)
+    row_s = _time_microbench("row", repeats, seed)
+    batch_s = _time_microbench("batch", repeats, seed)
     return {
         "rows": MICROBENCH_ROWS,
+        "seed": seed,
         "query": " ".join(MICROBENCH_QUERY.split()),
         "row_wall_s": row_s,
         "batch_wall_s": batch_s,
@@ -126,11 +131,13 @@ def run_wallclock(
     out_path: Optional[str] = "BENCH_wallclock.json",
     check: bool = False,
     repeats: int = 3,
+    seed: int = DEFAULT_SEED,
 ) -> int:
     """Full wall-clock report; returns a process exit code."""
     report = {
         "scale_factor": default_scale_factor(),
-        "microbench": run_microbench(repeats=repeats),
+        "seed": seed,
+        "microbench": run_microbench(repeats=repeats, seed=seed),
         "tpch": run_tpch_wallclock(repeats=repeats),
     }
     rows = []

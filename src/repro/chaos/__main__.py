@@ -35,9 +35,18 @@ def main(argv=None) -> int:
         default=SCALE,
         help=f"TPC-H scale factor for the workload (default {SCALE})",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="first schedule seed (schedules run seeds seed..seed+N-1; "
+        "default 0)",
+    )
     args = parser.parse_args(argv)
 
-    summary = run_smoke(schedules=args.schedules, scale=args.scale)
+    summary = run_smoke(
+        schedules=args.schedules, scale=args.scale, seed=args.seed
+    )
     print(
         f"chaos sweep: {summary['schedules']} schedules, "
         f"{summary['faults_fired']} faults fired, "

@@ -308,14 +308,19 @@ def orphaned_files(engine: Engine) -> List[str]:
 
 
 def run_smoke(
-    schedules: int = 5, scale: float = SCALE, data=None
+    schedules: int = 5, scale: float = SCALE, data=None, seed: int = 0
 ) -> Dict[str, object]:
     """A quick seeded chaos sweep (the ``python -m repro.chaos --smoke``
-    entry point and the tier-1 smoke test)."""
+    entry point and the tier-1 smoke test). ``seed`` offsets the block
+    of schedule seeds, so ``--seed 100 --schedules 5`` replays exactly
+    schedules 100..104."""
     if data is None:
         data = generate_data(scale)
     baseline = fault_free_baseline(data)
-    reports = [run_schedule(seed, data, baseline) for seed in range(schedules)]
+    reports = [
+        run_schedule(s, data, baseline)
+        for s in range(seed, seed + schedules)
+    ]
     return {
         "schedules": len(reports),
         "violations": [v for r in reports for v in r.violations],

@@ -73,7 +73,7 @@ from repro.simtime import CostAccumulator, CostModel, QueryCost
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.storage import get_codec, get_format
-from repro.storage.base import ScanStats
+from repro.storage.base import ScanStats, WriteResult
 from repro.storage.cache import (
     DEFAULT_CAPACITY_BYTES as DEFAULT_CACHE_BYTES,
     BlockDecodeCache,
@@ -728,8 +728,13 @@ class Session:
         if relation["kind"] == "view":
             raise SemanticError("cannot insert into a view")
 
-        count = self.load_rows(schema.name, rows, txn=txn, snapshot=snapshot)
-        return _ok(f"INSERT 0 {count}")
+        acc = CostAccumulator(engine.cost_model)
+        count = self.load_rows(
+            schema.name, rows, txn=txn, snapshot=snapshot, acc=acc
+        )
+        result = _ok(f"INSERT 0 {count}")
+        result.cost = QueryCost.from_accumulator(acc)
+        return result
 
     def _shape_row(
         self, schema: TableSchema, columns: Optional[List[str]], row: tuple
@@ -749,8 +754,13 @@ class Session:
         rows: Sequence[tuple],
         txn: Optional[Transaction] = None,
         snapshot: Optional[Snapshot] = None,
+        acc: Optional[CostAccumulator] = None,
     ) -> int:
-        """Bulk-load coerced rows (the ETL / COPY path). Transactional."""
+        """Bulk-load coerced rows (the ETL / COPY path). Transactional.
+
+        INSERT and COPY always pass an ``acc`` so the written bytes are
+        charged to the statement's simulated cost; bare ETL callers may
+        omit it (their loads are setup, not a measured statement)."""
         engine = self.engine
         own_txn = txn is None
         if own_txn:
@@ -764,7 +774,7 @@ class Session:
             total = 0
             for child_schema, child_rows in targets:
                 total += self._write_table_rows(
-                    child_schema, child_rows, txn, snapshot
+                    child_schema, child_rows, txn, snapshot, acc=acc
                 )
             if own_txn:
                 engine.txns.commit(txn)
@@ -809,6 +819,7 @@ class Session:
         rows: List[tuple],
         txn: Transaction,
         snapshot: Snapshot,
+        acc: Optional[CostAccumulator] = None,
     ) -> int:
         engine = self.engine
         num_segments = engine.num_segments
@@ -852,6 +863,15 @@ class Session:
                     schema.compression,
                     append=True,
                 )
+                self._charge_write(
+                    acc,
+                    schema,
+                    result,
+                    sum(
+                        length - prev.get(path, 0)
+                        for path, length in result.paths.items()
+                    ),
+                )
                 for path, prev_len in prev.items():
                     txn.record_append(
                         AppendedFile(
@@ -885,6 +905,9 @@ class Session:
                     schema.compression,
                     append=False,
                 )
+                self._charge_write(
+                    acc, schema, result, sum(result.paths.values())
+                )
                 for path in result.paths:
                     txn.record_append(
                         AppendedFile(
@@ -908,6 +931,24 @@ class Session:
                     tupcount=result.tupcount,
                 )
         return len(rows)
+
+    def _charge_write(
+        self,
+        acc: Optional[CostAccumulator],
+        schema: TableSchema,
+        result: "WriteResult",
+        written_bytes: int,
+    ) -> None:
+        """Charge one segfile write to the statement's accumulator:
+        replicated disk bytes, per-byte encode CPU, per-tuple CPU. The
+        R3 cost-conformance lint keys the write path off this call."""
+        if acc is None:
+            return
+        acc.disk_write(max(written_bytes, 0), replicated=True)
+        acc.cpu_bytes(
+            result.uncompressed_bytes, self.engine.cost_model.cpu_format_byte
+        )
+        acc.cpu_tuples(result.tupcount, ncolumns=len(schema.columns))
 
     def _vacuum(self, stmt: ast.VacuumStmt, txn: Transaction) -> QueryResult:
         """Reclaim physical garbage: truncate segment files back to their
@@ -958,14 +999,20 @@ class Session:
             self._check_privilege("insert", schema.name, txn)
             txn.lock(f"rel:{schema.name}", LockMode.ROW_EXCLUSIVE)
             resolver = TextResolver(stmt.delimiter)
+            acc = CostAccumulator(engine.cost_model)
             raw = engine.hdfs.client().read_file(path).decode("utf-8")
+            acc.disk_read(len(raw))
             rows = [
                 resolver.resolve(line, schema)
                 for line in raw.splitlines()
                 if line
             ]
-            count = self.load_rows(schema.name, rows, txn=txn, snapshot=snapshot)
-            return _ok(f"COPY {count}")
+            count = self.load_rows(
+                schema.name, rows, txn=txn, snapshot=snapshot, acc=acc
+            )
+            result = _ok(f"COPY {count}")
+            result.cost = QueryCost.from_accumulator(acc)
+            return result
         self._check_privilege("select", schema.name, txn)
         txn.lock(f"rel:{schema.name}", LockMode.ACCESS_SHARE)
         rows = list(self._read_all_rows(schema.name, snapshot))
@@ -973,8 +1020,13 @@ class Session:
         for child_name, _p in relation.get("children", []):
             rows.extend(self._read_all_rows(child_name, snapshot))
         writer = TextWriter(engine.hdfs, stmt.delimiter)
-        writer.write(path, rows, schema)
-        return _ok(f"COPY {len(rows)}")
+        acc = CostAccumulator(engine.cost_model)
+        unloaded = writer.write(path, rows, schema)
+        acc.disk_write(unloaded, replicated=True)
+        acc.cpu_tuples(len(rows), ncolumns=len(schema.columns))
+        result = _ok(f"COPY {len(rows)}")
+        result.cost = QueryCost.from_accumulator(acc)
+        return result
 
     # ------------------------------------------------------------------- DDL
     def _create_table(self, stmt: ast.CreateTableStmt, txn: Transaction) -> QueryResult:
@@ -1106,6 +1158,7 @@ class Session:
         self._check_privilege("all", name, txn)
 
         options = {k.lower(): str(v).lower() for k, v in stmt.options.items()}
+        acc = CostAccumulator(engine.cost_model)
         targets = [(c, p) for c, p in relation.get("children", [])] or [(name, None)]
         for child_name, _partition in targets:
             child_rel = engine.catalog.lookup_relation(child_name, snapshot)
@@ -1128,7 +1181,9 @@ class Session:
             )
             fresh_snapshot = txn.statement_snapshot()
             if rows:
-                self._write_table_rows(new_schema, rows, txn, fresh_snapshot)
+                self._write_table_rows(
+                    new_schema, rows, txn, fresh_snapshot, acc=acc
+                )
         if relation.get("children"):
             parent_schema = _apply_storage_options(relation["schema"], options)
             engine.catalog.table("pg_class").update(
@@ -1137,7 +1192,9 @@ class Session:
                 {"schema": parent_schema},
                 txn.xid,
             )
-        return _ok("ALTER TABLE")
+        result = _ok("ALTER TABLE")
+        result.cost = QueryCost.from_accumulator(acc)
+        return result
 
     # --------------------------------------------------------------- ANALYZE
     def _analyze(self, stmt: ast.AnalyzeStmt, txn: Transaction) -> QueryResult:

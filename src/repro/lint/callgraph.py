@@ -1,0 +1,182 @@
+"""Name-resolved call graph + cost-coverage analysis for rule R3.
+
+The cost-conformance rule needs to know, for every function that moves
+payload bytes, whether those bytes can be charged to the simulated clock
+*somewhere* in its dynamic extent — in the function itself, in a caller
+above it (the engine charges ``acc.disk_read`` for a whole storage
+scan), or in a callee below it (``SimNetwork.send`` converts datagram
+size into serialization delay on the event clock).
+
+Exact static call resolution is impossible in Python (scan functions are
+passed as callbacks, formats are looked up from a registry), so the
+graph over-approximates: an edge ``F -> G`` exists whenever F's body
+*mentions* a name that matches G's function name — as a call, an
+attribute access, or a bare reference (callbacks!).  Over-approximation
+errs toward silence, which is the right polarity for a lint: a
+byte-moving function is flagged only when **no** charging context
+anywhere in the project can plausibly reach it.
+
+Definitions (see :func:`coverage`):
+
+* ``CHARGERS`` — functions whose own body calls the charging API
+  (``CostAccumulator.disk_read/disk_write/network/cpu_bytes/cpu_tuples/
+  fixed``), plus configured self-charging primitives.
+* ``UP``   — functions from which some charger is reachable along call
+  edges (they charge at-or-below their own frame).
+* ``DOWN`` — functions reachable from ``CHARGERS | UP`` (they execute
+  inside the dynamic extent of a frame that charges).
+* ``COVERED = CHARGERS | UP | DOWN``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+#: Attribute names of the :class:`repro.simtime.CostAccumulator` charging
+#: API. A call to any of these (on any receiver) marks the function as a
+#: charger.
+CHARGE_METHODS = frozenset(
+    {"disk_read", "disk_write", "network", "cpu_bytes", "cpu_tuples", "fixed"}
+)
+
+#: Functions that charge simulated time through a mechanism the
+#: attribute-name heuristic cannot see. ``SimNetwork.send`` bills every
+#: datagram's serialization delay (size / bandwidth) plus latency on the
+#: event clock itself.
+EXTRA_CHARGERS = frozenset({"src/repro/network/simnet.py::SimNetwork.send"})
+
+
+@dataclass
+class FunctionNode:
+    """One function definition in the project."""
+
+    key: str  # "<path>::<qualname>"
+    path: str
+    qualname: str  # e.g. "Hdfs.check_replication"
+    name: str  # last path segment, the resolution name
+    lineno: int
+    charges: bool = False
+    #: Names (function names) this function's body mentions.
+    mentions: Set[str] = field(default_factory=set)
+
+
+class CallGraph:
+    """Project-wide over-approximated call graph."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, FunctionNode] = {}
+        self.by_name: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(cls, project) -> "CallGraph":
+        graph = cls()
+        for source in project.files:
+            graph._collect_defs(source)
+        for source in project.files:
+            graph._collect_mentions(source)
+        return graph
+
+    def _collect_defs(self, source) -> None:
+        def visit(node: ast.AST, qual: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    inner = child.name if not qual else f"{qual}.{child.name}"
+                    key = f"{source.path}::{inner}"
+                    fn = FunctionNode(
+                        key=key,
+                        path=source.path,
+                        qualname=inner,
+                        name=child.name,
+                        lineno=child.lineno,
+                    )
+                    self.nodes[key] = fn
+                    self.by_name.setdefault(child.name, []).append(key)
+                    visit(child, inner)
+                elif isinstance(child, ast.ClassDef):
+                    inner = child.name if not qual else f"{qual}.{child.name}"
+                    visit(child, inner)
+                else:
+                    visit(child, qual)
+
+        visit(source.tree, "")
+
+    def _collect_mentions(self, source) -> None:
+        """Fill ``mentions`` and ``charges`` for every function in ``source``.
+
+        A node's mentions are attributed to its innermost enclosing
+        function (nested defs own their own bodies)."""
+
+        def scan(body_owner_key: str, node: ast.AST) -> None:
+            owner = self.nodes.get(body_owner_key)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # handled when iterating defs below
+                if owner is not None:
+                    if isinstance(child, ast.Attribute):
+                        owner.mentions.add(child.attr)
+                    elif isinstance(child, ast.Name):
+                        owner.mentions.add(child.id)
+                    if (
+                        isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Attribute)
+                        and child.func.attr in CHARGE_METHODS
+                    ):
+                        owner.charges = True
+                scan(body_owner_key, child)
+
+        def walk_defs(node: ast.AST, qual: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    inner = child.name if not qual else f"{qual}.{child.name}"
+                    scan(f"{source.path}::{inner}", child)
+                    walk_defs(child, inner)
+                elif isinstance(child, ast.ClassDef):
+                    walk_defs(child, child.name if not qual else f"{qual}.{child.name}")
+                else:
+                    walk_defs(child, qual)
+
+        walk_defs(source.tree, "")
+
+    # ------------------------------------------------------------------ edges
+    def callees(self, key: str) -> Set[str]:
+        out: Set[str] = set()
+        node = self.nodes[key]
+        for name in node.mentions:
+            for target in self.by_name.get(name, ()):
+                if target != key:
+                    out.add(target)
+        return out
+
+    # --------------------------------------------------------------- coverage
+    def coverage(self) -> Set[str]:
+        """Keys of all functions covered by a charging context."""
+        chargers = {
+            key
+            for key, node in self.nodes.items()
+            if node.charges or key in EXTRA_CHARGERS
+        }
+
+        # Forward adjacency + its reverse, materialized once.
+        forward: Dict[str, Set[str]] = {key: self.callees(key) for key in self.nodes}
+        reverse: Dict[str, Set[str]] = {key: set() for key in self.nodes}
+        for src, dsts in forward.items():
+            for dst in dsts:
+                reverse[dst].add(src)
+
+        def closure(seed: Set[str], adj: Dict[str, Set[str]]) -> Set[str]:
+            seen = set(seed)
+            stack = list(seed)
+            while stack:
+                current = stack.pop()
+                for nxt in adj.get(current, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return seen
+
+        up = closure(chargers, reverse)  # callers that reach a charger
+        down = closure(up, forward)  # everything a charging extent runs
+        return up | down

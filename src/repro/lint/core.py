@@ -1,0 +1,325 @@
+"""Framework plumbing for the sanitizer: sources, findings, baseline.
+
+The moving parts, in the order a run uses them:
+
+* :func:`load_project` walks a source tree and parses every ``.py`` file
+  into a :class:`SourceFile` (AST + per-line suppressions).
+* :class:`Project` hands each registered rule the parsed files plus
+  shared analyses (the cost-conformance call graph is built lazily and
+  cached here so several rules could reuse it).
+* Rules yield :class:`Finding`s; findings matching a per-line
+  ``# lint: allow[RULE-ID]`` comment are dropped at collection time.
+* :class:`Baseline` then filters grandfathered findings.  Baseline
+  entries are keyed by ``(rule, path, enclosing function, source line
+  text)`` — not line *numbers* — so unrelated edits to a file do not
+  invalidate them, while any edit to the offending line itself does.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: ``# lint: allow[R1]`` / ``# lint: allow[R1, R4]`` / ``# lint: allow[*]``
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_*,\s-]+)\]")
+
+
+def repo_root() -> Path:
+    """The repository root, derived from this package's location."""
+    # src/repro/lint/core.py -> src/repro/lint -> src/repro -> src -> root
+    return Path(__file__).resolve().parents[3]
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline shipped next to the lint package."""
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    message: str
+    #: Qualified name of the enclosing function ("<module>" at top level).
+    context: str = "<module>"
+    #: The offending source line, stripped — the stable half of the
+    #: baseline key.
+    code: str = ""
+
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.path, self.context, self.code)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "context": self.context,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.context}] {self.message}"
+
+
+class SourceFile:
+    """One parsed module: AST, raw lines, suppressions, scope map."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path  # repo-relative POSIX path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self.suppressions = self._scan_suppressions()
+        self._scope_of: Dict[int, str] = {}
+        self._index_scopes()
+
+    # ------------------------------------------------------------ suppressions
+    def _scan_suppressions(self) -> Dict[int, set]:
+        out: Dict[int, set] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                out[lineno] = {r for r in rules if r}
+        return out
+
+    def is_suppressed(self, rule: str, lineno: int) -> bool:
+        """True if ``lineno`` (or the line just above it, for own-line
+        comments) carries an ``allow`` comment naming ``rule`` or ``*``."""
+        for candidate in (lineno, lineno - 1):
+            rules = self.suppressions.get(candidate)
+            if rules and (rule in rules or "*" in rules):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ scopes
+    def _index_scopes(self) -> None:
+        """Map every AST node id to its innermost enclosing function."""
+
+        def visit(node: ast.AST, scope: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    inner = child.name if scope == "<module>" else f"{scope}.{child.name}"
+                    self._scope_of[id(child)] = scope
+                    visit(child, inner)
+                elif isinstance(child, ast.ClassDef):
+                    inner = child.name if scope == "<module>" else f"{scope}.{child.name}"
+                    self._scope_of[id(child)] = scope
+                    visit(child, inner)
+                else:
+                    self._scope_of[id(child)] = scope
+                    visit(child, scope)
+
+        self._scope_of[id(self.tree)] = "<module>"
+        visit(self.tree, "<module>")
+
+    def scope_of(self, node: ast.AST) -> str:
+        return self._scope_of.get(id(node), "<module>")
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=lineno,
+            message=message,
+            context=self.scope_of(node),
+            code=self.line_text(lineno),
+        )
+
+
+class Baseline:
+    """Grandfathered findings, each with a human reason.
+
+    The on-disk format is a sorted JSON list of entries::
+
+        {"rule": "R3", "path": "src/repro/hdfs/filesystem.py",
+         "context": "Hdfs.check_replication", "code": "data = ...",
+         "reason": "NameNode background healing is off the query clock"}
+
+    Matching consumes entries one-for-one, so two findings with the same
+    key need two entries, and stale entries are reported by
+    :meth:`unused`.
+    """
+
+    def __init__(self, entries: Optional[List[dict]] = None):
+        self.entries = list(entries or [])
+        self._pool: Dict[Tuple[str, str, str, str], int] = {}
+        for entry in self.entries:
+            self._pool[self._key(entry)] = self._pool.get(self._key(entry), 0) + 1
+        self._matched: Dict[Tuple[str, str, str, str], int] = {}
+
+    @staticmethod
+    def _key(entry: dict) -> Tuple[str, str, str, str]:
+        return (
+            str(entry.get("rule", "")),
+            str(entry.get("path", "")),
+            str(entry.get("context", "")),
+            str(entry.get("code", "")),
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls([])
+        data = json.loads(path.read_text())
+        if not isinstance(data, list):
+            raise ValueError(f"baseline {path} must contain a JSON list")
+        return cls(data)
+
+    def save(self, path: Path) -> None:
+        ordered = sorted(
+            self.entries,
+            key=lambda e: (e.get("rule", ""), e.get("path", ""), e.get("code", "")),
+        )
+        path.write_text(json.dumps(ordered, indent=2, sort_keys=True) + "\n")
+
+    def split(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, baselined)."""
+        self._matched = {}
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            key = finding.key()
+            if self._matched.get(key, 0) < self._pool.get(key, 0):
+                self._matched[key] = self._matched.get(key, 0) + 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    def unused(self) -> List[dict]:
+        """Entries no current finding matched (stale after the last split)."""
+        out = []
+        seen: Dict[Tuple[str, str, str, str], int] = {}
+        for entry in self.entries:
+            key = self._key(entry)
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] > self._matched.get(key, 0):
+                out.append(entry)
+        return out
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], reasons: Optional[Dict[tuple, str]] = None
+    ) -> "Baseline":
+        entries = []
+        for finding in findings:
+            entry = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "context": finding.context,
+                "code": finding.code,
+                "reason": (reasons or {}).get(
+                    finding.key(), "TODO: justify or fix this exemption"
+                ),
+            }
+            entries.append(entry)
+        return cls(entries)
+
+
+@dataclass
+class Project:
+    """All parsed sources plus lazily built shared analyses."""
+
+    root: Path
+    files: List[SourceFile] = field(default_factory=list)
+    _caches: dict = field(default_factory=dict)
+
+    def by_path(self, path: str) -> Optional[SourceFile]:
+        for source in self.files:
+            if source.path == path:
+                return source
+        return None
+
+    def shared(self, key: str, build) -> object:
+        """Memoize a project-wide analysis (e.g. the call graph)."""
+        if key not in self._caches:
+            self._caches[key] = build(self)
+        return self._caches[key]
+
+    def run(self, rules: Sequence[object]) -> List[Finding]:
+        """Run every rule over every file; drop suppressed findings."""
+        findings: List[Finding] = []
+        for rule in rules:
+            for source in self.files:
+                for finding in rule.check_file(source, self):
+                    if not source.is_suppressed(finding.rule, finding.line):
+                        findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return findings
+
+
+def _iter_py_files(base: Path) -> Iterable[Path]:
+    if base.is_file():
+        if base.suffix == ".py":
+            yield base
+        return
+    for path in sorted(base.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def load_project(
+    root: Optional[Path] = None, paths: Optional[Sequence[Path]] = None
+) -> Project:
+    """Parse a source tree. ``paths`` defaults to ``<root>/src/repro``."""
+    root = Path(root) if root is not None else repo_root()
+    bases = [Path(p) for p in paths] if paths else [root / "src" / "repro"]
+    project = Project(root=root)
+    seen = set()
+    for base in bases:
+        base = base if base.is_absolute() else root / base
+        for path in _iter_py_files(base):
+            try:
+                rel = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                # Explicit path outside the root (e.g. a scratch file):
+                # keep it absolute rather than refusing to lint it.
+                rel = path.resolve().as_posix()
+            if rel in seen:
+                continue
+            seen.add(rel)
+            project.files.append(SourceFile(rel, path.read_text()))
+    project.files.sort(key=lambda s: s.path)
+    return project
+
+
+def project_from_sources(sources: Dict[str, str], root: Optional[Path] = None) -> Project:
+    """Build a Project from in-memory ``{path: text}`` (used by tests)."""
+    project = Project(root=Path(root) if root else repo_root())
+    for path, text in sorted(sources.items()):
+        project.files.append(SourceFile(path, text))
+    return project
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    paths: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[object]] = None,
+    baseline: Optional[Baseline] = None,
+) -> Tuple[List[Finding], List[Finding], Project]:
+    """One-call entry point: returns (new, baselined, project)."""
+    from repro.lint.rules import get_rules
+
+    project = load_project(root=root, paths=paths)
+    findings = project.run(list(rules) if rules is not None else get_rules())
+    if baseline is None:
+        baseline = Baseline.load(default_baseline_path())
+    new, old = baseline.split(findings)
+    return new, old, project

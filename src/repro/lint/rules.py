@@ -1,0 +1,541 @@
+"""The rule registry: five invariants the reproduction's claims rest on.
+
+==== ===================== =====================================================
+id   name                  protects
+==== ===================== =====================================================
+R1   no-wall-clock         reproducibility: simulated figures and chaos runs
+                           must not read the host clock outside ``bench/``
+R2   seeded-randomness     reproducibility: all stochastic choices flow through
+                           seeded ``util.rng.DeterministicRng`` streams
+R3   cost-conformance      validity of simulated figures: payload bytes moved in
+                           storage/hdfs/network/interconnect must be reachable
+                           from a ``repro.simtime`` charging context
+R4   exception-hygiene     recovery correctness: broad ``except`` may not
+                           swallow ``ClusterError``/``FaultInjected``, or the
+                           query-restart loop (paper §2.6) never sees the fault
+R5   deterministic-iter    plan/answer determinism: no unordered set iteration
+                           into planner, executor, or catalog output without
+                           ``sorted(...)``
+==== ===================== =====================================================
+
+Rules are ordinary objects with ``id``/``name``/``description`` and a
+``check_file(source, project)`` generator; register new ones by
+appending to :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.core import Finding, SourceFile
+
+
+def _in_dir(path: str, *dirnames: str) -> bool:
+    parts = path.split("/")
+    return any(d in parts for d in dirnames)
+
+
+# =========================================================================== R1
+class NoWallClockRule:
+    """Host-clock reads make simulated figures and chaos schedules
+    unreproducible. Only the benchmark harness (which *measures* real
+    time on purpose) and the cost model itself may touch them."""
+
+    id = "R1"
+    name = "no-wall-clock"
+    description = (
+        "time.time/perf_counter/monotonic/datetime.now outside bench/ "
+        "and simtime.py"
+    )
+
+    TIME_CLOCKS = frozenset(
+        {
+            "time",
+            "time_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    )
+    DATETIME_CLOCKS = frozenset({"now", "utcnow", "today"})
+
+    def _exempt(self, path: str) -> bool:
+        return _in_dir(path, "bench", "tests") or path.endswith("simtime.py")
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        if self._exempt(source.path):
+            return
+        time_modules: Set[str] = set()
+        datetime_modules: Set[str] = set()
+        datetime_classes: Set[str] = set()
+        clock_names: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_modules.add(alias.asname or alias.name)
+                    elif alias.name == "datetime":
+                        datetime_modules.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in self.TIME_CLOCKS:
+                            clock_names.add(alias.asname or alias.name)
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_classes.add(alias.asname or alias.name)
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in clock_names:
+                yield source.finding(
+                    self.id, node, f"wall-clock call {func.id}() in engine code"
+                )
+            elif isinstance(func, ast.Attribute):
+                value = func.value
+                if (
+                    isinstance(value, ast.Name)
+                    and value.id in time_modules
+                    and func.attr in self.TIME_CLOCKS
+                ):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"wall-clock call {value.id}.{func.attr}() in engine code",
+                    )
+                elif func.attr in self.DATETIME_CLOCKS and (
+                    (isinstance(value, ast.Name) and value.id in datetime_classes)
+                    or (
+                        isinstance(value, ast.Attribute)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in datetime_modules
+                        and value.attr in ("datetime", "date")
+                    )
+                ):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"wall-clock call ...{func.attr}() in engine code",
+                    )
+
+
+# =========================================================================== R2
+class SeededRandomnessRule:
+    """The module-level ``random`` functions share hidden global state,
+    and an argless ``random.Random()`` seeds from the OS — both make
+    runs unreproducible.  Every stochastic component must draw from a
+    named :class:`repro.util.rng.DeterministicRng` stream."""
+
+    id = "R2"
+    name = "seeded-randomness"
+    description = (
+        "module-level random.* calls or direct random.Random construction "
+        "outside util/rng.py"
+    )
+
+    def _exempt(self, path: str) -> bool:
+        return path.endswith("util/rng.py") or _in_dir(path, "tests")
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        if self._exempt(source.path):
+            return
+        aliases: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                names = ", ".join(a.name for a in node.names)
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"from random import {names}: use a seeded "
+                    "util.rng.DeterministicRng stream instead",
+                )
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in aliases
+            ):
+                continue
+            attr = node.func.attr
+            if attr in ("Random", "SystemRandom"):
+                detail = (
+                    "unseeded" if not node.args and not node.keywords else "direct"
+                )
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"{detail} random.{attr}() construction: derive a "
+                    "util.rng.DeterministicRng(seed, *names) stream instead",
+                )
+            else:
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"module-level random.{attr}() uses shared global state: "
+                    "use a seeded util.rng.DeterministicRng stream",
+                )
+
+
+# =========================================================================== R3
+class CostConformanceRule:
+    """Every payload byte moved through the simulated storage stack must
+    be *chargeable* to the simulated clock: the byte-moving call must
+    execute inside the dynamic extent of a function that invokes the
+    ``repro.simtime`` charging API (directly, above, or below — see
+    :mod:`repro.lint.callgraph`).  Uncharged byte movement silently
+    deflates the paper-shape figures."""
+
+    id = "R3"
+    name = "cost-conformance"
+    description = (
+        "byte movement in storage//hdfs//network//interconnect not reachable "
+        "from a simtime charging context"
+    )
+
+    #: Names of the primitive byte-movement operations in this codebase.
+    PRIMITIVES = frozenset(
+        {
+            # DataNode / NameNode block plumbing
+            "store_block",
+            "read_block",
+            "replace_block",
+            "_append_block",
+            "_read_block",
+            # HDFS client byte APIs
+            "write",
+            "write_file",
+            "read",
+            "read_file",
+            "read_all",
+            # datagram fabric
+            "send",
+        }
+    )
+
+    SCOPE_DIRS = ("storage", "hdfs", "network", "interconnect")
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        if not _in_dir(source.path, *self.SCOPE_DIRS):
+            return
+        graph: CallGraph = project.shared("callgraph", CallGraph.build)
+        covered: Set[str] = project.shared(
+            "cost-coverage", lambda p: graph.coverage()
+        )
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name: Optional[str] = None
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            if name not in self.PRIMITIVES:
+                continue
+            scope = source.scope_of(node)
+            key = f"{source.path}::{scope}"
+            if scope == "<module>" or key not in covered:
+                yield source.finding(
+                    self.id,
+                    node,
+                    f"uncharged byte movement: {name}() in {scope} is not "
+                    "reachable from any repro.simtime charging context",
+                )
+
+
+# =========================================================================== R4
+class ExceptionHygieneRule:
+    """A broad ``except`` that does not re-raise can swallow the typed
+    ``ClusterError``/``FaultInjected`` exceptions the chaos layer
+    injects, so the session's bounded-retry restart loop never sees the
+    fault and the paper's restart-over-recover argument breaks."""
+
+    id = "R4"
+    name = "exception-hygiene"
+    description = (
+        "bare/broad except that can swallow ClusterError/FaultInjected "
+        "without re-raising"
+    )
+
+    #: Exception names whose catch-without-reraise can hide an injected
+    #: fault: anything at or above ClusterError in the hierarchy.
+    BROAD = frozenset(
+        {"Exception", "BaseException", "ReproError", "ClusterError", "FaultInjected"}
+    )
+
+    @classmethod
+    def _broad_name(cls, expr: Optional[ast.expr]) -> Optional[str]:
+        if expr is None:
+            return "bare except:"
+        if isinstance(expr, ast.Name) and expr.id in cls.BROAD:
+            return expr.id
+        if isinstance(expr, ast.Attribute) and expr.attr in cls.BROAD:
+            return expr.attr
+        if isinstance(expr, ast.Tuple):
+            for element in expr.elts:
+                found = cls._broad_name(element)
+                if found:
+                    return found
+        return None
+
+    @staticmethod
+    def _reraises(body: Sequence[ast.stmt]) -> bool:
+        """True if any execution path through the handler raises.
+
+        Raises inside nested function definitions do not count — they
+        run later, if ever."""
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        if _in_dir(source.path, "tests"):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = self._broad_name(node.type)
+            if caught is None or self._reraises(node.body):
+                continue
+            yield source.finding(
+                self.id,
+                node,
+                f"broad handler ({caught}) swallows the exception: it would "
+                "hide ClusterError/FaultInjected from the query retry loop — "
+                "narrow the type or re-raise",
+            )
+
+
+# =========================================================================== R5
+class DeterministicIterationRule:
+    """Iterating a ``set``/``frozenset`` (or an explicit ``.keys()``
+    view) feeds its unordered elements into ordered output: rows, plan
+    shapes, hash/dispatch choices.  Wrap the iterable in ``sorted(...)``
+    or restructure.  Scope is limited to the subsystems whose output
+    order is an external contract: planner, executor, catalog."""
+
+    id = "R5"
+    name = "deterministic-iteration"
+    description = (
+        "unsorted set/frozenset/.keys() iteration in planner//executor//"
+        "catalog"
+    )
+
+    SCOPE_DIRS = ("planner", "executor", "catalog")
+    SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+    SET_METHODS = frozenset(
+        {"union", "intersection", "difference", "symmetric_difference", "copy"}
+    )
+    SET_ANNOTATIONS = frozenset(
+        {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+    )
+    #: Order-insensitive consumers: iterating a set into these is fine.
+    NEUTRAL_CALLS = frozenset(
+        {
+            "sorted",
+            "len",
+            "sum",
+            "min",
+            "max",
+            "any",
+            "all",
+            "set",
+            "frozenset",
+            "bool",
+        }
+    )
+
+    # ------------------------------------------------------- set-typed-ness
+    def _annotation_is_set(self, annotation: Optional[ast.expr]) -> bool:
+        node = annotation
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.SET_ANNOTATIONS
+        if isinstance(node, ast.Name):
+            return node.id in self.SET_ANNOTATIONS
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            text = node.value.split("[", 1)[0].strip()
+            return text.rsplit(".", 1)[-1] in self.SET_ANNOTATIONS
+        return False
+
+    def _set_returning_functions(self, source: SourceFile) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._annotation_is_set(node.returns):
+                    out.add(node.name)
+        return out
+
+    def _is_set_expr(
+        self, node: ast.expr, set_names: Set[str], set_funcs: Set[str]
+    ) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(
+                node.left, set_names, set_funcs
+            ) or self._is_set_expr(node.right, set_names, set_funcs)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                if node.func.id in self.SET_CONSTRUCTORS:
+                    return True
+                if node.func.id in set_funcs:
+                    return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.SET_METHODS
+            ):
+                return self._is_set_expr(node.func.value, set_names, set_funcs)
+        return False
+
+    def _collect_set_names(
+        self, func: ast.AST, set_funcs: Set[str]
+    ) -> Set[str]:
+        """Local names bound to set-typed expressions (fixpoint pass)."""
+        names: Set[str] = set()
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = func.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                if self._annotation_is_set(arg.annotation):
+                    names.add(arg.arg)
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(func):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node is not func:
+                        continue
+                targets: List[ast.expr] = []
+                value: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                    if self._annotation_is_set(node.annotation):
+                        if (
+                            isinstance(node.target, ast.Name)
+                            and node.target.id not in names
+                        ):
+                            names.add(node.target.id)
+                            changed = True
+                        continue
+                    targets, value = [node.target], node.value
+                elif isinstance(node, ast.AugAssign):
+                    targets, value = [node.target], node.value
+                if value is None:
+                    continue
+                if self._is_set_expr(value, names, set_funcs):
+                    for target in targets:
+                        if isinstance(target, ast.Name) and target.id not in names:
+                            names.add(target.id)
+                            changed = True
+        return names
+
+    # ------------------------------------------------------------- detection
+    def _iter_functions(self, source: SourceFile) -> Iterator[ast.AST]:
+        yield source.tree
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        if not _in_dir(source.path, *self.SCOPE_DIRS):
+            return
+        set_funcs = self._set_returning_functions(source)
+        flagged: Set[int] = set()
+        for func in self._iter_functions(source):
+            set_names = self._collect_set_names(func, set_funcs)
+
+            def is_unordered(expr: ast.expr) -> bool:
+                if (
+                    isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr == "keys"
+                    and not expr.args
+                ):
+                    return True
+                return self._is_set_expr(expr, set_names, set_funcs)
+
+            for node in ast.walk(func):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node is not func:
+                        continue
+                iterables: List[ast.expr] = []
+                what = ""
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iterables, what = [node.iter], "a for loop"
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                    iterables = [gen.iter for gen in node.generators]
+                    what = "a comprehension"
+                elif isinstance(node, ast.Call):
+                    callee: Optional[str] = None
+                    if isinstance(node.func, ast.Name):
+                        callee = node.func.id
+                    elif isinstance(node.func, ast.Attribute):
+                        callee = node.func.attr
+                    if callee in ("list", "tuple", "enumerate", "iter", "reversed"):
+                        iterables, what = list(node.args[:1]), f"{callee}(...)"
+                    elif callee == "join":
+                        iterables, what = list(node.args[:1]), "str.join"
+                elif isinstance(node, ast.YieldFrom):
+                    iterables, what = [node.value], "yield from"
+                for iterable in iterables:
+                    if not is_unordered(iterable):
+                        continue
+                    lineno = getattr(iterable, "lineno", getattr(node, "lineno", 1))
+                    if lineno in flagged:
+                        continue
+                    flagged.add(lineno)
+                    yield source.finding(
+                        self.id,
+                        iterable,
+                        f"unordered set iteration feeds {what}: wrap the "
+                        "iterable in sorted(...) to make the order "
+                        "deterministic",
+                    )
+
+
+RULES = [
+    NoWallClockRule(),
+    SeededRandomnessRule(),
+    CostConformanceRule(),
+    ExceptionHygieneRule(),
+    DeterministicIterationRule(),
+]
+
+
+def get_rules(select: Optional[Iterable[str]] = None) -> List[object]:
+    """Return registered rules, optionally filtered by id or name."""
+    if select is None:
+        return list(RULES)
+    wanted = {s.strip() for s in select}
+    chosen = [r for r in RULES if r.id in wanted or r.name in wanted]
+    unknown = wanted - {r.id for r in chosen} - {r.name for r in chosen}
+    if unknown:
+        known = ", ".join(f"{r.id}/{r.name}" for r in RULES)
+        raise ValueError(f"unknown rule(s) {sorted(unknown)}; known: {known}")
+    return chosen

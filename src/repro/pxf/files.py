@@ -199,6 +199,8 @@ class TextWriter(Writer):
         self.delimiter = delimiter
 
     def write(self, source, rows, schema):
+        """Write rows as delimited text; returns the bytes written so
+        the caller can charge them to the simulated clock."""
         if not source.startswith("/"):
             source = "/" + source
         lines = []
@@ -217,6 +219,7 @@ class TextWriter(Writer):
             writer.close()
         else:
             client.write_file(source, data)
+        return len(data)
         return len(data)
 
 

@@ -85,7 +85,7 @@ class BlockDecodeCache:
         self,
         capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
         charge_hits: bool = True,
-    ):
+    ) -> None:
         self.capacity_bytes = capacity_bytes
         #: When True (default), hits replay simulated charges so figures
         #: are unchanged; when False, hits cost nothing on the sim clock.

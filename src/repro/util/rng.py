@@ -23,7 +23,7 @@ def derive_seed(root_seed: int, *names: object) -> int:
 class DeterministicRng(random.Random):
     """A :class:`random.Random` seeded from a (root, *names) path."""
 
-    def __init__(self, root_seed: int, *names: object):
+    def __init__(self, root_seed: int, *names: object) -> None:
         super().__init__(derive_seed(root_seed, *names))
 
     def chance(self, probability: float) -> bool:

@@ -1,0 +1,476 @@
+"""The determinism & cost sanitizer: rules, suppressions, baseline, CLI.
+
+Three layers of coverage:
+
+* **Rule units** — each of R1..R5 gets positive and negative synthetic
+  snippets via :func:`project_from_sources`, so the detectors are pinned
+  independently of the live tree.
+* **Framework** — suppression comments, baseline round-trips (match /
+  stale / count-based consumption), rule selection.
+* **The repo gate** — ``test_repo_clean`` is the tier-1 hook: the live
+  source tree must have zero unbaselined findings, and the injection
+  tests prove the gate actually fires (a wall-clock read dropped into
+  executor code, a swallowing handler dropped into engine code) with the
+  right rule id and file:line.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    default_baseline_path,
+    load_project,
+    repo_root,
+    run_lint,
+)
+from repro.lint.core import Finding, project_from_sources
+from repro.lint.rules import RULES, get_rules
+
+REPO = repo_root()
+
+
+def run_rules(sources, select=None):
+    """Lint in-memory sources; return findings from the chosen rules."""
+    project = project_from_sources(sources)
+    return project.run(get_rules(select))
+
+
+# ================================================================ R1 wall-clock
+class TestNoWallClock:
+    def test_flags_time_time(self):
+        findings = run_rules(
+            {"src/repro/executor/runner.py": "import time\nt = time.time()\n"},
+            select=["R1"],
+        )
+        assert [f.rule for f in findings] == ["R1"]
+        assert findings[0].line == 2
+        assert "time.time()" in findings[0].message
+
+    def test_flags_from_import_and_datetime(self):
+        src = (
+            "from time import perf_counter\n"
+            "from datetime import datetime\n"
+            "def f():\n"
+            "    return perf_counter(), datetime.now()\n"
+        )
+        findings = run_rules({"src/repro/engine.py": src}, select=["R1"])
+        assert len(findings) == 2
+        assert all(f.rule == "R1" for f in findings)
+        assert {f.context for f in findings} == {"f"}
+
+    def test_flags_aliased_module(self):
+        src = "import time as clock\nstart = clock.monotonic()\n"
+        findings = run_rules({"src/repro/hdfs/filesystem.py": src}, select=["R1"])
+        assert len(findings) == 1
+
+    def test_bench_and_simtime_exempt(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert not run_rules({"src/repro/bench/wallclock.py": src}, select=["R1"])
+        assert not run_rules({"src/repro/simtime.py": src}, select=["R1"])
+        assert not run_rules({"tests/test_x.py": src}, select=["R1"])
+
+    def test_non_clock_time_attrs_ok(self):
+        src = "import time\ntime.sleep  # attribute access only, not a clock call\n"
+        assert not run_rules({"src/repro/engine.py": src}, select=["R1"])
+
+
+# ============================================================== R2 seeded rand
+class TestSeededRandomness:
+    def test_flags_module_level_random(self):
+        src = "import random\nx = random.random()\n"
+        findings = run_rules({"src/repro/chaos/plan.py": src}, select=["R2"])
+        assert [f.rule for f in findings] == ["R2"]
+        assert "DeterministicRng" in findings[0].message
+
+    def test_flags_from_random_import(self):
+        src = "from random import shuffle\n"
+        findings = run_rules({"src/repro/planner/join.py": src}, select=["R2"])
+        assert len(findings) == 1
+
+    def test_flags_unseeded_random_construction(self):
+        src = "import random\nrng = random.Random()\n"
+        findings = run_rules({"src/repro/engine.py": src}, select=["R2"])
+        assert len(findings) == 1
+        assert "unseeded" in findings[0].message
+
+    def test_rng_module_and_tests_exempt(self):
+        src = "import random\nrng = random.Random(7)\n"
+        assert not run_rules({"src/repro/util/rng.py": src}, select=["R2"])
+        assert not run_rules({"tests/test_y.py": src}, select=["R2"])
+
+    def test_seeded_stream_usage_ok(self):
+        src = (
+            "from repro.util import DeterministicRng\n"
+            "rng = DeterministicRng(7, 'chaos', 'plan')\n"
+            "x = rng.random()\n"
+        )
+        assert not run_rules({"src/repro/chaos/plan.py": src}, select=["R2"])
+
+
+# ========================================================== R3 cost conformance
+class TestCostConformance:
+    CHARGED = (
+        "class Store:\n"
+        "    def put(self, data, acc):\n"
+        "        acc.disk_write(len(data))\n"
+        "        self.node.store_block(data)\n"
+    )
+    UNCHARGED = (
+        "class Store:\n"
+        "    def put(self, data):\n"
+        "        self.node.store_block(data)\n"
+    )
+
+    def test_flags_uncharged_byte_movement(self):
+        findings = run_rules(
+            {"src/repro/storage/ao.py": self.UNCHARGED}, select=["R3"]
+        )
+        assert [f.rule for f in findings] == ["R3"]
+        assert "store_block" in findings[0].message
+        assert findings[0].context == "Store.put"
+
+    def test_direct_charger_covered(self):
+        assert not run_rules(
+            {"src/repro/storage/ao.py": self.CHARGED}, select=["R3"]
+        )
+
+    def test_covered_via_caller_above(self):
+        # The charging happens in a *caller*: put() itself never charges,
+        # but scan() charges and calls put(), so put() is in the DOWN set.
+        src = (
+            "def scan(acc, store, data):\n"
+            "    acc.disk_read(len(data))\n"
+            "    put(store, data)\n"
+            "def put(store, data):\n"
+            "    store.store_block(data)\n"
+        )
+        assert not run_rules({"src/repro/hdfs/datanode.py": src}, select=["R3"])
+
+    def test_out_of_scope_dirs_ignored(self):
+        assert not run_rules(
+            {"src/repro/planner/join.py": self.UNCHARGED}, select=["R3"]
+        )
+
+
+# ========================================================= R4 exception hygiene
+class TestExceptionHygiene:
+    def test_flags_swallowing_broad_handler(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        findings = run_rules({"src/repro/engine.py": src}, select=["R4"])
+        assert [f.rule for f in findings] == ["R4"]
+        assert findings[0].line == 4
+
+    def test_flags_bare_except_and_cluster_error(self):
+        src = (
+            "from repro.errors import ClusterError\n"
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ClusterError:\n"
+            "        return None\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        findings = run_rules({"src/repro/dispatch.py": src}, select=["R4"])
+        assert len(findings) == 2
+
+    def test_reraise_is_clean(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception as exc:\n"
+            "        log(exc)\n"
+            "        raise\n"
+        )
+        assert not run_rules({"src/repro/engine.py": src}, select=["R4"])
+
+    def test_narrow_handler_is_clean(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except (KeyError, ValueError):\n"
+            "        return None\n"
+        )
+        assert not run_rules({"src/repro/engine.py": src}, select=["R4"])
+
+    def test_raise_in_nested_def_does_not_count(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        def handler():\n"
+            "            raise ValueError('later, maybe never')\n"
+            "        return handler\n"
+        )
+        findings = run_rules({"src/repro/engine.py": src}, select=["R4"])
+        assert len(findings) == 1
+
+
+# ==================================================== R5 deterministic iteration
+class TestDeterministicIteration:
+    def test_flags_set_literal_for_loop(self):
+        src = "for x in {3, 1, 2}:\n    print(x)\n"
+        findings = run_rules({"src/repro/planner/scan.py": src}, select=["R5"])
+        assert [f.rule for f in findings] == ["R5"]
+
+    def test_flags_set_typed_local_comprehension(self):
+        src = (
+            "def plan(cols):\n"
+            "    used = set(cols)\n"
+            "    return [c for c in used]\n"
+        )
+        findings = run_rules({"src/repro/planner/scan.py": src}, select=["R5"])
+        assert len(findings) == 1
+        assert findings[0].context == "plan"
+
+    def test_flags_keys_iteration_and_list_of_set(self):
+        src = (
+            "def f(mapping, items):\n"
+            "    for k in mapping.keys():\n"
+            "        pass\n"
+            "    return list(set(items))\n"
+        )
+        findings = run_rules({"src/repro/catalog/tables.py": src}, select=["R5"])
+        assert len(findings) == 2
+
+    def test_sorted_wrapping_is_clean(self):
+        src = (
+            "def plan(cols):\n"
+            "    used = set(cols)\n"
+            "    return [c for c in sorted(used)]\n"
+        )
+        assert not run_rules({"src/repro/planner/scan.py": src}, select=["R5"])
+
+    def test_annotated_param_propagates(self):
+        src = (
+            "from typing import Set\n"
+            "def f(names: Set[str]):\n"
+            "    alive = names\n"
+            "    for n in alive:\n"
+            "        pass\n"
+        )
+        findings = run_rules({"src/repro/executor/nodes.py": src}, select=["R5"])
+        assert len(findings) == 1
+
+    def test_out_of_scope_dirs_ignored(self):
+        src = "for x in {3, 1, 2}:\n    print(x)\n"
+        assert not run_rules({"src/repro/hdfs/filesystem.py": src}, select=["R5"])
+
+
+# ================================================================== suppressions
+class TestSuppressions:
+    def test_inline_allow_drops_finding(self):
+        src = "import time\nt = time.time()  # lint: allow[R1]\n"
+        assert not run_rules({"src/repro/engine.py": src}, select=["R1"])
+
+    def test_allow_on_preceding_line(self):
+        src = (
+            "import time\n"
+            "# lint: allow[R1] — measured on purpose here\n"
+            "t = time.time()\n"
+        )
+        assert not run_rules({"src/repro/engine.py": src}, select=["R1"])
+
+    def test_allow_names_only_that_rule(self):
+        src = "import time\nt = time.time()  # lint: allow[R4]\n"
+        findings = run_rules({"src/repro/engine.py": src}, select=["R1"])
+        assert len(findings) == 1
+
+    def test_wildcard_allow(self):
+        src = "import time\nt = time.time()  # lint: allow[*]\n"
+        assert not run_rules({"src/repro/engine.py": src}, select=["R1"])
+
+
+# ====================================================================== baseline
+class TestBaseline:
+    def find(self, **kw):
+        base = dict(
+            rule="R1",
+            path="src/repro/engine.py",
+            line=10,
+            message="m",
+            context="f",
+            code="t = time.time()",
+        )
+        base.update(kw)
+        return Finding(**base)
+
+    def test_round_trip_and_match(self, tmp_path):
+        finding = self.find()
+        baseline = Baseline.from_findings([finding], {finding.key(): "why"})
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries[0]["reason"] == "why"
+        new, old = loaded.split([finding])
+        assert new == [] and old == [finding]
+        assert loaded.unused() == []
+
+    def test_line_number_changes_still_match(self, tmp_path):
+        baseline = Baseline.from_findings([self.find(line=10)])
+        # Same rule/path/context/code on a different line: unrelated edits
+        # above the finding must not invalidate the baseline entry.
+        new, old = baseline.split([self.find(line=99)])
+        assert new == [] and len(old) == 1
+
+    def test_count_based_consumption(self):
+        baseline = Baseline.from_findings([self.find()])
+        two = [self.find(line=10), self.find(line=20)]
+        new, old = baseline.split(two)
+        assert len(old) == 1 and len(new) == 1
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline.from_findings([self.find()])
+        new, old = baseline.split([])
+        assert new == [] and old == []
+        assert len(baseline.unused()) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+
+# ================================================================ rule registry
+class TestRegistry:
+    def test_five_rules_registered(self):
+        assert [r.id for r in RULES] == ["R1", "R2", "R3", "R4", "R5"]
+
+    def test_select_by_id_and_name(self):
+        assert [r.id for r in get_rules(["R1", "exception-hygiene"])] == ["R1", "R4"]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            get_rules(["R99"])
+
+
+# =============================================================== repo-wide gate
+class TestRepoGate:
+    def test_repo_clean(self):
+        """Tier-1 gate: zero unbaselined findings on the live tree."""
+        new, old, project = run_lint()
+        assert new == [], "\n" + "\n".join(f.render() for f in new)
+        assert project.files, "lint saw no files — path resolution broke"
+        stale = Baseline.load(default_baseline_path())
+        stale.split(project.run(get_rules()))
+        assert stale.unused() == [], "baseline has stale entries: run --update-baseline"
+
+    def test_baseline_entries_have_reasons(self):
+        baseline = Baseline.load(default_baseline_path())
+        for entry in baseline.entries:
+            reason = entry.get("reason", "")
+            assert reason and "TODO" not in reason, entry
+
+    def _lint_tree(self, tree_root):
+        new, _, _ = run_lint(root=tree_root)
+        return new
+
+    @pytest.fixture()
+    def repo_copy(self, tmp_path):
+        """A src/repro copy to mutate without touching the live tree."""
+        import shutil
+
+        dest = tmp_path / "src" / "repro"
+        shutil.copytree(REPO / "src" / "repro", dest)
+        return tmp_path
+
+    def test_injected_wall_clock_is_caught(self, repo_copy):
+        """Acceptance check: time.time() in executor code must fail R1
+        with the right file and line."""
+        target = repo_copy / "src" / "repro" / "executor" / "runner.py"
+        src = target.read_text()
+        clock_line = src.count("\n") + 2  # after the appended import
+        target.write_text(src + "import time\n_T0 = time.time()\n")
+        findings = self._lint_tree(repo_copy)
+        hits = [f for f in findings if f.rule == "R1"]
+        assert hits, "injected wall-clock read not caught"
+        assert hits[0].path == "src/repro/executor/runner.py"
+        assert hits[0].line == clock_line
+
+    def test_injected_swallowing_handler_is_caught(self, repo_copy):
+        """Acceptance check: a swallowing except Exception in engine.py
+        must fail R4."""
+        target = repo_copy / "src" / "repro" / "engine.py"
+        src = target.read_text()
+        injected = (
+            "\n\ndef _swallow(op):\n"
+            "    try:\n"
+            "        return op()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        line_of_except = src.count("\n") + 1 + 5  # 2 blank + def/try/return
+        target.write_text(src + injected)
+        findings = self._lint_tree(repo_copy)
+        hits = [f for f in findings if f.rule == "R4" and f.path == "src/repro/engine.py"]
+        assert hits, "injected swallowing handler not caught"
+        assert hits[0].context == "_swallow"
+        assert hits[0].line == line_of_except
+
+
+# ==================================================================== CLI layer
+class TestCli:
+    def run_cli(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env=env,
+        )
+
+    def test_exit_zero_and_json_shape_on_clean_repo(self):
+        proc = self.run_cli("--json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["findings"] == []
+        assert report["rules"] == ["R1", "R2", "R3", "R4", "R5"]
+        assert report["files"] > 50
+        assert report["stale_baseline_entries"] == []
+
+    def test_exit_one_on_findings(self, tmp_path):
+        bad = tmp_path / "x.py"
+        # Path must carry no exempt directory; lint an explicit file.
+        bad.write_text("import time\nt = time.time()\n")
+        proc = self.run_cli("--no-baseline", str(bad))
+        assert proc.returncode == 1
+        assert "R1" in proc.stdout
+
+    def test_exit_two_on_internal_error(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        proc = self.run_cli(str(broken))
+        assert proc.returncode == 2
+        assert "internal error" in proc.stderr
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rid in ("R1", "R2", "R3", "R4", "R5"):
+            assert rid in proc.stdout
+
+    def test_types_flag_degrades_without_mypy(self):
+        proc = self.run_cli("--types")
+        assert proc.returncode in (0, 1)
+        # With mypy absent (the pinned container), the skip is loud.
+        try:
+            import mypy  # noqa: F401
+        except ImportError:
+            assert "skipping type check" in proc.stdout

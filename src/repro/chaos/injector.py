@@ -29,7 +29,6 @@ from repro.chaos.plan import FaultEvent, FaultPlan
 from repro.errors import (
     MasterUnavailable,
     ReproError,
-    SegmentDown,
     TransactionAbortedByFault,
 )
 from repro.network.simnet import NetworkConditions
@@ -117,11 +116,12 @@ class FaultInjector:
                 return
             self._log(event)
             engine.fail_segment(segment.segment_id)
-            if in_query:
-                raise SegmentDown(
-                    f"chaos: segment {segment.segment_id} on "
-                    f"{segment.host} killed mid-query"
-                )
+            # Kill the QE *process*, not the query: the worker's RPC
+            # channel drops, so the query fails (as SegmentDown, into
+            # the session's restart loop) only when that channel is
+            # actually needed — the dead worker reporting COMPLETE, or
+            # the master dispatching a later wave to it.
+            engine.drop_worker_channel(segment.segment_id)
         elif kind == "revive_segment":
             segment = engine.segments[int(event.target) % len(engine.segments)]
             if segment.alive:

@@ -1,7 +1,17 @@
-"""Cluster runtime: stateless segments, standby master, fault detection."""
+"""Cluster runtime: stateless segments, standby master, fault detection,
+and the master/segment control-plane RPC."""
 
 from repro.cluster.segment import Segment
 from repro.cluster.standby import StandbyMaster
 from repro.cluster.fault import FaultDetector
+from repro.cluster.rpc import RpcBus, RpcChannel, RpcMessage, TaskReport
 
-__all__ = ["FaultDetector", "Segment", "StandbyMaster"]
+__all__ = [
+    "FaultDetector",
+    "RpcBus",
+    "RpcChannel",
+    "RpcMessage",
+    "Segment",
+    "StandbyMaster",
+    "TaskReport",
+]

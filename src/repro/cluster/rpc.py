@@ -1,0 +1,156 @@
+"""Master/segment control-plane RPC, riding the simulated datagram net.
+
+The query dispatcher (QD) and every :class:`~repro.cluster.worker.
+SegmentWorker` own one :class:`RpcChannel` on a shared :class:`RpcBus`.
+All control traffic — plan dispatch, acks, completion reports, aborts —
+flows as datagrams through :class:`~repro.network.simnet.SimNetwork`,
+and every charged send pays real bytes plus **one** ``net_latency`` on
+the sender's cost accumulator (latency is per message, never per
+fragment: a multi-fragment payload is batched into one charged send).
+
+Killing a segment process is modeled as *dropping its channel*: the
+endpoint stays bound (stray datagrams vanish like real UDP to a dead
+port), but any attempt to send through a closed channel — the master
+dispatching to it, or the dead worker trying to report back — raises
+:class:`~repro.errors.SegmentDown`, which the session's bounded-restart
+loop turns into a query restart (paper §2.6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import InterconnectError, SegmentDown
+from repro.network.simnet import Datagram, SimNetwork
+from repro.simtime import CostAccumulator
+
+# Message kinds of the dispatch protocol.
+DISPATCH = "dispatch"
+ACK = "ack"
+COMPLETE = "complete"
+ABORT = "abort"
+
+#: The master's well-known channel name on the bus.
+MASTER = "master"
+
+#: Nominal wire sizes of the fixed-shape control messages.
+ACK_BYTES = 64
+ABORT_BYTES = 64
+COMPLETE_BYTES = 128
+#: Charged wire size of a thin plan when metadata dispatch is ablated
+#: (the plan itself shrinks to a stub; the metadata RPC storm is charged
+#: separately, per catalog object).
+CATALOG_LOOKUP_BYTES = 256
+
+_RPC_HOST = "rpc"
+_BASE_PORT = 9000
+
+
+def charge_control(acc: CostAccumulator, nbytes: int) -> None:
+    """Charge one control-plane message: its bytes at wire bandwidth plus
+    exactly one ``net_latency``. Control traffic (plans, acks, reports)
+    is *not* data-proportional, so the byte time is a fixed cost — it
+    never gets multiplied by the data-volume scale factor."""
+    acc.net_bytes += nbytes
+    acc.fixed(nbytes / acc.model.net_bw + acc.model.net_latency)
+
+
+@dataclass
+class RpcMessage:
+    """One control-plane message."""
+
+    kind: str
+    sender: str
+    payload: object = None
+    #: Charged wire size in bytes (plan bytes for DISPATCH, a small
+    #: fixed header for ACK/COMPLETE/ABORT).
+    size: int = 0
+
+
+@dataclass
+class TaskReport:
+    """COMPLETE payload: what one (slice, segment) task did."""
+
+    slice_id: int
+    segment: int
+    seconds: float
+    #: Rows pushed through the slice's motion (or returned, for top).
+    rows_out: int
+    #: Bytes pushed through the slice's motion.
+    bytes_out: int
+    disk_read_bytes: int = 0
+    disk_write_bytes: int = 0
+    net_bytes: int = 0
+    tuples: int = 0
+    #: Top-slice only: the result rows gathered back to the client.
+    result_rows: Optional[List[tuple]] = None
+
+
+@dataclass
+class RpcChannel:
+    """One endpoint's connection to the bus. ``open=False`` models a
+    dead process: the channel exists but nothing can traverse it."""
+
+    name: str
+    address: Tuple[str, int]
+    open: bool = True
+
+
+class RpcBus:
+    """Name-addressed control-plane messaging over a SimNetwork."""
+
+    def __init__(self, net: SimNetwork):
+        self._net = net
+        self._ports = itertools.count(_BASE_PORT)
+        self._handlers: Dict[str, Callable[[RpcMessage], None]] = {}
+        self.channels: Dict[str, RpcChannel] = {}
+
+    def register(
+        self, name: str, handler: Callable[[RpcMessage], None]
+    ) -> RpcChannel:
+        """Bind ``name`` to a fresh (host, port) endpoint on the net."""
+        if name in self.channels:
+            raise InterconnectError(f"rpc name already bound: {name}")
+        address = (_RPC_HOST, next(self._ports))
+        self._net.register(address, lambda d: self._receive(name, d))
+        channel = RpcChannel(name=name, address=address)
+        self.channels[name] = channel
+        self._handlers[name] = handler
+        return channel
+
+    def _receive(self, name: str, datagram: Datagram) -> None:
+        channel = self.channels.get(name)
+        if channel is None or not channel.open:
+            return  # dead process: datagram vanishes, like real UDP
+        self._handlers[name](datagram.payload)
+
+    def drop(self, name: str) -> None:
+        """Kill the named endpoint's process: close its channel."""
+        channel = self.channels.get(name)
+        if channel is not None:
+            channel.open = False
+
+    def is_open(self, name: str) -> bool:
+        channel = self.channels.get(name)
+        return channel is not None and channel.open
+
+    def send(
+        self,
+        sender: str,
+        dest: str,
+        message: RpcMessage,
+        acc: Optional[CostAccumulator] = None,
+    ) -> None:
+        """Send one control message; charges ``acc`` (when given) the
+        message's bytes plus exactly one ``net_latency``."""
+        src = self.channels.get(sender)
+        dst = self.channels.get(dest)
+        if src is None or not src.open:
+            raise SegmentDown(f"rpc endpoint {sender!r} is down")
+        if dst is None or not dst.open:
+            raise SegmentDown(f"rpc channel to {dest!r} is down")
+        if acc is not None:
+            charge_control(acc, message.size)
+        self._net.send(src.address, dst.address, message, message.size)

@@ -1,0 +1,298 @@
+"""The segment-side query executor process (QE).
+
+A :class:`SegmentWorker` owns everything segment-local: its HDFS client
+(via the segment's placement), scan providers over dispatched
+self-described plans, the shared block decode cache, and the chaos
+hooks. It receives :class:`~repro.planner.dispatch.SliceTask`s as
+DISPATCH messages on the :class:`~repro.cluster.rpc.RpcBus`, executes
+exactly one task at a time with a :class:`~repro.executor.slice_runner.
+SliceExecutor`, and reports back with an ACK (task accepted) and a
+COMPLETE carrying the :class:`~repro.cluster.rpc.TaskReport`.
+
+The master runs one extra worker for itself (``segment_id == -1``,
+gang "1" slices). Its control messages travel the same code path but
+are *loopback*: they charge no network time.
+
+Death is a dropped RPC channel, not an exception reached into engine
+internals: a killed worker keeps executing until it next needs its
+channel (the COMPLETE send), at which point :class:`~repro.errors.
+SegmentDown` surfaces and the session's bounded-restart loop takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List
+
+from repro.catalog.service import CATALOG_RELATION_COLUMNS
+from repro.cluster.rpc import (
+    ACK,
+    ACK_BYTES,
+    COMPLETE,
+    COMPLETE_BYTES,
+    DISPATCH,
+    MASTER,
+    RpcBus,
+    RpcMessage,
+    TaskReport,
+    charge_control,
+)
+from repro.errors import SegmentDown
+from repro.executor.slice_runner import SliceExecutor, SliceProviders
+from repro.interconnect.exchange import ExchangeFabric
+from repro.planner.dispatch import QD_SEGMENT, SelfDescribedPlan
+from repro.simtime import CostAccumulator
+from repro.storage import get_codec, get_format
+from repro.storage.base import ScanStats
+
+
+@dataclass
+class WorkerServices:
+    """Cluster facilities a worker borrows from the engine.
+
+    Everything here is *shared infrastructure* (HDFS namespace, block
+    cache, segment placement, chaos clock) — the worker itself holds no
+    cross-query state, which is what makes segments stateless and query
+    restart cheap (paper §2.6).
+    """
+
+    hdfs: object
+    block_cache: object
+    pxf: object
+    #: The engine's segment list (indexed by segment id).
+    segments: List
+    #: ``(relation_name, snapshot) -> rows`` for master-only catalog scans.
+    catalog_rows: Callable[[str, object], Iterator[tuple]]
+    chaos_point: Callable
+    chaos_progress: Callable
+    num_segments: int
+
+
+class SegmentWorker:
+    """One QE process: executes dispatched slice tasks, one at a time."""
+
+    def __init__(
+        self,
+        segment_id: int,
+        bus: RpcBus,
+        exchange: ExchangeFabric,
+        services: WorkerServices,
+    ):
+        self.segment_id = segment_id
+        self.name = f"seg{segment_id}"
+        self.bus = bus
+        self.exchange = exchange
+        self.services = services
+        self.channel = bus.register(self.name, self._on_message)
+        exchange.attach(segment_id)
+        #: Loopback: the master's own worker pays no wire time.
+        self.is_loopback = segment_id == QD_SEGMENT
+
+    # --------------------------------------------------------------- messages
+    def _on_message(self, message: RpcMessage) -> None:
+        if message.kind != DISPATCH:
+            return  # ABORT (or unknown): nothing mid-flight to cancel —
+            # tasks run to completion within one bus delivery.
+        task, root, sdp, ctx = message.payload
+        acc = CostAccumulator(ctx.cost_model)
+        charged = None if self.is_loopback else acc
+        self.bus.send(
+            self.name,
+            MASTER,
+            RpcMessage(
+                kind=ACK,
+                sender=self.name,
+                payload=(task.slice_id, task.segment),
+                size=ACK_BYTES,
+            ),
+            acc=charged,
+        )
+        providers = SliceProviders(
+            scan=self._scan_provider(sdp),
+            batch_scan=self._batch_scan_provider(sdp),
+            external=self._external_provider(),
+        )
+        executor = SliceExecutor(root, task, ctx, providers, self.exchange, acc)
+        rows = executor.run()
+        if charged is not None:
+            # The completion report is part of the task's own timeline
+            # (it must be pre-charged: the report carries acc.seconds).
+            charge_control(acc, COMPLETE_BYTES)
+        report = TaskReport(
+            slice_id=task.slice_id,
+            segment=task.segment,
+            seconds=acc.seconds,
+            rows_out=executor.rows_out,
+            bytes_out=executor.bytes_out,
+            disk_read_bytes=acc.disk_read_bytes,
+            disk_write_bytes=acc.disk_write_bytes,
+            net_bytes=acc.net_bytes,
+            tuples=acc.tuples,
+            result_rows=rows if task.is_top else None,
+        )
+        self.bus.send(
+            self.name,
+            MASTER,
+            RpcMessage(
+                kind=COMPLETE,
+                sender=self.name,
+                payload=report,
+                size=COMPLETE_BYTES,
+            ),
+        )
+
+    # -------------------------------------------------------------- providers
+    def _scan_provider(self, sdp: SelfDescribedPlan):
+        services = self.services
+
+        def provider(table_source, partitions, segment_id, columns, acc):
+            if table_source.table_name in CATALOG_RELATION_COLUMNS:
+                # Master-only data: the catalog lives on the master, so
+                # one QE serves it and the rest see an empty scan.
+                if segment_id == 0:
+                    yield from services.catalog_rows(
+                        table_source.table_name, sdp.snapshot
+                    )
+                return
+            names = (
+                partitions if partitions is not None else [table_source.table_name]
+            )
+            segment = services.segments[segment_id]
+            self._check_segment_up(segment)
+            client = segment.client(services.hdfs)
+            for name in names:
+                meta = sdp.metadata[name]
+                fmt = get_format(meta.storage_format)
+                for lane in meta.segfiles.get(segment_id, []):
+                    yield from self._charged_scan(
+                        fmt.scan,
+                        client,
+                        lane.paths,
+                        meta,
+                        columns,
+                        acc,
+                        segment_id=segment_id,
+                    )
+
+        return provider
+
+    def _batch_scan_provider(self, sdp: SelfDescribedPlan):
+        """Block-granular sibling of :meth:`_scan_provider`: returns an
+        iterator of ``(row_count, {column_index: values})`` column blocks
+        for the vectorized executor, or None when the source only exists
+        as rows (catalog relations)."""
+        services = self.services
+
+        def provider(table_source, partitions, segment_id, columns, acc):
+            if table_source.table_name in CATALOG_RELATION_COLUMNS:
+                return None  # master-only catalog data: row fallback
+            names = (
+                partitions if partitions is not None else [table_source.table_name]
+            )
+            segment = services.segments[segment_id]
+            self._check_segment_up(segment)
+            client = segment.client(services.hdfs)
+
+            def blocks():
+                for name in names:
+                    meta = sdp.metadata[name]
+                    fmt = get_format(meta.storage_format)
+                    for lane in meta.segfiles.get(segment_id, []):
+                        yield from self._charged_scan(
+                            fmt.scan_blocks,
+                            client,
+                            lane.paths,
+                            meta,
+                            columns,
+                            acc,
+                            segment_id=segment_id,
+                        )
+
+            return blocks()
+
+        return provider
+
+    @staticmethod
+    def _check_segment_up(segment) -> None:
+        """A scan may only run on an alive segment or an acting host."""
+        if not segment.alive and segment.acting_host is None:
+            raise SegmentDown(
+                f"segment {segment.segment_id} is down with no acting host"
+            )
+
+    def _charged_scan(
+        self, scan_fn, client, paths, meta, columns, acc, segment_id=None
+    ):
+        """Run one segfile-lane scan, charging the cost model the same
+        way regardless of entry point (row tuples or column blocks):
+        disk for compressed bytes, CPU for decompression + decode, and
+        network for remote-replica reads — including charges the decode
+        cache *replays* on hits (``ScanStats.remote_bytes``). Charging
+        happens in ``finally`` so an abandoned scan (LIMIT) still pays
+        for the blocks it decoded.
+
+        Chaos instrumentation: the lane is an execution point (due fault
+        events fire before the scan starts) and, on normal completion,
+        the lane's charged simulated seconds advance the chaos clock —
+        so a seeded fault schedule can land *inside* a running query.
+        Abandoned scans (LIMIT) skip the progress pulse: firing faults
+        while a generator is being closed would corrupt the unwind."""
+        services = self.services
+        services.chaos_point(segment_id=segment_id)
+        model = acc.model
+        codec = get_codec(meta.compression)
+        io_factor = (
+            model.parquet_io_amplification
+            if meta.storage_format == "parquet"
+            else 1.0
+        )
+        cpu_factor = (
+            model.parquet_cpu_factor
+            if meta.storage_format == "parquet"
+            else 1.0
+        )
+        stats = ScanStats()
+        remote_before = client.remote_bytes_read
+        seconds_before = acc.seconds
+        try:
+            yield from scan_fn(
+                client,
+                paths,
+                meta.schema,
+                meta.compression,
+                columns=columns,
+                stats=stats,
+                cache=services.block_cache,
+            )
+        finally:
+            acc.disk_read(int(stats.compressed_bytes * io_factor))
+            acc.cpu_bytes(
+                stats.uncompressed_bytes,
+                (codec.decompress_cost + model.cpu_format_byte) * cpu_factor,
+            )
+            remote = (
+                client.remote_bytes_read - remote_before + stats.remote_bytes
+            )
+            if remote:
+                acc.network(remote)
+        services.chaos_progress(
+            acc.seconds - seconds_before, segment_id=segment_id
+        )
+
+    def _external_provider(self):
+        services = self.services
+
+        def provider(table_source, segment_id, columns, pushed, acc):
+            yield from services.pxf.scan(
+                table_source.pxf,
+                table_source.schema,
+                segment_id,
+                services.num_segments,
+                pushed,
+                acc,
+                segment_hosts={
+                    s.segment_id: s.effective_host() for s in services.segments
+                },
+            )
+
+        return provider

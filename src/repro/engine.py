@@ -42,8 +42,10 @@ from repro.catalog.service import (
 )
 from repro.catalog.stats import TableStats
 from repro.cluster.fault import FaultDetector
+from repro.cluster.rpc import RpcBus
 from repro.cluster.segment import Segment
 from repro.cluster.standby import StandbyMaster
+from repro.cluster.worker import SegmentWorker, WorkerServices
 from repro.errors import (
     ClusterError,
     ExecutorError,
@@ -59,21 +61,23 @@ from repro.errors import (
 )
 from repro.executor.expr import compile_expr
 from repro.executor.runner import (
+    DistributedRuntime,
     ExecutionContext,
     QueryResult,
-    execute_plan,
 )
 from repro.hdfs import Hdfs
+from repro.interconnect.exchange import ExchangeFabric
+from repro.network.simnet import NetworkConditions, SimNetwork
 from repro.planner.analyzer import Analyzer, RelationInfo
-from repro.planner.dispatch import SelfDescribedPlan, build_self_described_plan
+from repro.planner.dispatch import QD_SEGMENT, build_self_described_plan
 from repro.planner.logical import DerivedSource, LogicalQuery
 from repro.planner.planner import Planner, PlannerOptions
 from repro.pxf.registry import PxfRegistry
 from repro.simtime import CostAccumulator, CostModel, QueryCost
 from repro.sql import ast
 from repro.sql.parser import parse_sql
-from repro.storage import get_codec, get_format
-from repro.storage.base import ScanStats, WriteResult
+from repro.storage import get_format
+from repro.storage.base import WriteResult
 from repro.storage.cache import (
     DEFAULT_CAPACITY_BYTES as DEFAULT_CACHE_BYTES,
     BlockDecodeCache,
@@ -139,6 +143,10 @@ class Engine:
         #: engine reports scan progress to it and it fires scheduled
         #: faults on the simulated clock, possibly mid-query.
         self.chaos = None
+        #: The QD/QE process group of the in-flight execution attempt
+        #: (set by :meth:`Session._execute_attempt`); chaos kills reach
+        #: workers by dropping their RPC channel on this runtime.
+        self._active_runtime: Optional[DistributedRuntime] = None
 
         self.hdfs = Hdfs(block_size=block_size, replication=replication, seed=seed)
         self.hosts = [f"host{i}" for i in range(num_segment_hosts)]
@@ -192,6 +200,16 @@ class Engine:
     def fail_segment(self, segment_id: int) -> None:
         self.fault_detector.fail_segment(segment_id)
         self.run_fault_detection()
+
+    def drop_worker_channel(self, segment_id: int) -> None:
+        """Kill a segment's QE process for the in-flight attempt: its RPC
+        channel closes, so the master can no longer dispatch to it and
+        the (dead) worker's own reports fail with ``SegmentDown`` — which
+        the session's bounded-restart loop turns into a query restart.
+        A no-op outside query execution (there is no process to kill;
+        the next attempt spawns fresh workers against failover hosts)."""
+        if self._active_runtime is not None:
+            self._active_runtime.bus.drop(f"seg{segment_id}")
 
     def recover_segment(self, segment_id: int) -> None:
         self.fault_detector.recover_segment(segment_id)
@@ -248,6 +266,45 @@ class Engine:
         """Advance the chaos clock by completed simulated work."""
         if self.chaos is not None:
             self.chaos.pulse(seconds, segment_id=segment_id, in_query=True)
+
+    # ------------------------------------------------------------- processes
+    def build_runtime(self) -> DistributedRuntime:
+        """Stand up a fresh QD/QE process group for one execution attempt.
+
+        Everything message-borne rides one :class:`SimNetwork` whose
+        conditions mirror the cost model (same latency, zero jitter so
+        same-sized dispatches deliver FIFO in segment order — execution
+        order, and therefore the chaos clock, stays deterministic). One
+        :class:`SegmentWorker` per segment, plus the master's own
+        loopback worker for gang "1" slices. Workers are per-attempt:
+        segments are stateless, so a restart simply spawns a new group
+        against fresh failover assignments.
+        """
+        conditions = NetworkConditions(
+            latency=self.cost_model.net_latency,
+            jitter=0.0,
+            bandwidth=self.cost_model.net_bw,
+        )
+        net = SimNetwork(conditions, seed=self.seed)
+        bus = RpcBus(net)
+        exchange = ExchangeFabric(net)
+        runtime = DistributedRuntime(net, bus, exchange)
+        services = WorkerServices(
+            hdfs=self.hdfs,
+            block_cache=self.block_cache,
+            pxf=self.pxf,
+            segments=self.segments,
+            catalog_rows=lambda name, snapshot: catalog_relation_rows(
+                self.catalog, name, snapshot
+            ),
+            chaos_point=self.chaos_point,
+            chaos_progress=self.chaos_progress,
+            num_segments=self.num_segments,
+        )
+        for segment in self.segments:
+            SegmentWorker(segment.segment_id, bus, exchange, services)
+        SegmentWorker(QD_SEGMENT, bus, exchange, services)
+        return runtime
 
     # --------------------------------------------------------------- helpers
     def segment_data_path(self, table: str, segment_id: int, segfile_id: int) -> str:
@@ -510,188 +567,25 @@ class Session:
     def _execute_attempt(
         self, plan, snapshot: Snapshot, txn: Transaction
     ) -> QueryResult:
+        """Run one dispatch attempt on a fresh QD/QE process group."""
         engine = self.engine
         sdp = build_self_described_plan(plan, engine.catalog, snapshot)
         queue = engine.security.queue_for(self.role)
         ctx = ExecutionContext(
             num_segments=engine.num_segments,
             cost_model=engine.cost_model,
-            scan_provider=self._scan_provider(sdp),
-            batch_scan_provider=self._batch_scan_provider(sdp),
-            external_provider=self._external_provider(),
             interconnect=engine.interconnect,
             pipelined=engine.pipelined,
             work_mem=min(engine.work_mem, queue.memory_limit),
             executor_mode=engine.executor_mode,
+            metadata_dispatch=engine.metadata_dispatch,
         )
-        result = execute_plan(plan, ctx)
-        result.cost.seconds += self._dispatch_cost(plan, sdp)
-        return result
-
-    def _dispatch_cost(self, plan, sdp: SelfDescribedPlan) -> float:
-        """Metadata-dispatch cost (Section 3.1), or the per-QE catalog
-        RPC storm it replaces when the feature is ablated."""
-        model = self.engine.cost_model
-        qes = self.engine.num_segments * max(len(plan.slices) - 1, 1)
-        if self.engine.metadata_dispatch:
-            return sdp.compressed_bytes * qes / model.net_bw
-        lookups = max(len(sdp.metadata), 1) * 4  # schema, files, stats, types
-        return model.catalog_rpc * lookups * qes
-
-    def _scan_provider(self, sdp: SelfDescribedPlan):
-        engine = self.engine
-
-        def provider(table_source, partitions, segment_id, columns, acc):
-            if table_source.table_name in CATALOG_RELATION_COLUMNS:
-                # Master-only data: the catalog lives on the master, so
-                # one QE serves it and the rest see an empty scan.
-                if segment_id == 0:
-                    yield from catalog_relation_rows(
-                        engine.catalog, table_source.table_name, sdp.snapshot
-                    )
-                return
-            names = (
-                partitions if partitions is not None else [table_source.table_name]
-            )
-            segment = engine.segments[segment_id]
-            self._check_segment_up(segment)
-            client = segment.client(engine.hdfs)
-            for name in names:
-                meta = sdp.metadata[name]
-                fmt = get_format(meta.storage_format)
-                for lane in meta.segfiles.get(segment_id, []):
-                    yield from self._charged_scan(
-                        fmt.scan,
-                        client,
-                        lane.paths,
-                        meta,
-                        columns,
-                        acc,
-                        segment_id=segment_id,
-                    )
-
-        return provider
-
-    def _batch_scan_provider(self, sdp: SelfDescribedPlan):
-        """Block-granular sibling of :meth:`_scan_provider`: returns an
-        iterator of ``(row_count, {column_index: values})`` column blocks
-        for the vectorized executor, or None when the source only exists
-        as rows (catalog relations)."""
-        engine = self.engine
-
-        def provider(table_source, partitions, segment_id, columns, acc):
-            if table_source.table_name in CATALOG_RELATION_COLUMNS:
-                return None  # master-only catalog data: row fallback
-            names = (
-                partitions if partitions is not None else [table_source.table_name]
-            )
-            segment = engine.segments[segment_id]
-            self._check_segment_up(segment)
-            client = segment.client(engine.hdfs)
-
-            def blocks():
-                for name in names:
-                    meta = sdp.metadata[name]
-                    fmt = get_format(meta.storage_format)
-                    for lane in meta.segfiles.get(segment_id, []):
-                        yield from self._charged_scan(
-                            fmt.scan_blocks,
-                            client,
-                            lane.paths,
-                            meta,
-                            columns,
-                            acc,
-                            segment_id=segment_id,
-                        )
-
-            return blocks()
-
-        return provider
-
-    @staticmethod
-    def _check_segment_up(segment) -> None:
-        """A scan may only run on an alive segment or an acting host."""
-        if not segment.alive and segment.acting_host is None:
-            raise SegmentDown(
-                f"segment {segment.segment_id} is down with no acting host"
-            )
-
-    def _charged_scan(
-        self, scan_fn, client, paths, meta, columns, acc, segment_id=None
-    ):
-        """Run one segfile-lane scan, charging the cost model the same
-        way regardless of entry point (row tuples or column blocks):
-        disk for compressed bytes, CPU for decompression + decode, and
-        network for remote-replica reads — including charges the decode
-        cache *replays* on hits (``ScanStats.remote_bytes``). Charging
-        happens in ``finally`` so an abandoned scan (LIMIT) still pays
-        for the blocks it decoded.
-
-        Chaos instrumentation: the lane is an execution point (due fault
-        events fire before the scan starts) and, on normal completion,
-        the lane's charged simulated seconds advance the chaos clock —
-        so a seeded fault schedule can land *inside* a running query.
-        Abandoned scans (LIMIT) skip the progress pulse: firing faults
-        while a generator is being closed would corrupt the unwind."""
-        engine = self.engine
-        engine.chaos_point(segment_id=segment_id)
-        model = engine.cost_model
-        codec = get_codec(meta.compression)
-        io_factor = (
-            model.parquet_io_amplification
-            if meta.storage_format == "parquet"
-            else 1.0
-        )
-        cpu_factor = (
-            model.parquet_cpu_factor
-            if meta.storage_format == "parquet"
-            else 1.0
-        )
-        stats = ScanStats()
-        remote_before = client.remote_bytes_read
-        seconds_before = acc.seconds
+        runtime = engine.build_runtime()
+        engine._active_runtime = runtime
         try:
-            yield from scan_fn(
-                client,
-                paths,
-                meta.schema,
-                meta.compression,
-                columns=columns,
-                stats=stats,
-                cache=engine.block_cache,
-            )
+            return runtime.execute(plan, sdp, ctx)
         finally:
-            acc.disk_read(int(stats.compressed_bytes * io_factor))
-            acc.cpu_bytes(
-                stats.uncompressed_bytes,
-                (codec.decompress_cost + model.cpu_format_byte) * cpu_factor,
-            )
-            remote = (
-                client.remote_bytes_read - remote_before + stats.remote_bytes
-            )
-            if remote:
-                acc.network(remote)
-        engine.chaos_progress(
-            acc.seconds - seconds_before, segment_id=segment_id
-        )
-
-    def _external_provider(self):
-        engine = self.engine
-
-        def provider(table_source, segment_id, columns, pushed, acc):
-            yield from engine.pxf.scan(
-                table_source.pxf,
-                table_source.schema,
-                segment_id,
-                engine.num_segments,
-                pushed,
-                acc,
-                segment_hosts={
-                    s.segment_id: s.effective_host() for s in engine.segments
-                },
-            )
-
-        return provider
+            engine._active_runtime = None
 
     # ---------------------------------------------------------------- INSERT
     def _insert(self, stmt: ast.InsertStmt, txn: Transaction) -> QueryResult:
@@ -1260,23 +1154,36 @@ class Session:
         lines = plan.explain().splitlines()
         if stmt.analyze:
             # EXPLAIN ANALYZE: actually run the plan and annotate each
-            # slice with its composed simulated time and rows moved.
+            # slice from its scheduler timeline — the composed finish
+            # time on the event clock, rows moved, and the per-segment
+            # task breakdown beneath it.
             result = self._dispatch_and_execute(plan, snapshot, txn)
             annotated = []
             for line in lines:
                 annotated.append(line)
                 if line.startswith("Slice "):
                     slice_id = int(line.split()[1])
-                    seconds = result.slice_seconds.get(slice_id)
-                    rows_out = result.slice_rows.get(slice_id)
-                    if seconds is not None:
-                        detail = f"  (actual time={seconds:.4f}s"
-                        if rows_out is not None:
-                            detail += f", rows sent={rows_out}"
-                        detail += ")"
-                        annotated.append(detail)
+                    timing = result.slices.get(slice_id)
+                    if timing is not None:
+                        annotated.append(
+                            f"  (actual time={timing.finish:.4f}s, "
+                            f"rows sent={timing.rows})"
+                        )
+                        for segment in sorted(timing.tasks):
+                            task = timing.tasks[segment]
+                            who = (
+                                "QD"
+                                if segment == QD_SEGMENT
+                                else f"seg{segment}"
+                            )
+                            annotated.append(
+                                f"    {who}: {task.seconds:.4f}s, "
+                                f"{task.rows} rows, {task.bytes} bytes"
+                            )
             annotated.append(
-                f"Total: {result.cost.seconds:.4f}s simulated, "
+                f"Total: {result.cost.seconds:.4f}s simulated "
+                f"(critical path {result.makespan:.4f}s + overhead "
+                f"{result.overhead_seconds:.4f}s), "
                 f"{len(result.rows)} rows, {result.cost.tuples} tuples "
                 f"processed, {result.cost.net_bytes} bytes moved"
             )

@@ -1,12 +1,16 @@
-"""Pipelined parallel executor: QEs, operators, expressions, motions."""
+"""Parallel executor: the QD runtime, QE slice interpreter, expressions."""
 
 from repro.executor.expr import compile_expr, estimate_row_bytes
-from repro.executor.runner import ExecutionContext, QueryResult, execute_plan
+from repro.executor.runner import (
+    DistributedRuntime,
+    ExecutionContext,
+    QueryResult,
+)
 
 __all__ = [
+    "DistributedRuntime",
     "ExecutionContext",
     "QueryResult",
     "compile_expr",
     "estimate_row_bytes",
-    "execute_plan",
 ]

@@ -1,75 +1,68 @@
-"""Slice-by-slice parallel plan execution with simulated timing.
+"""Master-side query execution: dispatch, gather, and the event clock.
 
-Slices run children-first (they are emitted in dependency order by the
-slicer). A slice with gang 'N' is executed once per segment — each QE
-sees only its segment's data — and its root Motion partitions the output
-into per-receiver buffers (hash for redistribute, everyone for
-broadcast, the QD for gather). The consuming slice's MotionRecv leaves
-read those buffers.
+The master (QD) no longer runs slices inline. It cuts the self-described
+plan into per-segment :class:`~repro.planner.dispatch.SliceTask`s, sends
+each one as a DISPATCH message over :class:`~repro.cluster.rpc.RpcBus`
+to the owning :class:`~repro.cluster.worker.SegmentWorker`, and drains
+the simulated network until every worker has reported COMPLETE. Waves go
+out children-first, so a wave's motion inputs sit in the
+:class:`~repro.interconnect.exchange.ExchangeFabric` before its
+consumers start.
 
-Timing: each (slice, segment) accumulates simulated cost; a slice's wall
-time is the max over its QEs; slices connected by motions are pipelined,
-so the query's time is ``max(own, children) + latency`` up the slice
-tree, plus fixed query/gang set-up costs. (A knob disables pipelining
-for the ablation benchmark.)
+Timing: every task's COMPLETE carries the simulated seconds its
+accumulator charged. The runtime replays those durations on the
+:class:`~repro.simtime.scheduler.EventScheduler` — motion senders feed
+receivers through cross-timeline edges charged one interconnect latency
+(plus a materialization penalty when pipelining is ablated) — and the
+query's wall time is the **critical path** through the task DAG plus the
+master's own fixed dispatch overhead. Task durations use the gang mean,
+not the max: at full scale TPC-H keys hash uniformly, so per-segment
+imbalance at a tiny scale factor is sampling noise, not real skew.
 """
 
 from __future__ import annotations
 
-import math
-from collections import defaultdict
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.catalog.schema import hash_values
-from repro.errors import ExecutorError
-from repro.executor.aggregates import make_state
-from repro.executor.batch import rows_of
-from repro.executor.expr import (
-    RowSizer,
-    compile_expr,
-    compile_expr_batch,
-    estimate_row_bytes,
+from repro.cluster.rpc import (
+    ABORT,
+    ABORT_BYTES,
+    ACK,
+    CATALOG_LOOKUP_BYTES,
+    COMPLETE,
+    DISPATCH,
+    MASTER,
+    RpcBus,
+    RpcMessage,
+    TaskReport,
 )
-from repro.planner import exprs as ex
-from repro.planner.physical import (
-    ExternalScan,
-    Filter,
-    HashAgg,
-    HashJoin,
-    Limit,
-    Motion,
-    MotionRecv,
-    NestLoopJoin,
-    PhysicalPlan,
-    PlanNode,
-    PlanSlice,
-    Project,
-    Result,
-    SeqScan,
-    Sort,
-    SubqueryScan,
+from repro.errors import ExecutorError, SegmentDown
+from repro.interconnect.exchange import ExchangeFabric
+from repro.network.simnet import SimNetwork
+from repro.planner.dispatch import (
+    QD_SEGMENT,
+    SelfDescribedPlan,
+    SliceTask,
+    make_slice_tasks,
 )
+from repro.planner.physical import PhysicalPlan
 from repro.simtime import CostAccumulator, CostModel, QueryCost
-
-QD_SEGMENT = -1
+from repro.simtime.scheduler import (
+    EventScheduler,
+    SliceTiming,
+    TaskKey,
+    TaskTiming,
+)
 
 
 @dataclass
 class ExecutionContext:
-    """Everything a plan needs at run time."""
+    """Per-query knobs shipped to every worker inside DISPATCH."""
 
     num_segments: int
     cost_model: CostModel
-    #: scan_provider(table_source, partitions, segment_id, columns, acc)
-    #: -> iterable of schema-shaped tuples for that segment.
-    scan_provider: Callable = None
-    #: batch_scan_provider(table_source, partitions, segment_id, columns,
-    #: acc) -> iterator of (row_count, {column_index: values}) blocks, or
-    #: None when the source cannot serve column blocks (row fallback).
-    batch_scan_provider: Callable = None
-    #: external_provider(table_source, segment_id, columns, pushed, acc)
-    external_provider: Callable = None
     #: 'batch' routes SeqScan/Filter/Project through the vectorized
     #: path (identical results and identical simulated charges); 'row'
     #: forces tuple-at-a-time execution everywhere.
@@ -81,6 +74,9 @@ class ExecutionContext:
     pipelined: bool = True
     #: Per-operator memory budget in nominal bytes before spilling.
     work_mem: float = 1.5e9
+    #: Self-described plans (Section 3.1); when ablated, every QE pays a
+    #: per-object catalog RPC storm against the master instead.
+    metadata_dispatch: bool = True
 
 
 @dataclass
@@ -92,755 +88,269 @@ class QueryResult:
     cost: QueryCost
     plan: Optional[PhysicalPlan] = None
     message: str = ""
-    #: Per-slice composed simulated seconds (EXPLAIN ANALYZE).
-    slice_seconds: Dict[int, float] = field(default_factory=dict)
-    #: Per-slice output row counts (rows buffered at each motion).
-    slice_rows: Dict[int, int] = field(default_factory=dict)
+    #: Per-slice scheduler timelines (EXPLAIN ANALYZE): composed finish
+    #: time on the event clock, rows sent, per-segment task breakdown.
+    slices: Dict[int, SliceTiming] = field(default_factory=dict)
+    #: Critical-path length through the task DAG (worker time only).
+    makespan: float = 0.0
+    #: Master-side fixed costs + init-plan time, on top of the makespan.
+    overhead_seconds: float = 0.0
+    #: The (slice_id, segment) chain that bounded the makespan.
+    critical_path: List[TaskKey] = field(default_factory=list)
     #: Number of dispatch attempts abandoned to a dead segment before
     #: this result was produced (query restart beats heavy recovery).
     retries: int = 0
 
 
-def execute_plan(plan: PhysicalPlan, ctx: ExecutionContext) -> QueryResult:
-    """Run a sliced physical plan to completion."""
-    # InitPlans first: their single values become this plan's parameters.
-    # Parameters are scoped per PhysicalPlan (nested init plans resolve
-    # their own), so run with a fresh param list.
-    init_seconds = 0.0
-    if plan.init_plans:
-        import dataclasses
+class DistributedRuntime:
+    """The QD's dispatcher: one instance per execution attempt.
 
-        params: List[object] = []
-        for init_plan in plan.init_plans:
-            sub = execute_plan(
-                init_plan, dataclasses.replace(ctx, params=[])
-            )
-            if len(sub.rows) > 1:
-                raise ExecutorError("InitPlan returned more than one row")
-            params.append(sub.rows[0][0] if sub.rows else None)
-            init_seconds += sub.cost.seconds
-        ctx = dataclasses.replace(ctx, params=params)
+    Owns the master's RPC endpoint; workers are registered on the same
+    bus by the engine before :meth:`execute` is called.
+    """
 
-    runner = _PlanRunner(plan, ctx)
-    rows = runner.run()
-    seconds = runner.total_time() + init_seconds + _fixed_costs(plan, ctx)
-    slice_rows = {
-        sid: sum(len(buffered) for buffered in buffers.values())
-        for sid, buffers in runner.buffers.items()
-    }
-    total = CostAccumulator(ctx.cost_model)
-    for acc in runner.accumulators.values():
-        total.disk_read_bytes += acc.disk_read_bytes
-        total.disk_write_bytes += acc.disk_write_bytes
-        total.net_bytes += acc.net_bytes
-        total.tuples += acc.tuples
-    cost = QueryCost(
-        seconds=seconds,
-        disk_read_bytes=total.disk_read_bytes,
-        disk_write_bytes=total.disk_write_bytes,
-        net_bytes=total.net_bytes,
-        tuples=total.tuples,
-    )
-    return QueryResult(
-        rows=rows,
-        column_names=plan.output_names,
-        cost=cost,
-        plan=plan,
-        slice_seconds=dict(getattr(runner, "slice_times", {})),
-        slice_rows=slice_rows,
-    )
+    def __init__(self, net: SimNetwork, bus: RpcBus, exchange: ExchangeFabric):
+        self.net = net
+        self.bus = bus
+        self.exchange = exchange
+        self._reports: Dict[TaskKey, TaskReport] = {}
+        self._acks: Dict[TaskKey, str] = {}
+        bus.register(MASTER, self._on_message)
 
+    # --------------------------------------------------------------- messages
+    def _on_message(self, message: RpcMessage) -> None:
+        if message.kind == ACK:
+            slice_id, segment = message.payload
+            self._acks[(slice_id, segment)] = message.sender
+        elif message.kind == COMPLETE:
+            report: TaskReport = message.payload
+            self._reports[(report.slice_id, report.segment)] = report
 
-def _fixed_costs(plan: PhysicalPlan, ctx: ExecutionContext) -> float:
-    model = ctx.cost_model
-    seconds = model.query_setup
-    for plan_slice in plan.slices:
-        gang_size = _gang_segments(plan, plan_slice, ctx)
-        seconds += model.gang_setup + model.dispatch_per_segment * len(gang_size)
-    return seconds
+    # ----------------------------------------------------------------- driver
+    def execute(
+        self, plan: PhysicalPlan, sdp: SelfDescribedPlan, ctx: ExecutionContext
+    ) -> QueryResult:
+        """Dispatch a sliced physical plan and gather its result."""
+        # InitPlans first: their single values become this plan's
+        # parameters. Parameters are scoped per PhysicalPlan (nested
+        # init plans resolve their own), so run with a fresh param list.
+        init_seconds = 0.0
+        if plan.init_plans:
+            params: List[object] = []
+            for init_plan in plan.init_plans:
+                sub = self.execute(
+                    init_plan, sdp, dataclasses.replace(ctx, params=[])
+                )
+                if len(sub.rows) > 1:
+                    raise ExecutorError("InitPlan returned more than one row")
+                params.append(sub.rows[0][0] if sub.rows else None)
+                init_seconds += sub.cost.seconds
+            ctx = dataclasses.replace(ctx, params=params)
 
+        # Init plans reuse slice ids; never let their streams leak in.
+        self.exchange.reset()
+        self._reports.clear()
+        self._acks.clear()
 
-def _gang_segments(
-    plan: PhysicalPlan, plan_slice: PlanSlice, ctx: ExecutionContext
-) -> List[int]:
-    if plan_slice.gang == "1":
-        return [QD_SEGMENT]
-    if plan.direct_dispatch_segment is not None:
-        return [plan.direct_dispatch_segment]
-    return list(range(ctx.num_segments))
+        model = ctx.cost_model
+        master_acc = CostAccumulator(model)
+        master_acc.fixed(model.query_setup)
+        waves = make_slice_tasks(plan, sdp, ctx.num_segments)
+        roots = {s.slice_id: s.root for s in plan.slices}
+        try:
+            for wave in waves:
+                self._dispatch_wave(wave, roots, sdp, ctx, master_acc)
+                # Drain the net: DISPATCH delivery runs each worker's
+                # task synchronously, and their motion streams + control
+                # replies settle before the next (consumer) wave goes out.
+                self.net.run()
+        except Exception:
+            # Best-effort abort to the surviving workers, then let the
+            # session's restart loop see the original failure.
+            self._broadcast_abort()
+            raise
+        return self._gather(plan, waves, ctx, master_acc, init_seconds)
 
-
-class _PlanRunner:
-    def __init__(self, plan: PhysicalPlan, ctx: ExecutionContext):
-        self.plan = plan
-        self.ctx = ctx
-        # (slice_id, segment) -> cost accumulator
-        self.accumulators: Dict[Tuple[int, int], CostAccumulator] = {}
-        # slice_id -> receiver segment -> buffered rows
-        self.buffers: Dict[int, Dict[int, List[tuple]]] = defaultdict(
-            lambda: defaultdict(list)
-        )
-        # slice_id -> receiver segment -> bytes (for receive-side time)
-        self.buffer_bytes: Dict[int, Dict[int, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
-        self.parent_gang: Dict[int, List[int]] = {}
-        for plan_slice in plan.slices:
-            receivers = _gang_segments(plan, plan_slice, ctx)
-            for child_id in plan_slice.child_slices:
-                self.parent_gang[child_id] = receivers
-
-    # ---------------------------------------------------------------- driver
-    def run(self) -> List[tuple]:
-        result: List[tuple] = []
-        for plan_slice in self.plan.slices:
-            is_top = plan_slice is self.plan.top_slice
-            for segment in _gang_segments(self.plan, plan_slice, self.ctx):
-                acc = CostAccumulator(self.ctx.cost_model)
-                self.accumulators[(plan_slice.slice_id, segment)] = acc
-                rows = self._input_rows(plan_slice.root, segment, acc)
-                if is_top:
-                    result.extend(rows)
-                else:
-                    # Non-top slice roots are Motions; _run_node on a
-                    # Motion buffers rows and yields nothing.
-                    for _ in rows:
-                        pass
-        return result
-
-    def total_time(self) -> float:
-        """Compose per-slice times up the dependency tree.
-
-        Slices run on the *same* hosts, so their CPU work adds up even
-        when motions pipeline tuples between them (cores are shared).
-        What pipelining buys — and what the staged ablation pays — is
-        never *materializing* motion data to disk between stages, the
-        MapReduce failure mode the paper calls out.
-        """
-        model = self.ctx.cost_model
-        times: Dict[int, float] = {}
-        for plan_slice in self.plan.slices:  # children-first order
-            # Mean over the gang, not max: at full scale TPC-H keys hash
-            # uniformly, so the per-segment imbalance seen at a tiny
-            # scale factor is sampling noise, not real skew.
-            seconds = [
-                acc.seconds
-                for (sid, _seg), acc in self.accumulators.items()
-                if sid == plan_slice.slice_id
-            ]
-            own = sum(seconds) / len(seconds) if seconds else 0.0
-            children = sum(times[c] for c in plan_slice.child_slices)
-            total = own + children + model.net_latency
-            if not self.ctx.pipelined and plan_slice.motion_kind is not None:
-                # Staged execution: this slice's motion output is written
-                # to disk and read back by the consumer.
-                sent = sum(self.buffer_bytes[plan_slice.slice_id].values())
-                gang = _gang_segments(self.plan, plan_slice, self.ctx)
-                per_segment = sent / max(len(gang), 1)
-                total += 2 * per_segment * model.scale / model.disk_seq_bw
-            times[plan_slice.slice_id] = total
-        self.slice_times = times
-        return times[self.plan.top_slice.slice_id]
-
-    # -------------------------------------------------------------- operators
-    def _run_node(
-        self, node: PlanNode, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        if isinstance(node, Motion):
-            return self._run_motion(node, segment, acc)
-        if isinstance(node, MotionRecv):
-            return self._run_motion_recv(node, segment, acc)
-        if isinstance(node, SeqScan):
-            return self._run_seqscan(node, segment, acc)
-        if isinstance(node, ExternalScan):
-            return self._run_external(node, segment, acc)
-        if isinstance(node, SubqueryScan):
-            return self._run_node(node.child, segment, acc)
-        if isinstance(node, Filter):
-            return self._run_filter(node, segment, acc)
-        if isinstance(node, Project):
-            return self._run_project(node, segment, acc)
-        if isinstance(node, HashJoin):
-            return self._run_hash_join(node, segment, acc)
-        if isinstance(node, NestLoopJoin):
-            return self._run_nest_loop(node, segment, acc)
-        if isinstance(node, HashAgg):
-            return self._run_hash_agg(node, segment, acc)
-        if isinstance(node, Sort):
-            return self._run_sort(node, segment, acc)
-        if isinstance(node, Limit):
-            return self._run_limit(node, segment, acc)
-        if isinstance(node, Result):
-            return self._run_result(node, segment, acc)
-        raise ExecutorError(f"no executor for {type(node).__name__}")
-
-    # ------------------------------------------------------------- batch path
-    def _input_rows(
-        self, node: PlanNode, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        """Row view of a child: the vectorized pipeline when available
-        (flattened back to tuples at this boundary), else the row path."""
-        if self.ctx.executor_mode == "batch":
-            batches = self._run_node_batches(node, segment, acc)
-            if batches is not None:
-                return self._flatten_batches(batches)
-        return self._run_node(node, segment, acc)
-
-    @staticmethod
-    def _flatten_batches(batches) -> Iterator[tuple]:
-        for cols, n in batches:
-            yield from rows_of(cols, n)
-
-    def _run_node_batches(
-        self, node: PlanNode, segment: int, acc: CostAccumulator
-    ):
-        """Vectorized execution of a subtree, or None if unsupported.
-
-        Yields ``(cols, n)`` pairs: column vectors in ``node.layout``
-        order. Simulated charges mirror the row operators exactly,
-        including the trailing per-operator CPU charge being skipped
-        when a consumer (LIMIT) abandons the stream.
-        """
-        if self.ctx.executor_mode != "batch":
-            return None
-        if isinstance(node, SeqScan):
-            return self._scan_batches(node, segment, acc)
-        if isinstance(node, SubqueryScan):
-            # Pass-through: positions are unchanged, only labels differ.
-            return self._run_node_batches(node.child, segment, acc)
-        if isinstance(node, Filter):
-            return self._filter_batches(node, segment, acc)
-        if isinstance(node, Project):
-            return self._project_batches(node, segment, acc)
-        return None
-
-    def _scan_batches(self, node: SeqScan, segment: int, acc: CostAccumulator):
-        provider = self.ctx.batch_scan_provider
-        if provider is None:
-            return None
-        source = provider(
-            node.table, node.partitions, segment, node.columns, acc
-        )
-        if source is None:
-            return None
-        predicate = (
-            compile_expr_batch(
-                node.filter, self._scan_layout(node), self.ctx.params
-            )
-            if node.filter is not None
-            else None
-        )
-        ncols = len(node.table.schema.columns)
-        out_positions = list(node.columns)
-
-        def gen():
-            count = 0
-            for row_count, vectors in source:
-                count += row_count
-                if predicate is None:
-                    yield [vectors[c] for c in out_positions], row_count
-                    continue
-                # The scan filter is compiled against the full table row
-                # shape; the planner guarantees every referenced column
-                # is decoded, so unrequested positions never get read.
-                # Undecoded columns share one NULL vector — the same
-                # None placeholders the row-path provider materializes.
-                placeholder = [None] * row_count
-                full = [vectors.get(c, placeholder) for c in range(ncols)]
-                mask = predicate(full, row_count, None)
-                sel = [i for i, m in enumerate(mask) if m is True]
-                if len(sel) == row_count:
-                    yield [vectors[c] for c in out_positions], row_count
-                elif sel:
-                    yield [
-                        [vectors[c][i] for i in sel] for c in out_positions
-                    ], len(sel)
-            acc.cpu_tuples(count, ncolumns=len(node.columns))
-
-        return gen()
-
-    def _filter_batches(
-        self, node: Filter, segment: int, acc: CostAccumulator
-    ):
-        child = self._run_node_batches(node.child, segment, acc)
-        if child is None:
-            return None
-        predicate = compile_expr_batch(
-            node.cond, node.child.layout, self.ctx.params
-        )
-
-        def gen():
-            count = 0
-            for cols, n in child:
-                count += n
-                mask = predicate(cols, n, None)
-                sel = [i for i, m in enumerate(mask) if m is True]
-                if len(sel) == n:
-                    yield cols, n
-                elif sel:
-                    yield [[col[i] for i in sel] for col in cols], len(sel)
-            acc.cpu_tuples(count, weight=0.5)
-
-        return gen()
-
-    def _project_batches(
-        self, node: Project, segment: int, acc: CostAccumulator
-    ):
-        child = self._run_node_batches(node.child, segment, acc)
-        if child is None:
-            return None
-        fns = [
-            compile_expr_batch(e, node.child.layout, self.ctx.params)
-            for e in node.exprs
-        ]
-
-        def gen():
-            count = 0
-            for cols, n in child:
-                count += n
-                yield [fn(cols, n, None) for fn in fns], n
-            acc.cpu_tuples(count, ncolumns=len(fns))
-
-        return gen()
-
-    # ------------------------------------------------------------------ scans
-    def _run_seqscan(
-        self, node: SeqScan, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        if self.ctx.scan_provider is None:
-            raise ExecutorError("no scan provider configured")
-        predicate = (
-            compile_expr(node.filter, self._scan_layout(node), self.ctx.params)
-            if node.filter is not None
-            else None
-        )
-        count = 0
-        for row in self.ctx.scan_provider(
-            node.table, node.partitions, segment, node.columns, acc
-        ):
-            count += 1
-            if predicate is not None and predicate(row) is not True:
-                continue
-            yield tuple(row[c] for c in node.columns)
-        acc.cpu_tuples(count, ncolumns=len(node.columns))
-
-    def _scan_layout(self, node) -> List[tuple]:
-        """Scan filters see the table's full row shape."""
-        ncols = len(node.table.schema.columns)
-        return [("r", node.rel, c) for c in range(ncols)]
-
-    def _run_external(
-        self, node: ExternalScan, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        if self.ctx.external_provider is None:
-            raise ExecutorError("no external (PXF) provider configured")
-        predicate = (
-            compile_expr(node.filter, self._scan_layout(node), self.ctx.params)
-            if node.filter is not None
-            else None
-        )
-        count = 0
-        for row in self.ctx.external_provider(
-            node.table, segment, node.columns, node.pushed_filters, acc
-        ):
-            count += 1
-            if predicate is not None and predicate(row) is not True:
-                continue
-            yield tuple(row[c] for c in node.columns)
-        acc.cpu_tuples(count, ncolumns=len(node.columns))
-
-    # ---------------------------------------------------------------- motions
-    def _run_motion(
-        self, node: Motion, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        receivers = self.parent_gang.get(
-            self._slice_of(node), [QD_SEGMENT]
-        )
-        hash_fns = [
-            compile_expr(e, node.child.layout, self.ctx.params)
-            for e in node.hash_exprs
-        ]
-        sent_bytes = 0
-        count = 0
-        slice_id = self._slice_of(node)
-        sizer = RowSizer()
-        for row in self._input_rows(node.child, segment, acc):
-            count += 1
-            size = sizer(row)
-            if node.kind == "gather":
-                targets = [receivers[0]]
-            elif node.kind == "broadcast":
-                targets = receivers
-            else:
-                key = tuple(fn(row) for fn in hash_fns)
-                targets = [receivers[hash_values(key, len(receivers))]]
-            for target in targets:
-                self.buffers[slice_id][target].append(row)
-                self.buffer_bytes[slice_id][target] += size
-                sent_bytes += size
-        self._charge_send(acc, count, sent_bytes, len(receivers))
-        return iter(())
-
-    def _slice_of(self, motion: Motion) -> int:
-        for plan_slice in self.plan.slices:
-            if plan_slice.root is motion:
-                return plan_slice.slice_id
-        raise ExecutorError("motion is not a slice root")
-
-    def _charge_send(
-        self, acc: CostAccumulator, rows: int, nbytes: int, nreceivers: int
-    ) -> None:
-        model = self.ctx.cost_model
-        acc.cpu_bytes(nbytes, model.cpu_net_byte)
-        # Stream concurrency is a property of the *real* cluster being
-        # modeled (96 segments in the paper's testbed), not of however
-        # many segments this process simulates.
-        real_segments = (
-            model.modeled_segments
-            if model.modeled_segments
-            else self.ctx.num_segments
-        )
-        if self.ctx.interconnect == "tcp":
-            streams = real_segments * max(len(self.plan.slices) - 1, 1)
-            bandwidth = model.net_bw / (
-                1 + model.tcp_concurrency_penalty * streams
-            )
-            acc.fixed(model.tcp_conn_setup * real_segments * (nreceivers > 1))
-            acc.network(nbytes, bandwidth)
-        else:
-            acc.fixed(model.udp_conn_setup * real_segments)
-            acc.network(int(nbytes * (1 + model.udp_byte_overhead)))
-
-    def _run_motion_recv(
-        self, node: MotionRecv, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        rows = self.buffers[node.slice_id].get(segment, [])
-        nbytes = self.buffer_bytes[node.slice_id].get(segment, 0)
-        model = self.ctx.cost_model
-        acc.cpu_bytes(nbytes, model.cpu_net_byte)
-        acc.network(nbytes)
-        return iter(rows)
-
-    # -------------------------------------------------------------- filtering
-    def _run_filter(
-        self, node: Filter, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        predicate = compile_expr(node.cond, node.child.layout, self.ctx.params)
-        count = 0
-        for row in self._run_node(node.child, segment, acc):
-            count += 1
-            if predicate(row) is True:
-                yield row
-        acc.cpu_tuples(count, weight=0.5)
-
-    def _run_project(
-        self, node: Project, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        fns = [
-            compile_expr(e, node.child.layout, self.ctx.params) for e in node.exprs
-        ]
-        count = 0
-        for row in self._run_node(node.child, segment, acc):
-            count += 1
-            yield tuple(fn(row) for fn in fns)
-        acc.cpu_tuples(count, ncolumns=len(fns))
-
-    # ------------------------------------------------------------------ joins
-    def _run_hash_join(
-        self, node: HashJoin, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        residual = (
-            compile_expr(node.residual, node.layout_for_residual(), self.ctx.params)
-            if node.residual is not None
-            else None
-        )
-        # Build side (right).
-        table: Dict[tuple, List[tuple]] = defaultdict(list)
-        build_count = 0
-        build_bytes = 0
-        sizer = RowSizer()
-        for row, key in self._keyed_rows(
-            node.right, node.right_keys, segment, acc
-        ):
-            if any(k is None for k in key):
-                continue  # NULL never matches an equality key
-            table[key].append(row)
-            build_count += 1
-            build_bytes += sizer(row)
-        acc.cpu_tuples(build_count, weight=1.2)
-        self._charge_spill(acc, build_bytes)
-
-        probe_count = 0
-        out_count = 0
-        join_type = node.join_type
-        pad = (None,) * len(node.right.layout)
-        for row, key in self._keyed_rows(
-            node.left, node.left_keys, segment, acc
-        ):
-            probe_count += 1
-            matches = table.get(key, []) if not any(k is None for k in key) else []
-            if residual is not None and matches:
-                matches = [m for m in matches if residual(row + m) is True]
-            if join_type == "inner":
-                for match in matches:
-                    out_count += 1
-                    yield row + match
-            elif join_type == "left":
-                if matches:
-                    for match in matches:
-                        out_count += 1
-                        yield row + match
-                else:
-                    out_count += 1
-                    yield row + pad
-            elif join_type == "semi":
-                if matches:
-                    out_count += 1
-                    yield row
-            elif join_type == "anti":
-                if not matches:
-                    out_count += 1
-                    yield row
-            else:  # pragma: no cover
-                raise ExecutorError(f"unknown join type {join_type!r}")
-        acc.cpu_tuples(probe_count, weight=1.0)
-        acc.cpu_tuples(out_count, weight=0.3)
-
-    def _keyed_rows(
+    def _dispatch_wave(
         self,
-        node: PlanNode,
-        key_exprs: List[ex.BoundExpr],
-        segment: int,
-        acc: CostAccumulator,
-    ) -> Iterator[Tuple[tuple, tuple]]:
-        """Yield ``(row, key)`` pairs for a join input, extracting keys
-        with batch kernels when the child produces column batches."""
-        if self.ctx.executor_mode == "batch":
-            batches = self._run_node_batches(node, segment, acc)
-            if batches is not None:
-                key_fns = [
-                    compile_expr_batch(e, node.layout, self.ctx.params)
-                    for e in key_exprs
-                ]
-                for cols, n in batches:
-                    if key_fns:
-                        key_cols = [fn(cols, n, None) for fn in key_fns]
-                        yield from zip(rows_of(cols, n), zip(*key_cols))
-                    else:
-                        empty = ()
-                        for row in rows_of(cols, n):
-                            yield row, empty
-                return
-        fns = [
-            compile_expr(e, node.layout, self.ctx.params) for e in key_exprs
-        ]
-        for row in self._run_node(node, segment, acc):
-            yield row, tuple(fn(row) for fn in fns)
+        wave: List[SliceTask],
+        roots: Dict[int, object],
+        sdp: SelfDescribedPlan,
+        ctx: ExecutionContext,
+        master_acc: CostAccumulator,
+    ) -> None:
+        model = ctx.cost_model
+        master_acc.fixed(model.gang_setup)
+        for task in wave:
+            master_acc.fixed(model.dispatch_per_segment)
+            message = RpcMessage(
+                kind=DISPATCH,
+                sender=MASTER,
+                payload=(task, roots[task.slice_id], sdp, ctx),
+                size=task.payload_bytes,
+            )
+            if task.segment == QD_SEGMENT:
+                # Loopback dispatch to the master's own worker: no wire.
+                self.bus.send(MASTER, f"seg{task.segment}", message)
+                continue
+            if not ctx.metadata_dispatch:
+                # Ablation: the plan goes out thin and the QE turns
+                # around and storms the master's catalog, one RPC per
+                # object it needs (schema, files, stats, types).
+                lookups = max(len(sdp.metadata), 1) * 4
+                master_acc.fixed(model.catalog_rpc * lookups)
+                message.size = CATALOG_LOOKUP_BYTES
+            self.bus.send(MASTER, f"seg{task.segment}", message, acc=master_acc)
 
-    def _run_nest_loop(
-        self, node: NestLoopJoin, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        inner = list(self._input_rows(node.right, segment, acc))
-        cond = (
-            compile_expr(node.cond, node.layout_for_residual(), self.ctx.params)
-            if node.cond is not None
-            else None
+    def _broadcast_abort(self) -> None:
+        for name, channel in sorted(self.bus.channels.items()):
+            if name == MASTER or not channel.open:
+                continue
+            self.bus.send(
+                MASTER,
+                name,
+                RpcMessage(kind=ABORT, sender=MASTER, size=ABORT_BYTES),
+            )
+
+    # ----------------------------------------------------------------- gather
+    def _gather(
+        self,
+        plan: PhysicalPlan,
+        waves: List[List[SliceTask]],
+        ctx: ExecutionContext,
+        master_acc: CostAccumulator,
+        init_seconds: float,
+    ) -> QueryResult:
+        model = ctx.cost_model
+        missing = [
+            (task.slice_id, task.segment)
+            for wave in waves
+            for task in wave
+            if (task.slice_id, task.segment) not in self._reports
+        ]
+        if missing:
+            # A DISPATCH addressed to a channel that dropped before
+            # delivery vanishes silently (UDP semantics) — the master
+            # notices the worker's death here, at gather time.
+            dead = [
+                seg
+                for _sid, seg in missing
+                if not self.bus.is_open(f"seg{seg}")
+            ]
+            if dead:
+                raise SegmentDown(
+                    f"segment {dead[0]} died before completing its task"
+                )
+            raise ExecutorError(f"no completion report for tasks {missing[:4]}")
+
+        scheduler = EventScheduler()
+        for wave in waves:
+            slice_id = wave[0].slice_id
+            seconds = [
+                self._reports[(slice_id, task.segment)].seconds for task in wave
+            ]
+            mean = sum(seconds) / len(seconds)
+            for task in wave:
+                scheduler.add_task((slice_id, task.segment), mean)
+
+        # Motion edges: every sender task feeds every consumer task (the
+        # consumer's MotionRecv drains the whole gang's streams, so the
+        # barrier is complete-bipartite), charged one interconnect
+        # latency. When pipelining is ablated, the motion's output is
+        # staged to disk and read back by the consumer: the edge also
+        # carries the per-segment write+read time.
+        stage_delay: Dict[int, float] = {}
+        if not ctx.pipelined:
+            sent: Dict[int, int] = {}
+            for record in self.exchange.records:
+                sent[record.slice_id] = sent.get(record.slice_id, 0) + record.nbytes
+            for wave in waves:
+                slice_id = wave[0].slice_id
+                per_segment = sent.get(slice_id, 0) / max(len(wave), 1)
+                stage_delay[slice_id] = (
+                    2 * per_segment * model.scale / model.disk_seq_bw
+                )
+        tasks_of: Dict[int, List[SliceTask]] = {
+            wave[0].slice_id: wave for wave in waves
+        }
+        for plan_slice in plan.slices:
+            parent = tasks_of[plan_slice.slice_id]
+            for child_id in plan_slice.child_slices:
+                delay = model.net_latency + stage_delay.get(child_id, 0.0)
+                for child_task in tasks_of[child_id]:
+                    for parent_task in parent:
+                        scheduler.add_edge(
+                            (child_id, child_task.segment),
+                            (plan_slice.slice_id, parent_task.segment),
+                            delay=delay,
+                        )
+        # A worker executes one task at a time: tasks landing on the same
+        # segment serialize in dispatch (wave) order. This is what keeps
+        # sibling join branches — which all run on the same gang of
+        # segments — from overlapping for free: the cores are shared.
+        # Cross-*segment* overlap (direct dispatch, the QD's own slices
+        # against QE work) still parallelizes on the event clock.
+        last_on_segment: Dict[int, TaskKey] = {}
+        for wave in waves:
+            for task in wave:
+                key = (task.slice_id, task.segment)
+                prev = last_on_segment.get(task.segment)
+                if prev is not None:
+                    scheduler.add_edge(prev, key, delay=0.0)
+                last_on_segment[task.segment] = key
+        schedule = scheduler.run()
+
+        slices: Dict[int, SliceTiming] = {}
+        for wave in waves:
+            slice_id = wave[0].slice_id
+            timing = SliceTiming(
+                finish=max(
+                    schedule.finish[(slice_id, task.segment)] for task in wave
+                ),
+                rows=0,
+            )
+            for task in wave:
+                report = self._reports[(slice_id, task.segment)]
+                timing.rows += report.rows_out
+                timing.tasks[task.segment] = TaskTiming(
+                    seconds=report.seconds,
+                    rows=report.rows_out,
+                    bytes=report.bytes_out,
+                )
+            slices[slice_id] = timing
+
+        rows: List[tuple] = []
+        top_id = plan.top_slice.slice_id
+        for task in sorted(tasks_of[top_id], key=lambda t: t.segment):
+            report = self._reports[(top_id, task.segment)]
+            if report.result_rows is not None:
+                rows.extend(report.result_rows)
+
+        total = CostAccumulator(model)
+        total.disk_read_bytes = master_acc.disk_read_bytes
+        total.disk_write_bytes = master_acc.disk_write_bytes
+        total.net_bytes = master_acc.net_bytes
+        total.tuples = master_acc.tuples
+        for report in self._reports.values():
+            total.disk_read_bytes += report.disk_read_bytes
+            total.disk_write_bytes += report.disk_write_bytes
+            total.net_bytes += report.net_bytes
+            total.tuples += report.tuples
+        overhead = master_acc.seconds + init_seconds
+        cost = QueryCost(
+            seconds=schedule.makespan + overhead,
+            disk_read_bytes=total.disk_read_bytes,
+            disk_write_bytes=total.disk_write_bytes,
+            net_bytes=total.net_bytes,
+            tuples=total.tuples,
         )
-        pad = (None,) * len(node.right.layout)
-        outer_count = 0
-        comparisons = 0
-        for row in self._input_rows(node.left, segment, acc):
-            outer_count += 1
-            matches = []
-            for inner_row in inner:
-                comparisons += 1
-                if cond is None or cond(row + inner_row) is True:
-                    matches.append(inner_row)
-            if node.join_type == "inner":
-                for match in matches:
-                    yield row + match
-            elif node.join_type == "left":
-                if matches:
-                    for match in matches:
-                        yield row + match
-                else:
-                    yield row + pad
-            elif node.join_type == "semi":
-                if matches:
-                    yield row
-            elif node.join_type == "anti":
-                if not matches:
-                    yield row
-        acc.cpu_tuples(comparisons, weight=0.3)
-        acc.cpu_tuples(outer_count, weight=0.5)
-
-    # ------------------------------------------------------------ aggregation
-    def _run_hash_agg(
-        self, node: HashAgg, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        child_layout = node.child.layout
-        phase = node.phase
-        nkeys = len(node.group_keys)
-        if phase == "final":
-            # Input rows are (group values..., states...) from partials.
-            groups: Dict[tuple, List] = {}
-            count = 0
-            for row in self._input_rows(node.child, segment, acc):
-                count += 1
-                key = row[:nkeys]
-                states = row[nkeys:]
-                slot = groups.get(key)
-                if slot is None:
-                    groups[key] = list(states)
-                else:
-                    for mine, theirs in zip(slot, states):
-                        mine.merge(theirs)
-            acc.cpu_tuples(count, weight=1.0 + 0.3 * len(node.aggs))
-            for key, states in groups.items():
-                yield key + tuple(state.finalize() for state in states)
-            return
-
-        groups = {}
-        count = 0
-        group_bytes = 0
-        sizer = RowSizer()
-        batches = self._run_node_batches(node.child, segment, acc)
-        if batches is not None:
-            # Vectorized accumulation: group keys and aggregate arguments
-            # are evaluated over whole batches, then folded per row.
-            key_fns_b = [
-                compile_expr_batch(e, child_layout, self.ctx.params)
-                for e in node.group_keys
-            ]
-            arg_fns_b = [
-                compile_expr_batch(a.arg, child_layout, self.ctx.params)
-                if a.arg is not None
-                else None
-                for a in node.aggs
-            ]
-            for cols, n in batches:
-                count += n
-                if key_fns_b:
-                    keys = list(zip(*(fn(cols, n, None) for fn in key_fns_b)))
-                else:
-                    keys = [()] * n
-                arg_vecs = [
-                    fn(cols, n, None) if fn is not None else None
-                    for fn in arg_fns_b
-                ]
-                for i, key in enumerate(keys):
-                    states = groups.get(key)
-                    if states is None:
-                        states = [make_state(a) for a in node.aggs]
-                        groups[key] = states
-                        group_bytes += sizer(key) + 16 * len(states)
-                    for state, vec in zip(states, arg_vecs):
-                        state.accumulate(vec[i] if vec is not None else 1)
-        else:
-            key_fns = [
-                compile_expr(e, child_layout, self.ctx.params)
-                for e in node.group_keys
-            ]
-            arg_fns = [
-                compile_expr(a.arg, child_layout, self.ctx.params)
-                if a.arg is not None
-                else None
-                for a in node.aggs
-            ]
-            for row in self._run_node(node.child, segment, acc):
-                count += 1
-                key = tuple(fn(row) for fn in key_fns)
-                states = groups.get(key)
-                if states is None:
-                    states = [make_state(a) for a in node.aggs]
-                    groups[key] = states
-                    group_bytes += sizer(key) + 16 * len(states)
-                for state, arg_fn in zip(states, arg_fns):
-                    state.accumulate(arg_fn(row) if arg_fn is not None else 1)
-        acc.cpu_tuples(count, weight=1.2 + 0.3 * len(node.aggs))
-        self._charge_spill(acc, group_bytes)
-        if not groups and not node.group_keys and node.aggs:
-            # Aggregate over empty input still yields one row.
-            groups[()] = [make_state(a) for a in node.aggs]
-        if phase == "partial":
-            for key, states in groups.items():
-                yield key + tuple(states)
-        else:  # single
-            for key, states in groups.items():
-                yield key + tuple(state.finalize() for state in states)
-
-    # ------------------------------------------------------------- sort/limit
-    def _run_sort(
-        self, node: Sort, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        rows = list(self._input_rows(node.child, segment, acc))
-        key_fns = [
-            (
-                compile_expr(k.expr, node.child.layout, self.ctx.params),
-                k.ascending,
-                k.nulls_first,
-            )
-            for k in node.keys
-        ]
-        # Stable multi-key sort: apply keys right-to-left. Each pass
-        # evaluates its key expression once per row up front and sorts an
-        # index array over the decorated values, so the per-comparison
-        # path never re-enters the compiled closure chain.
-        for fn, ascending, nulls_first in reversed(key_fns):
-            if nulls_first is None:
-                # PostgreSQL defaults: NULLS LAST ascending, FIRST descending.
-                nulls_first = not ascending
-            if ascending:
-                null_bucket = 0 if nulls_first else 2
-            else:
-                # The whole sort is reversed, so the bucket order flips too.
-                null_bucket = 2 if nulls_first else 0
-            decorated = [
-                (null_bucket, 0) if value is None else (1, value)
-                for value in map(fn, rows)
-            ]
-            # sorted(reverse=True) keeps equal elements in their original
-            # order, so descending passes stay stable too.
-            order = sorted(
-                range(len(rows)),
-                key=decorated.__getitem__,
-                reverse=not ascending,
-            )
-            rows = [rows[i] for i in order]
-        count = len(rows)
-        if count > 1:
-            acc.cpu_tuples(count, weight=0.25 * math.log2(count))
-        sizer = RowSizer()
-        self._charge_spill(acc, sum(sizer(r) for r in rows))
-        return iter(rows)
-
-    def _run_limit(
-        self, node: Limit, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        produced = 0
-        for row in self._input_rows(node.child, segment, acc):
-            if produced >= node.count:
-                break
-            produced += 1
-            yield row
-
-    def _run_result(
-        self, node: Result, segment: int, acc: CostAccumulator
-    ) -> Iterator[tuple]:
-        fns = [compile_expr(e, [], self.ctx.params) for e in node.exprs]
-        acc.cpu_tuples(1, ncolumns=len(fns))
-        yield tuple(fn(()) for fn in fns)
-
-    # ---------------------------------------------------------------- spilling
-    def _charge_spill(self, acc: CostAccumulator, actual_bytes: int) -> None:
-        """Charge simulated IO when an operator's nominal working set
-        exceeds work_mem (external sort / spilling hash tables)."""
-        model = self.ctx.cost_model
-        nominal = actual_bytes * model.scale
-        if nominal <= self.ctx.work_mem:
-            return
-        spilled = nominal - self.ctx.work_mem
-        # Written once and read back once, at local-disk bandwidth;
-        # nominal bytes, so bypass the scaled disk_read/write helpers.
-        acc.seconds += 2 * spilled / model.disk_seq_bw
-        acc.disk_write_bytes += int(spilled / max(model.scale, 1e-9))
+        return QueryResult(
+            rows=rows,
+            column_names=plan.output_names,
+            cost=cost,
+            plan=plan,
+            slices=slices,
+            makespan=schedule.makespan,
+            overhead_seconds=overhead,
+            critical_path=schedule.critical_path,
+        )

@@ -1,0 +1,712 @@
+"""One slice on one segment: the QE-side operator interpreter.
+
+A :class:`SliceExecutor` is what a :class:`~repro.cluster.worker.
+SegmentWorker` runs when a DISPATCH message hands it a
+:class:`~repro.planner.dispatch.SliceTask`: it interprets the slice's
+operator tree (row or vectorized), reads motion inputs from the
+:class:`~repro.interconnect.exchange.ExchangeFabric` inbox, and pushes
+its root motion's output back through the fabric, one stream per
+receiver. All simulated charges land on the task's own
+:class:`~repro.simtime.CostAccumulator` — the accumulator *is* the
+task's duration on the event-driven scheduler's timeline.
+
+Charging sites mirror the pre-refactor inline executor exactly, so row
+and batch modes stay bit-identical in both results and simulated cost.
+One deliberate change rides the per-message latency contract: a motion
+*receive* charges bandwidth only (``messages=0``) — its latency lives on
+the scheduler's cross-timeline edge instead of being double-counted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.catalog.schema import hash_values
+from repro.errors import ExecutorError
+from repro.executor.aggregates import make_state
+from repro.executor.batch import rows_of
+from repro.executor.expr import (
+    RowSizer,
+    compile_expr,
+    compile_expr_batch,
+)
+from repro.interconnect.exchange import ExchangeFabric
+from repro.planner import exprs as ex
+from repro.planner.dispatch import SliceTask
+from repro.planner.physical import (
+    ExternalScan,
+    Filter,
+    HashAgg,
+    HashJoin,
+    Limit,
+    Motion,
+    MotionRecv,
+    NestLoopJoin,
+    PlanNode,
+    Project,
+    Result,
+    SeqScan,
+    Sort,
+    SubqueryScan,
+)
+from repro.simtime import CostAccumulator
+
+
+@dataclass
+class SliceProviders:
+    """Segment-local data sources a worker lends to its executor."""
+
+    #: scan(table_source, partitions, segment_id, columns, acc) -> rows
+    scan: Callable
+    #: batch_scan(...) -> iterator of (row_count, {col: values}) or None
+    batch_scan: Callable
+    #: external(table_source, segment_id, columns, pushed, acc) -> rows
+    external: Callable
+
+
+class SliceExecutor:
+    """Runs one (slice, segment) task to completion."""
+
+    def __init__(
+        self,
+        root: PlanNode,
+        task: SliceTask,
+        ctx,
+        providers: SliceProviders,
+        exchange: ExchangeFabric,
+        acc: CostAccumulator,
+    ):
+        self.root = root
+        self.task = task
+        self.ctx = ctx
+        self.providers = providers
+        self.exchange = exchange
+        self.acc = acc
+        self.segment = task.segment
+        #: Rows / bytes pushed through this slice's root motion.
+        self.rows_out = 0
+        self.bytes_out = 0
+
+    # ---------------------------------------------------------------- driver
+    def run(self) -> List[tuple]:
+        """Execute the slice; returns rows only for the top slice."""
+        rows = self._input_rows(self.root, self.segment, self.acc)
+        if self.task.is_top:
+            result = list(rows)
+            self.rows_out = len(result)
+            return result
+        # Non-top slice roots are Motions; _run_node on a Motion pushes
+        # streams to the exchange and yields nothing.
+        for _ in rows:
+            pass
+        return []
+
+    # -------------------------------------------------------------- operators
+    def _run_node(
+        self, node: PlanNode, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        if isinstance(node, Motion):
+            return self._run_motion(node, segment, acc)
+        if isinstance(node, MotionRecv):
+            return self._run_motion_recv(node, segment, acc)
+        if isinstance(node, SeqScan):
+            return self._run_seqscan(node, segment, acc)
+        if isinstance(node, ExternalScan):
+            return self._run_external(node, segment, acc)
+        if isinstance(node, SubqueryScan):
+            return self._run_node(node.child, segment, acc)
+        if isinstance(node, Filter):
+            return self._run_filter(node, segment, acc)
+        if isinstance(node, Project):
+            return self._run_project(node, segment, acc)
+        if isinstance(node, HashJoin):
+            return self._run_hash_join(node, segment, acc)
+        if isinstance(node, NestLoopJoin):
+            return self._run_nest_loop(node, segment, acc)
+        if isinstance(node, HashAgg):
+            return self._run_hash_agg(node, segment, acc)
+        if isinstance(node, Sort):
+            return self._run_sort(node, segment, acc)
+        if isinstance(node, Limit):
+            return self._run_limit(node, segment, acc)
+        if isinstance(node, Result):
+            return self._run_result(node, segment, acc)
+        raise ExecutorError(f"no executor for {type(node).__name__}")
+
+    # ------------------------------------------------------------- batch path
+    def _input_rows(
+        self, node: PlanNode, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        """Row view of a child: the vectorized pipeline when available
+        (flattened back to tuples at this boundary), else the row path."""
+        if self.ctx.executor_mode == "batch":
+            batches = self._run_node_batches(node, segment, acc)
+            if batches is not None:
+                return self._flatten_batches(batches)
+        return self._run_node(node, segment, acc)
+
+    @staticmethod
+    def _flatten_batches(batches) -> Iterator[tuple]:
+        for cols, n in batches:
+            yield from rows_of(cols, n)
+
+    def _run_node_batches(
+        self, node: PlanNode, segment: int, acc: CostAccumulator
+    ):
+        """Vectorized execution of a subtree, or None if unsupported.
+
+        Yields ``(cols, n)`` pairs: column vectors in ``node.layout``
+        order. Simulated charges mirror the row operators exactly,
+        including the trailing per-operator CPU charge being skipped
+        when a consumer (LIMIT) abandons the stream.
+        """
+        if self.ctx.executor_mode != "batch":
+            return None
+        if isinstance(node, SeqScan):
+            return self._scan_batches(node, segment, acc)
+        if isinstance(node, SubqueryScan):
+            # Pass-through: positions are unchanged, only labels differ.
+            return self._run_node_batches(node.child, segment, acc)
+        if isinstance(node, Filter):
+            return self._filter_batches(node, segment, acc)
+        if isinstance(node, Project):
+            return self._project_batches(node, segment, acc)
+        return None
+
+    def _scan_batches(self, node: SeqScan, segment: int, acc: CostAccumulator):
+        provider = self.providers.batch_scan
+        if provider is None:
+            return None
+        source = provider(
+            node.table, node.partitions, segment, node.columns, acc
+        )
+        if source is None:
+            return None
+        predicate = (
+            compile_expr_batch(
+                node.filter, self._scan_layout(node), self.ctx.params
+            )
+            if node.filter is not None
+            else None
+        )
+        ncols = len(node.table.schema.columns)
+        out_positions = list(node.columns)
+
+        def gen():
+            count = 0
+            for row_count, vectors in source:
+                count += row_count
+                if predicate is None:
+                    yield [vectors[c] for c in out_positions], row_count
+                    continue
+                # The scan filter is compiled against the full table row
+                # shape; the planner guarantees every referenced column
+                # is decoded, so unrequested positions never get read.
+                # Undecoded columns share one NULL vector — the same
+                # None placeholders the row-path provider materializes.
+                placeholder = [None] * row_count
+                full = [vectors.get(c, placeholder) for c in range(ncols)]
+                mask = predicate(full, row_count, None)
+                sel = [i for i, m in enumerate(mask) if m is True]
+                if len(sel) == row_count:
+                    yield [vectors[c] for c in out_positions], row_count
+                elif sel:
+                    yield [
+                        [vectors[c][i] for i in sel] for c in out_positions
+                    ], len(sel)
+            acc.cpu_tuples(count, ncolumns=len(node.columns))
+
+        return gen()
+
+    def _filter_batches(
+        self, node: Filter, segment: int, acc: CostAccumulator
+    ):
+        child = self._run_node_batches(node.child, segment, acc)
+        if child is None:
+            return None
+        predicate = compile_expr_batch(
+            node.cond, node.child.layout, self.ctx.params
+        )
+
+        def gen():
+            count = 0
+            for cols, n in child:
+                count += n
+                mask = predicate(cols, n, None)
+                sel = [i for i, m in enumerate(mask) if m is True]
+                if len(sel) == n:
+                    yield cols, n
+                elif sel:
+                    yield [[col[i] for i in sel] for col in cols], len(sel)
+            acc.cpu_tuples(count, weight=0.5)
+
+        return gen()
+
+    def _project_batches(
+        self, node: Project, segment: int, acc: CostAccumulator
+    ):
+        child = self._run_node_batches(node.child, segment, acc)
+        if child is None:
+            return None
+        fns = [
+            compile_expr_batch(e, node.child.layout, self.ctx.params)
+            for e in node.exprs
+        ]
+
+        def gen():
+            count = 0
+            for cols, n in child:
+                count += n
+                yield [fn(cols, n, None) for fn in fns], n
+            acc.cpu_tuples(count, ncolumns=len(fns))
+
+        return gen()
+
+    # ------------------------------------------------------------------ scans
+    def _run_seqscan(
+        self, node: SeqScan, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        if self.providers.scan is None:
+            raise ExecutorError("no scan provider configured")
+        predicate = (
+            compile_expr(node.filter, self._scan_layout(node), self.ctx.params)
+            if node.filter is not None
+            else None
+        )
+        count = 0
+        for row in self.providers.scan(
+            node.table, node.partitions, segment, node.columns, acc
+        ):
+            count += 1
+            if predicate is not None and predicate(row) is not True:
+                continue
+            yield tuple(row[c] for c in node.columns)
+        acc.cpu_tuples(count, ncolumns=len(node.columns))
+
+    def _scan_layout(self, node) -> List[tuple]:
+        """Scan filters see the table's full row shape."""
+        ncols = len(node.table.schema.columns)
+        return [("r", node.rel, c) for c in range(ncols)]
+
+    def _run_external(
+        self, node: ExternalScan, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        if self.providers.external is None:
+            raise ExecutorError("no external (PXF) provider configured")
+        predicate = (
+            compile_expr(node.filter, self._scan_layout(node), self.ctx.params)
+            if node.filter is not None
+            else None
+        )
+        count = 0
+        for row in self.providers.external(
+            node.table, segment, node.columns, node.pushed_filters, acc
+        ):
+            count += 1
+            if predicate is not None and predicate(row) is not True:
+                continue
+            yield tuple(row[c] for c in node.columns)
+        acc.cpu_tuples(count, ncolumns=len(node.columns))
+
+    # ---------------------------------------------------------------- motions
+    def _run_motion(
+        self, node: Motion, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        receivers = self.task.receivers
+        hash_fns = [
+            compile_expr(e, node.child.layout, self.ctx.params)
+            for e in node.hash_exprs
+        ]
+        buffers: Dict[int, List[tuple]] = defaultdict(list)
+        buffer_bytes: Dict[int, int] = defaultdict(int)
+        sent_bytes = 0
+        count = 0
+        sizer = RowSizer()
+        for row in self._input_rows(node.child, segment, acc):
+            count += 1
+            size = sizer(row)
+            if node.kind == "gather":
+                targets = [receivers[0]]
+            elif node.kind == "broadcast":
+                targets = receivers
+            else:
+                key = tuple(fn(row) for fn in hash_fns)
+                targets = [receivers[hash_values(key, len(receivers))]]
+            for target in targets:
+                buffers[target].append(row)
+                buffer_bytes[target] += size
+                sent_bytes += size
+        self._charge_send(acc, count, sent_bytes, len(receivers))
+        for target in sorted(buffers):
+            self.rows_out += len(buffers[target])
+            self.bytes_out += buffer_bytes[target]
+            self.exchange.send(
+                self.task.slice_id,
+                segment,
+                target,
+                buffers[target],
+                buffer_bytes[target],
+            )
+        return iter(())
+
+    def _charge_send(
+        self, acc: CostAccumulator, rows: int, nbytes: int, nreceivers: int
+    ) -> None:
+        model = self.ctx.cost_model
+        acc.cpu_bytes(nbytes, model.cpu_net_byte)
+        # Stream concurrency is a property of the *real* cluster being
+        # modeled (96 segments in the paper's testbed), not of however
+        # many segments this process simulates.
+        real_segments = (
+            model.modeled_segments
+            if model.modeled_segments
+            else self.ctx.num_segments
+        )
+        if self.ctx.interconnect == "tcp":
+            streams = real_segments * max(self.task.num_plan_slices - 1, 1)
+            bandwidth = model.net_bw / (
+                1 + model.tcp_concurrency_penalty * streams
+            )
+            acc.fixed(model.tcp_conn_setup * real_segments * (nreceivers > 1))
+            acc.network(nbytes, bandwidth)
+        else:
+            acc.fixed(model.udp_conn_setup * real_segments)
+            acc.network(int(nbytes * (1 + model.udp_byte_overhead)))
+
+    def _run_motion_recv(
+        self, node: MotionRecv, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        rows, nbytes = self.exchange.receive(node.slice_id, segment)
+        model = self.ctx.cost_model
+        acc.cpu_bytes(nbytes, model.cpu_net_byte)
+        # Bandwidth only: the receive's latency is the scheduler edge
+        # from the sending task's timeline to this one.
+        acc.network(nbytes, messages=0)
+        return iter(rows)
+
+    # -------------------------------------------------------------- filtering
+    def _run_filter(
+        self, node: Filter, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        predicate = compile_expr(node.cond, node.child.layout, self.ctx.params)
+        count = 0
+        for row in self._run_node(node.child, segment, acc):
+            count += 1
+            if predicate(row) is True:
+                yield row
+        acc.cpu_tuples(count, weight=0.5)
+
+    def _run_project(
+        self, node: Project, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        fns = [
+            compile_expr(e, node.child.layout, self.ctx.params) for e in node.exprs
+        ]
+        count = 0
+        for row in self._run_node(node.child, segment, acc):
+            count += 1
+            yield tuple(fn(row) for fn in fns)
+        acc.cpu_tuples(count, ncolumns=len(fns))
+
+    # ------------------------------------------------------------------ joins
+    def _run_hash_join(
+        self, node: HashJoin, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        residual = (
+            compile_expr(node.residual, node.layout_for_residual(), self.ctx.params)
+            if node.residual is not None
+            else None
+        )
+        # Build side (right).
+        table: Dict[tuple, List[tuple]] = defaultdict(list)
+        build_count = 0
+        build_bytes = 0
+        sizer = RowSizer()
+        for row, key in self._keyed_rows(
+            node.right, node.right_keys, segment, acc
+        ):
+            if any(k is None for k in key):
+                continue  # NULL never matches an equality key
+            table[key].append(row)
+            build_count += 1
+            build_bytes += sizer(row)
+        acc.cpu_tuples(build_count, weight=1.2)
+        self._charge_spill(acc, build_bytes)
+
+        probe_count = 0
+        out_count = 0
+        join_type = node.join_type
+        pad = (None,) * len(node.right.layout)
+        for row, key in self._keyed_rows(
+            node.left, node.left_keys, segment, acc
+        ):
+            probe_count += 1
+            matches = table.get(key, []) if not any(k is None for k in key) else []
+            if residual is not None and matches:
+                matches = [m for m in matches if residual(row + m) is True]
+            if join_type == "inner":
+                for match in matches:
+                    out_count += 1
+                    yield row + match
+            elif join_type == "left":
+                if matches:
+                    for match in matches:
+                        out_count += 1
+                        yield row + match
+                else:
+                    out_count += 1
+                    yield row + pad
+            elif join_type == "semi":
+                if matches:
+                    out_count += 1
+                    yield row
+            elif join_type == "anti":
+                if not matches:
+                    out_count += 1
+                    yield row
+            else:  # pragma: no cover
+                raise ExecutorError(f"unknown join type {join_type!r}")
+        acc.cpu_tuples(probe_count, weight=1.0)
+        acc.cpu_tuples(out_count, weight=0.3)
+
+    def _keyed_rows(
+        self,
+        node: PlanNode,
+        key_exprs: List[ex.BoundExpr],
+        segment: int,
+        acc: CostAccumulator,
+    ) -> Iterator[Tuple[tuple, tuple]]:
+        """Yield ``(row, key)`` pairs for a join input, extracting keys
+        with batch kernels when the child produces column batches."""
+        if self.ctx.executor_mode == "batch":
+            batches = self._run_node_batches(node, segment, acc)
+            if batches is not None:
+                key_fns = [
+                    compile_expr_batch(e, node.layout, self.ctx.params)
+                    for e in key_exprs
+                ]
+                for cols, n in batches:
+                    if key_fns:
+                        key_cols = [fn(cols, n, None) for fn in key_fns]
+                        yield from zip(rows_of(cols, n), zip(*key_cols))
+                    else:
+                        empty = ()
+                        for row in rows_of(cols, n):
+                            yield row, empty
+                return
+        fns = [
+            compile_expr(e, node.layout, self.ctx.params) for e in key_exprs
+        ]
+        for row in self._run_node(node, segment, acc):
+            yield row, tuple(fn(row) for fn in fns)
+
+    def _run_nest_loop(
+        self, node: NestLoopJoin, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        inner = list(self._input_rows(node.right, segment, acc))
+        cond = (
+            compile_expr(node.cond, node.layout_for_residual(), self.ctx.params)
+            if node.cond is not None
+            else None
+        )
+        pad = (None,) * len(node.right.layout)
+        outer_count = 0
+        comparisons = 0
+        for row in self._input_rows(node.left, segment, acc):
+            outer_count += 1
+            matches = []
+            for inner_row in inner:
+                comparisons += 1
+                if cond is None or cond(row + inner_row) is True:
+                    matches.append(inner_row)
+            if node.join_type == "inner":
+                for match in matches:
+                    yield row + match
+            elif node.join_type == "left":
+                if matches:
+                    for match in matches:
+                        yield row + match
+                else:
+                    yield row + pad
+            elif node.join_type == "semi":
+                if matches:
+                    yield row
+            elif node.join_type == "anti":
+                if not matches:
+                    yield row
+        acc.cpu_tuples(comparisons, weight=0.3)
+        acc.cpu_tuples(outer_count, weight=0.5)
+
+    # ------------------------------------------------------------ aggregation
+    def _run_hash_agg(
+        self, node: HashAgg, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        child_layout = node.child.layout
+        phase = node.phase
+        nkeys = len(node.group_keys)
+        if phase == "final":
+            # Input rows are (group values..., states...) from partials.
+            groups: Dict[tuple, List] = {}
+            count = 0
+            for row in self._input_rows(node.child, segment, acc):
+                count += 1
+                key = row[:nkeys]
+                states = row[nkeys:]
+                slot = groups.get(key)
+                if slot is None:
+                    groups[key] = list(states)
+                else:
+                    for mine, theirs in zip(slot, states):
+                        mine.merge(theirs)
+            acc.cpu_tuples(count, weight=1.0 + 0.3 * len(node.aggs))
+            for key, states in groups.items():
+                yield key + tuple(state.finalize() for state in states)
+            return
+
+        groups = {}
+        count = 0
+        group_bytes = 0
+        sizer = RowSizer()
+        batches = self._run_node_batches(node.child, segment, acc)
+        if batches is not None:
+            # Vectorized accumulation: group keys and aggregate arguments
+            # are evaluated over whole batches, then folded per row.
+            key_fns_b = [
+                compile_expr_batch(e, child_layout, self.ctx.params)
+                for e in node.group_keys
+            ]
+            arg_fns_b = [
+                compile_expr_batch(a.arg, child_layout, self.ctx.params)
+                if a.arg is not None
+                else None
+                for a in node.aggs
+            ]
+            for cols, n in batches:
+                count += n
+                if key_fns_b:
+                    keys = list(zip(*(fn(cols, n, None) for fn in key_fns_b)))
+                else:
+                    keys = [()] * n
+                arg_vecs = [
+                    fn(cols, n, None) if fn is not None else None
+                    for fn in arg_fns_b
+                ]
+                for i, key in enumerate(keys):
+                    states = groups.get(key)
+                    if states is None:
+                        states = [make_state(a) for a in node.aggs]
+                        groups[key] = states
+                        group_bytes += sizer(key) + 16 * len(states)
+                    for state, vec in zip(states, arg_vecs):
+                        state.accumulate(vec[i] if vec is not None else 1)
+        else:
+            key_fns = [
+                compile_expr(e, child_layout, self.ctx.params)
+                for e in node.group_keys
+            ]
+            arg_fns = [
+                compile_expr(a.arg, child_layout, self.ctx.params)
+                if a.arg is not None
+                else None
+                for a in node.aggs
+            ]
+            for row in self._run_node(node.child, segment, acc):
+                count += 1
+                key = tuple(fn(row) for fn in key_fns)
+                states = groups.get(key)
+                if states is None:
+                    states = [make_state(a) for a in node.aggs]
+                    groups[key] = states
+                    group_bytes += sizer(key) + 16 * len(states)
+                for state, arg_fn in zip(states, arg_fns):
+                    state.accumulate(arg_fn(row) if arg_fn is not None else 1)
+        acc.cpu_tuples(count, weight=1.2 + 0.3 * len(node.aggs))
+        self._charge_spill(acc, group_bytes)
+        if not groups and not node.group_keys and node.aggs:
+            # Aggregate over empty input still yields one row.
+            groups[()] = [make_state(a) for a in node.aggs]
+        if phase == "partial":
+            for key, states in groups.items():
+                yield key + tuple(states)
+        else:  # single
+            for key, states in groups.items():
+                yield key + tuple(state.finalize() for state in states)
+
+    # ------------------------------------------------------------- sort/limit
+    def _run_sort(
+        self, node: Sort, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        rows = list(self._input_rows(node.child, segment, acc))
+        key_fns = [
+            (
+                compile_expr(k.expr, node.child.layout, self.ctx.params),
+                k.ascending,
+                k.nulls_first,
+            )
+            for k in node.keys
+        ]
+        # Stable multi-key sort: apply keys right-to-left. Each pass
+        # evaluates its key expression once per row up front and sorts an
+        # index array over the decorated values, so the per-comparison
+        # path never re-enters the compiled closure chain.
+        for fn, ascending, nulls_first in reversed(key_fns):
+            if nulls_first is None:
+                # PostgreSQL defaults: NULLS LAST ascending, FIRST descending.
+                nulls_first = not ascending
+            if ascending:
+                null_bucket = 0 if nulls_first else 2
+            else:
+                # The whole sort is reversed, so the bucket order flips too.
+                null_bucket = 2 if nulls_first else 0
+            decorated = [
+                (null_bucket, 0) if value is None else (1, value)
+                for value in map(fn, rows)
+            ]
+            # sorted(reverse=True) keeps equal elements in their original
+            # order, so descending passes stay stable too.
+            order = sorted(
+                range(len(rows)),
+                key=decorated.__getitem__,
+                reverse=not ascending,
+            )
+            rows = [rows[i] for i in order]
+        count = len(rows)
+        if count > 1:
+            acc.cpu_tuples(count, weight=0.25 * math.log2(count))
+        sizer = RowSizer()
+        self._charge_spill(acc, sum(sizer(r) for r in rows))
+        return iter(rows)
+
+    def _run_limit(
+        self, node: Limit, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        produced = 0
+        for row in self._input_rows(node.child, segment, acc):
+            if produced >= node.count:
+                break
+            produced += 1
+            yield row
+
+    def _run_result(
+        self, node: Result, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        fns = [compile_expr(e, [], self.ctx.params) for e in node.exprs]
+        acc.cpu_tuples(1, ncolumns=len(fns))
+        yield tuple(fn(()) for fn in fns)
+
+    # ---------------------------------------------------------------- spilling
+    def _charge_spill(self, acc: CostAccumulator, actual_bytes: int) -> None:
+        """Charge simulated IO when an operator's nominal working set
+        exceeds work_mem (external sort / spilling hash tables)."""
+        model = self.ctx.cost_model
+        nominal = actual_bytes * model.scale
+        if nominal <= self.ctx.work_mem:
+            return
+        spilled = nominal - self.ctx.work_mem
+        # Written once and read back once, at local-disk bandwidth;
+        # nominal bytes, so bypass the scaled disk_read/write helpers.
+        acc.seconds += 2 * spilled / model.disk_seq_bw
+        acc.disk_write_bytes += int(spilled / max(model.scale, 1e-9))

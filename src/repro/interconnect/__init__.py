@@ -12,6 +12,7 @@ Tuple streams between execution slices flow over one of two transports:
   exhaustion.
 """
 
+from repro.interconnect.exchange import ExchangeFabric, StreamRecord
 from repro.interconnect.packet import Packet, PacketType, StreamKey
 from repro.interconnect.tcp import (
     TcpEndpoint,
@@ -30,8 +31,10 @@ from repro.interconnect.udp import (
 )
 
 __all__ = [
+    "ExchangeFabric",
     "Packet",
     "PacketType",
+    "StreamRecord",
     "ReceiverState",
     "SenderState",
     "StreamKey",

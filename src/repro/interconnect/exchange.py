@@ -1,0 +1,108 @@
+"""Motion data plane: per-stream tuple exchange over the simulated net.
+
+Each (sending slice, sender segment, receiver segment) triple is one
+**stream**. A worker finishing a motion pushes every stream as a single
+datagram through :class:`~repro.network.simnet.SimNetwork` to the
+receiver's exchange endpoint, where it lands in a per-stream inbox. The
+consuming slice's MotionRecv leaf drains its inbox — streams are
+concatenated in sender-segment order, so results never depend on
+datagram arrival order.
+
+The fabric also records every stream it carried; the runtime turns those
+records into cross-timeline edges of the event-driven scheduler (sender
+task → receiver task), which is how motion data movement shapes the
+query's critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import InterconnectError
+from repro.network.simnet import Datagram, SimNetwork
+
+_EXCHANGE_HOST = "exchange"
+_BASE_PORT = 7000
+
+
+@dataclass
+class StreamRecord:
+    """One motion stream that crossed the fabric (a scheduler edge)."""
+
+    slice_id: int
+    sender: int
+    receiver: int
+    rows: int
+    nbytes: int
+
+
+class ExchangeFabric:
+    """Name = segment id; payload = a finished motion stream."""
+
+    def __init__(self, net: SimNetwork):
+        self._net = net
+        self._addresses: Dict[int, Tuple[str, int]] = {}
+        #: (slice_id, receiver) -> sender -> (rows, nbytes)
+        self._inbox: Dict[Tuple[int, int], Dict[int, Tuple[List[tuple], int]]] = {}
+        self.records: List[StreamRecord] = []
+
+    def attach(self, segment_id: int) -> None:
+        """Bind a segment's exchange endpoint (QD uses segment id -1)."""
+        if segment_id in self._addresses:
+            raise InterconnectError(
+                f"exchange endpoint already bound for segment {segment_id}"
+            )
+        address = (_EXCHANGE_HOST, _BASE_PORT + 1 + segment_id)
+        self._net.register(address, self._deliver)
+        self._addresses[segment_id] = address
+
+    def send(
+        self,
+        slice_id: int,
+        sender: int,
+        receiver: int,
+        rows: List[tuple],
+        nbytes: int,
+    ) -> None:
+        """Push one complete stream to ``receiver`` as one datagram."""
+        self._net.send(
+            self._addresses[sender],
+            self._addresses[receiver],
+            (slice_id, sender, receiver, rows, nbytes),
+            nbytes,
+        )
+
+    def _deliver(self, datagram: Datagram) -> None:
+        slice_id, sender, receiver, rows, nbytes = datagram.payload
+        self._inbox.setdefault((slice_id, receiver), {})[sender] = (rows, nbytes)
+        self.records.append(
+            StreamRecord(
+                slice_id=slice_id,
+                sender=sender,
+                receiver=receiver,
+                rows=len(rows),
+                nbytes=nbytes,
+            )
+        )
+
+    def receive(self, slice_id: int, receiver: int) -> Tuple[List[tuple], int]:
+        """Drain every stream of one motion addressed to ``receiver``.
+
+        Streams concatenate in sender-segment order — the arrival order
+        on the simulated wire never leaks into result rows.
+        """
+        streams = self._inbox.pop((slice_id, receiver), {})
+        rows: List[tuple] = []
+        nbytes = 0
+        for sender in sorted(streams):
+            sender_rows, sender_bytes = streams[sender]
+            rows.extend(sender_rows)
+            nbytes += sender_bytes
+        return rows, nbytes
+
+    def reset(self) -> None:
+        """Clear inbox and records between plan executions (init plans
+        reuse slice ids, so leftovers must never leak across plans)."""
+        self._inbox.clear()
+        self.records.clear()

@@ -34,7 +34,7 @@ from repro.lint.rules import RULES, get_rules
 
 #: Modules held to the stricter ``[tool.mypy]`` contract in pyproject.toml.
 TYPED_SUBSET = [
-    "src/repro/simtime.py",
+    "src/repro/simtime",
     "src/repro/errors.py",
     "src/repro/util",
     "src/repro/storage/cache.py",

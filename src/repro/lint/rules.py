@@ -47,7 +47,7 @@ class NoWallClockRule:
     name = "no-wall-clock"
     description = (
         "time.time/perf_counter/monotonic/datetime.now outside bench/ "
-        "and simtime.py"
+        "and simtime/"
     )
 
     TIME_CLOCKS = frozenset(
@@ -65,7 +65,9 @@ class NoWallClockRule:
     DATETIME_CLOCKS = frozenset({"now", "utcnow", "today"})
 
     def _exempt(self, path: str) -> bool:
-        return _in_dir(path, "bench", "tests") or path.endswith("simtime.py")
+        return _in_dir(path, "bench", "tests", "simtime") or path.endswith(
+            "simtime.py"
+        )
 
     def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
         if self._exempt(source.path):
@@ -226,9 +228,15 @@ class CostConformanceRule:
     )
 
     SCOPE_DIRS = ("storage", "hdfs", "network", "interconnect")
+    #: Individual byte-moving modules outside those trees: the
+    #: control-plane RPC layer and the event-driven scheduler.
+    SCOPE_FILES = ("cluster/rpc.py", "simtime/scheduler.py")
 
     def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
-        if not _in_dir(source.path, *self.SCOPE_DIRS):
+        if not (
+            _in_dir(source.path, *self.SCOPE_DIRS)
+            or any(source.path.endswith(f) for f in self.SCOPE_FILES)
+        ):
             return
         graph: CallGraph = project.shared("callgraph", CallGraph.build)
         covered: Set[str] = project.shared(

@@ -20,8 +20,12 @@ from typing import Dict, List, Optional, Set
 from repro.catalog.schema import TableSchema
 from repro.catalog.service import CatalogService
 from repro.errors import PlannerError
-from repro.planner.physical import PhysicalPlan, PlanNode, SeqScan
+from repro.planner.physical import PhysicalPlan, PlanNode, PlanSlice, SeqScan
 from repro.txn.mvcc import Snapshot
+
+#: Pseudo segment id of the query dispatcher's own executor (gang "1"
+#: slices — final gathers, Result-only plans — run on the master).
+QD_SEGMENT = -1
 
 
 @dataclass
@@ -56,6 +60,79 @@ class SelfDescribedPlan:
     #: The dispatching snapshot (QEs evaluating master-only catalog
     #: scans need it; regular tables already carry logical lengths).
     snapshot: Optional[Snapshot] = None
+
+
+@dataclass
+class SliceTask:
+    """One unit of dispatch: one plan slice assigned to one segment.
+
+    The dispatcher cuts a :class:`SelfDescribedPlan` into per-segment
+    tasks; each task travels to its :class:`~repro.cluster.worker.
+    SegmentWorker` inside one RPC DISPATCH message, and the worker
+    executes exactly one serialized task at a time.
+    """
+
+    slice_id: int
+    #: Executing segment (``QD_SEGMENT`` for gang "1" slices).
+    segment: int
+    gang: str
+    is_top: bool
+    #: Segments of the consuming (parent) gang — the targets of this
+    #: slice's root motion. Empty for the top slice.
+    receivers: List[int] = field(default_factory=list)
+    #: Slice count of the whole plan (interconnect stream arithmetic).
+    num_plan_slices: int = 1
+    #: Charged wire size of the DISPATCH message carrying this task
+    #: (the compressed self-described plan for QE tasks, 0 for the
+    #: master's loopback dispatch to its own executor).
+    payload_bytes: int = 0
+
+
+def gang_segments(
+    plan: PhysicalPlan, plan_slice: PlanSlice, num_segments: int
+) -> List[int]:
+    """Segments a slice's gang runs on: the QD for gang "1", the single
+    direct-dispatch target when the planner proved one, else all."""
+    if plan_slice.gang == "1":
+        return [QD_SEGMENT]
+    if plan.direct_dispatch_segment is not None:
+        return [plan.direct_dispatch_segment]
+    return list(range(num_segments))
+
+
+def make_slice_tasks(
+    plan: PhysicalPlan, sdp: "SelfDescribedPlan", num_segments: int
+) -> List[List[SliceTask]]:
+    """Cut a self-described plan into dispatchable per-segment tasks.
+
+    Returns one wave per slice, in the slicer's children-first order, so
+    a wave's motion inputs are fully produced by earlier waves. Direct
+    dispatch naturally shrinks QE waves to the single contacted segment.
+    """
+    parent_gang: Dict[int, List[int]] = {}
+    for plan_slice in plan.slices:
+        receivers = gang_segments(plan, plan_slice, num_segments)
+        for child_id in plan_slice.child_slices:
+            parent_gang[child_id] = receivers
+    waves: List[List[SliceTask]] = []
+    for plan_slice in plan.slices:
+        is_top = plan_slice is plan.top_slice
+        wave = [
+            SliceTask(
+                slice_id=plan_slice.slice_id,
+                segment=segment,
+                gang=plan_slice.gang,
+                is_top=is_top,
+                receivers=parent_gang.get(plan_slice.slice_id, [QD_SEGMENT]),
+                num_plan_slices=len(plan.slices),
+                payload_bytes=(
+                    0 if segment == QD_SEGMENT else sdp.compressed_bytes
+                ),
+            )
+            for segment in gang_segments(plan, plan_slice, num_segments)
+        ]
+        waves.append(wave)
+    return waves
 
 
 def tables_in_plan(plan: PhysicalPlan) -> Set[str]:

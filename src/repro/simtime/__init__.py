@@ -19,6 +19,10 @@ Two kinds of cost exist:
 The default constants model the paper's testbed (Section 8): 16 segment
 hosts, 2x6-core 2.93 GHz Xeons, 48 GB RAM, 12x300 GB disks, one dual-port
 10 GigE NIC per host, 6 HAWQ segments per host.
+
+Query *wall* time is no longer folded per-slice here: the event-driven
+simulator in :mod:`repro.simtime.scheduler` composes per-(slice, segment)
+task durations into a critical path through the task DAG.
 """
 
 from __future__ import annotations
@@ -180,27 +184,23 @@ class CostAccumulator:
         """Charge CPU proportional to a byte volume (codecs, framing)."""
         self.seconds += self.model.scaled(nbytes * per_byte)
 
-    def network(self, nbytes: int, bandwidth: float | None = None) -> None:
-        """Charge wire time for sending ``nbytes``."""
+    def network(
+        self,
+        nbytes: int,
+        bandwidth: "float | None" = None,
+        messages: int = 1,
+    ) -> None:
+        """Charge wire time for sending ``nbytes`` as ``messages`` charged
+        sends. Latency is paid **per message**, not per fragment: a layer
+        that streams one logical payload in many fragments must batch them
+        into one charged send (``messages=1``) — or pass ``messages=0``
+        for a continuation whose latency is accounted elsewhere (the
+        scheduler charges motion-edge latency on the task DAG edge)."""
         self.net_bytes += nbytes
         bw = bandwidth if bandwidth is not None else self.model.net_bw
-        self.seconds += self.model.scaled(nbytes / bw) + self.model.net_latency
-
-    def merge_max(self, other: "CostAccumulator") -> None:
-        """Fold a parallel peer in: wall time is the max of the two."""
-        self.seconds = max(self.seconds, other.seconds)
-        self.disk_read_bytes += other.disk_read_bytes
-        self.disk_write_bytes += other.disk_write_bytes
-        self.net_bytes += other.net_bytes
-        self.tuples += other.tuples
-
-    def merge_sum(self, other: "CostAccumulator") -> None:
-        """Fold a serial successor in: wall times add."""
-        self.seconds += other.seconds
-        self.disk_read_bytes += other.disk_read_bytes
-        self.disk_write_bytes += other.disk_write_bytes
-        self.net_bytes += other.net_bytes
-        self.tuples += other.tuples
+        self.seconds += (
+            self.model.scaled(nbytes / bw) + self.model.net_latency * messages
+        )
 
 
 @dataclass

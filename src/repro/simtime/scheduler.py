@@ -1,0 +1,162 @@
+"""Event-driven task scheduler: query wall time as a critical path.
+
+The distributed runtime models one query as a DAG of *(slice, segment)*
+tasks. Each task has a duration — the simulated seconds its
+:class:`~repro.simtime.CostAccumulator` charged while the worker executed
+the slice — and edges connect a motion's senders to its receivers, each
+edge carrying the interconnect latency (plus a materialization penalty
+when pipelining is disabled). The scheduler replays the DAG on a
+discrete-event clock: a task starts when all of its incoming edges have
+fired, and the query's wall time is the finish time of the last task —
+the **critical path** through the task DAG, not a per-slice
+max-then-sum fold.
+
+Durations are charged by the cost model, so the event clock here only
+*composes* them; it never invents time of its own.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: One task is one plan slice executing on one segment (QD = -1).
+TaskKey = Tuple[int, int]
+
+
+@dataclass
+class TaskTiming:
+    """Per-task facts surfaced to EXPLAIN ANALYZE."""
+
+    seconds: float
+    rows: int
+    bytes: int
+
+
+@dataclass
+class SliceTiming:
+    """One slice's timeline summary: composed finish time on the event
+    clock, rows sent through its motion (or returned, for the top
+    slice), and the per-segment task breakdown."""
+
+    finish: float
+    rows: int
+    tasks: Dict[int, TaskTiming] = field(default_factory=dict)
+
+
+@dataclass
+class TaskSchedule:
+    """The scheduler's output: when every task ran, and what bound it."""
+
+    start: Dict[TaskKey, float]
+    finish: Dict[TaskKey, float]
+    makespan: float
+    #: Chain of tasks, first to last, whose durations + edge delays sum
+    #: to ``makespan`` — the query's critical path.
+    critical_path: List[TaskKey]
+
+
+@dataclass
+class _Task:
+    key: TaskKey
+    duration: float
+    release: float
+
+
+class EventScheduler:
+    """Builds a task DAG, then replays it on a discrete-event clock.
+
+    Deterministic: events fire in (time, insertion order), and tie-broken
+    choices (the critical path's deciding predecessor) follow processing
+    order, which is itself deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: Dict[TaskKey, _Task] = {}
+        self._out: Dict[TaskKey, List[Tuple[TaskKey, float]]] = {}
+        self._indegree: Dict[TaskKey, int] = {}
+
+    def add_task(
+        self, key: TaskKey, duration: float, release: float = 0.0
+    ) -> None:
+        """Register a task; ``release`` is its earliest possible start."""
+        if key in self._tasks:
+            raise ReproError(f"scheduler task {key} added twice")
+        if duration < 0 or release < 0:
+            raise ReproError(f"scheduler task {key} has negative time")
+        self._tasks[key] = _Task(key=key, duration=duration, release=release)
+        self._out[key] = []
+        self._indegree[key] = 0
+
+    def add_edge(self, src: TaskKey, dst: TaskKey, delay: float = 0.0) -> None:
+        """``dst`` may not start before ``src`` finishes + ``delay``.
+
+        Parallel edges are allowed (a barrier edge plus a data-stream
+        edge between the same pair); the later arrival wins.
+        """
+        if src not in self._tasks or dst not in self._tasks:
+            raise ReproError(f"scheduler edge {src}->{dst} references unknown task")
+        if delay < 0:
+            raise ReproError(f"scheduler edge {src}->{dst} has negative delay")
+        self._out[src].append((dst, delay))
+        self._indegree[dst] += 1
+
+    def run(self) -> TaskSchedule:
+        """Replay the DAG; raises :class:`ReproError` on a dependency cycle."""
+        indegree = dict(self._indegree)
+        ready: Dict[TaskKey, float] = {
+            key: task.release for key, task in self._tasks.items()
+        }
+        deciding: Dict[TaskKey, Optional[TaskKey]] = {
+            key: None for key in self._tasks
+        }
+        start: Dict[TaskKey, float] = {}
+        finish: Dict[TaskKey, float] = {}
+        counter = itertools.count()
+        heap: List[Tuple[float, int, TaskKey]] = []
+
+        def launch(key: TaskKey) -> None:
+            start[key] = ready[key]
+            heapq.heappush(
+                heap,
+                (ready[key] + self._tasks[key].duration, next(counter), key),
+            )
+
+        for key in self._tasks:
+            if indegree[key] == 0:
+                launch(key)
+        while heap:
+            now, _seq, key = heapq.heappop(heap)
+            finish[key] = now
+            for dst, delay in self._out[key]:
+                arrival = now + delay
+                if arrival > ready[dst]:
+                    ready[dst] = arrival
+                    deciding[dst] = key
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    launch(dst)
+        if len(finish) != len(self._tasks):
+            stuck = sorted(k for k in self._tasks if k not in finish)
+            raise ReproError(
+                f"scheduler deadlock: cyclic dependencies among {stuck[:4]}"
+            )
+        if not finish:
+            return TaskSchedule(start={}, finish={}, makespan=0.0, critical_path=[])
+        last = max(finish, key=lambda k: (finish[k], k))
+        path: List[TaskKey] = []
+        cursor: Optional[TaskKey] = last
+        while cursor is not None:
+            path.append(cursor)
+            cursor = deciding[cursor]
+        path.reverse()
+        return TaskSchedule(
+            start=start,
+            finish=finish,
+            makespan=finish[last],
+            critical_path=path,
+        )

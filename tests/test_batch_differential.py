@@ -58,8 +58,46 @@ def test_tpch_row_vs_batch_identical(row_tpch, batch_tpch, number):
     assert a.column_names == b.column_names
     assert a.rows == b.rows  # exact: values AND order
     # The batch path mirrors every cost-model charging site of the row
-    # path, so the simulated clock must agree to the last float bit.
+    # path, so the simulated clock must agree to the last float bit —
+    # both the critical path through the task DAG and the total.
+    assert a.makespan == b.makespan
     assert a.cost.seconds == b.cost.seconds
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_tpch_makespan_matches_rederived_critical_path(batch_tpch, number):
+    """The reported makespan must equal a critical path independently
+    re-derived from the per-task timings and the plan's slice tree.
+
+    Tasks in a gang share one duration (the gang mean — per-segment
+    imbalance at a tiny scale factor is sampling noise), every motion
+    edge charges one interconnect latency, and a segment's worker runs
+    one task at a time in dispatch order — so a task starts at
+    ``max(children finish + latency, when its segment frees up)``."""
+    result = _run_tpch(batch_tpch, number)
+    plan = result.plan
+    model = batch_tpch.engine.cost_model
+    finish = {}
+    avail = {}  # segment -> simulated time its worker becomes free
+    for plan_slice in plan.slices:  # children-first == dispatch order
+        timing = result.slices[plan_slice.slice_id]
+        mean = sum(t.seconds for t in timing.tasks.values()) / len(timing.tasks)
+        barrier = max(
+            (finish[c] + model.net_latency for c in plan_slice.child_slices),
+            default=0.0,
+        )
+        slice_finish = 0.0
+        for segment in timing.tasks:
+            done = max(barrier, avail.get(segment, 0.0)) + mean
+            avail[segment] = done
+            slice_finish = max(slice_finish, done)
+        finish[plan_slice.slice_id] = slice_finish
+        assert timing.finish == pytest.approx(slice_finish, rel=1e-9)
+    expected = finish[plan.top_slice.slice_id]
+    assert result.makespan == pytest.approx(expected, rel=1e-9)
+    assert result.cost.seconds == pytest.approx(
+        result.makespan + result.overhead_seconds, rel=1e-9
+    )
 
 
 # --------------------------------------------------------- operator corpus

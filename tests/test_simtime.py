@@ -1,11 +1,12 @@
-"""Tests for the simulated clock, the event network, and the cost
-accumulator's scaled/fixed cost split."""
+"""Tests for the simulated clock, the event network, the cost
+accumulator's scaled/fixed cost split, and the event-driven scheduler."""
 
 import pytest
 
-from repro.errors import InterconnectError
+from repro.errors import InterconnectError, ReproError
 from repro.network import NetworkConditions, SimNetwork
 from repro.simtime import CostAccumulator, CostModel, QueryCost
+from repro.simtime.scheduler import EventScheduler
 
 
 class TestCostAccumulator:
@@ -56,15 +57,24 @@ class TestCostAccumulator:
         acc.network(0)
         assert acc.seconds == pytest.approx(model.net_latency)
 
-    def test_merge_max_and_sum(self):
+    def test_network_latency_is_per_message(self):
         model = CostModel()
-        a, b = CostAccumulator(model), CostAccumulator(model)
-        a.fixed(2.0)
-        b.fixed(3.0)
-        a.merge_max(b)
-        assert a.seconds == 3.0
-        a.merge_sum(b)
-        assert a.seconds == 6.0
+        batched, fragmented = CostAccumulator(model), CostAccumulator(model)
+        # One logical payload: three fragments batched into one charged
+        # send pay one latency; three separate messages pay three.
+        batched.network(3000, messages=1)
+        fragmented.network(3000, messages=3)
+        assert fragmented.seconds - batched.seconds == pytest.approx(
+            2 * model.net_latency
+        )
+        assert batched.net_bytes == fragmented.net_bytes == 3000
+
+    def test_network_continuation_pays_no_latency(self):
+        model = CostModel()
+        acc = CostAccumulator(model)
+        acc.network(9000, messages=0)
+        assert acc.seconds == pytest.approx(model.scaled(9000 / model.net_bw))
+        assert acc.net_bytes == 9000
 
     def test_model_copy_is_independent(self):
         model = CostModel()
@@ -158,3 +168,80 @@ class TestSimNetwork:
         net.register(("a", 1), lambda d: None)
         with pytest.raises(InterconnectError):
             net.register(("a", 1), lambda d: None)
+
+
+class TestEventScheduler:
+    def test_empty_schedule(self):
+        schedule = EventScheduler().run()
+        assert schedule.makespan == 0.0
+        assert schedule.critical_path == []
+
+    def test_chain_sums_durations_and_delays(self):
+        sched = EventScheduler()
+        sched.add_task((0, 0), 1.0)
+        sched.add_task((1, 0), 2.0)
+        sched.add_task((2, 0), 3.0)
+        sched.add_edge((0, 0), (1, 0), delay=0.5)
+        sched.add_edge((1, 0), (2, 0), delay=0.5)
+        schedule = sched.run()
+        assert schedule.makespan == pytest.approx(7.0)
+        assert schedule.critical_path == [(0, 0), (1, 0), (2, 0)]
+
+    def test_fan_in_takes_max_not_sum(self):
+        # Two independent children feeding one parent: the bushy shape
+        # the old per-slice max-then-sum fold over-charged.
+        sched = EventScheduler()
+        sched.add_task((0, 0), 5.0)
+        sched.add_task((1, 0), 2.0)
+        sched.add_task((2, 0), 1.0)
+        sched.add_edge((0, 0), (2, 0))
+        sched.add_edge((1, 0), (2, 0))
+        schedule = sched.run()
+        assert schedule.makespan == pytest.approx(6.0)
+        assert schedule.critical_path == [(0, 0), (2, 0)]
+
+    def test_parallel_edges_later_arrival_wins(self):
+        sched = EventScheduler()
+        sched.add_task((0, 0), 1.0)
+        sched.add_task((1, 0), 1.0)
+        sched.add_edge((0, 0), (1, 0), delay=0.1)
+        sched.add_edge((0, 0), (1, 0), delay=2.0)
+        schedule = sched.run()
+        assert schedule.makespan == pytest.approx(4.0)
+
+    def test_release_delays_start(self):
+        sched = EventScheduler()
+        sched.add_task((0, 0), 1.0, release=3.0)
+        schedule = sched.run()
+        assert schedule.start[(0, 0)] == pytest.approx(3.0)
+        assert schedule.makespan == pytest.approx(4.0)
+
+    def test_cycle_detected(self):
+        sched = EventScheduler()
+        sched.add_task((0, 0), 1.0)
+        sched.add_task((1, 0), 1.0)
+        sched.add_edge((0, 0), (1, 0))
+        sched.add_edge((1, 0), (0, 0))
+        with pytest.raises(ReproError, match="deadlock"):
+            sched.run()
+
+    def test_duplicate_task_rejected(self):
+        sched = EventScheduler()
+        sched.add_task((0, 0), 1.0)
+        with pytest.raises(ReproError):
+            sched.add_task((0, 0), 2.0)
+
+    def test_edge_to_unknown_task_rejected(self):
+        sched = EventScheduler()
+        sched.add_task((0, 0), 1.0)
+        with pytest.raises(ReproError):
+            sched.add_edge((0, 0), (9, 9))
+
+    def test_negative_times_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(ReproError):
+            sched.add_task((0, 0), -1.0)
+        sched.add_task((1, 0), 1.0)
+        sched.add_task((2, 0), 1.0)
+        with pytest.raises(ReproError):
+            sched.add_edge((1, 0), (2, 0), delay=-0.1)

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: determinism lint, tier-1 tests, wall-clock bench check.
+# Run from the repo root:  bash scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== repro-lint (R1..R6) =="
+python -m repro.lint
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== wall-clock bench (batch >= 1.5x row, embeds metrics) =="
+python -m repro.bench --wallclock --check
+
+echo "CI gate passed."

@@ -139,12 +139,16 @@ class HawqBench:
         numbers = numbers or sorted(QUERIES)
         return {n: self.run_query(n) for n in numbers}
 
-    def time_query(self, number: int, repeats: int = 3) -> Tuple[float, float]:
+    def time_query(
+        self, number: int, repeats: int = 3
+    ) -> Tuple[float, QueryResult]:
         """Wall-clock one TPC-H query: run it ``repeats`` times (never
         memoized — the point is real elapsed time) and return
-        ``(min_wall_seconds, simulated_seconds)``. The first run warms
-        the block decode cache; ``min`` over repeats drops scheduler and
-        GC noise, standard practice for microbenchmark timing."""
+        ``(min_wall_seconds, last_result)`` — the result carries the
+        simulated cost and the per-statement metrics snapshot. The first
+        run warms the block decode cache; ``min`` over repeats drops
+        scheduler and GC noise, standard practice for microbenchmark
+        timing."""
         best = float("inf")
         result: Optional[QueryResult] = None
         for _ in range(max(repeats, 1)):
@@ -155,7 +159,7 @@ class HawqBench:
                     result = r
             best = min(best, time.perf_counter() - start)
         assert result is not None
-        return best, result.cost.seconds
+        return best, result
 
     def table_stored_bytes(self, table: str) -> int:
         """Physical (compressed) bytes of one table on HDFS."""

@@ -48,6 +48,23 @@ MICROBENCH_QUERY = """
 """
 
 
+def _metrics_summary(snapshot) -> Dict[str, object]:
+    """Compact per-query observability readout for the JSON report."""
+    hits = snapshot.total("cache_hits")
+    misses = snapshot.total("cache_misses")
+    lookups = hits + misses
+    return {
+        "bytes_read": snapshot.total("bytes_read"),
+        "motion_bytes": snapshot.total("motion_bytes"),
+        "motion_streams": snapshot.total("motion_streams"),
+        "rpc_messages": snapshot.total("rpc_messages"),
+        "datagrams_delivered": snapshot.total("datagrams_delivered"),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": hits / lookups if lookups else None,
+    }
+
+
 def _tpch_config(executor_mode: str) -> BenchConfig:
     return BenchConfig(
         nominal_bytes=NOMINAL_160GB,
@@ -72,8 +89,12 @@ def run_tpch_wallclock(repeats: int = 3) -> Dict[str, dict]:
         for n in numbers:
             entry = {}
             for mode, bench in benches.items():
-                wall, simulated = bench.time_query(n, repeats=repeats)
-                entry[mode] = {"wall_s": wall, "simulated_s": simulated}
+                wall, result = bench.time_query(n, repeats=repeats)
+                entry[mode] = {
+                    "wall_s": wall,
+                    "simulated_s": result.cost.seconds,
+                    "metrics": _metrics_summary(result.metrics),
+                }
             entry["speedup"] = entry["row"]["wall_s"] / entry["batch"]["wall_s"]
             queries[f"q{n}"] = entry
         out[figure] = queries

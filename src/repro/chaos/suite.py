@@ -34,6 +34,7 @@ from repro.chaos.netdrill import DrillReport, run_drill
 from repro.chaos.plan import FaultPlan, random_plan
 from repro.engine import Engine
 from repro.errors import ClusterError
+from repro.obs.trace import rpc_closure_violations
 from repro.tpch import QUERIES, create_table_sql, generate
 
 #: TPC-H scale factor for chaos runs: small enough that one schedule is
@@ -122,6 +123,7 @@ def fault_free_baseline(data) -> Baseline:
     """Run the script with an empty plan: expected rows + chaos horizon."""
     engine = build_engine()
     session = load_workload(engine, data)
+    session.trace_enabled = True
     meter = FaultInjector(engine, FaultPlan())
     engine.attach_chaos(meter)
     expected: Dict[int, List[tuple]] = {}
@@ -139,6 +141,9 @@ def run_schedule(seed: int, data, baseline: Baseline) -> ScheduleReport:
     chaos property; any violation lands in the report's ``violations``."""
     engine = build_engine()
     session = load_workload(engine, data)
+    # Trace every scripted statement: the per-attempt RPC event log is
+    # what the protocol-closure invariant below is checked against.
+    session.trace_enabled = True
     plan = random_plan(
         seed,
         baseline.horizon,
@@ -209,6 +214,12 @@ def run_schedule(seed: int, data, baseline: Baseline) -> ScheduleReport:
 
     heal(engine)
     check_recovery_invariants(engine, session, baseline, committed, violations)
+
+    # Trace invariant (RPC protocol closure): in every traced attempt —
+    # including failed ones — each DISPATCH is closed by exactly one
+    # COMPLETE or synthetic ABORT, and a killed segment never COMPLETEs.
+    for trace in session.tracer.queries:
+        violations.extend(rpc_closure_violations(trace))
 
     # Packet-level chaos: the paper-§4 UDP protocol must still deliver
     # exactly-once in-order over the plan's degraded fabric.

@@ -106,6 +106,11 @@ class RpcBus:
         self._ports = itertools.count(_BASE_PORT)
         self._handlers: Dict[str, Callable[[RpcMessage], None]] = {}
         self.channels: Dict[str, RpcChannel] = {}
+        #: Optional :class:`repro.obs.trace.QueryTrace` recorder and
+        #: :class:`repro.obs.metrics.MetricsRegistry`. Both are passive
+        #: observers of the control plane — they never charge the clock.
+        self.trace = None
+        self.metrics = None
 
     def register(
         self, name: str, handler: Callable[[RpcMessage], None]
@@ -130,6 +135,8 @@ class RpcBus:
         """Kill the named endpoint's process: close its channel."""
         channel = self.channels.get(name)
         if channel is not None:
+            if channel.open and self.trace is not None:
+                self.trace.on_drop(name)
             channel.open = False
 
     def is_open(self, name: str) -> bool:
@@ -153,4 +160,13 @@ class RpcBus:
             raise SegmentDown(f"rpc channel to {dest!r} is down")
         if acc is not None:
             charge_control(acc, message.size)
+        if self.trace is not None:
+            # Past the open-checks: a send that raised SegmentDown was
+            # never sent, so the protocol log only holds real traffic.
+            self.trace.on_rpc(sender, dest, message)
+        if self.metrics is not None:
+            self.metrics.counter("rpc_messages", kind=message.kind).inc()
+            self.metrics.counter("rpc_bytes", kind=message.kind).inc(
+                message.size
+            )
         self._net.send(src.address, dst.address, message, message.size)

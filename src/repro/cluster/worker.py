@@ -66,6 +66,8 @@ class WorkerServices:
     chaos_point: Callable
     chaos_progress: Callable
     num_segments: int
+    #: Optional :class:`repro.obs.metrics.MetricsRegistry` — passive.
+    metrics: object = None
 
 
 class SegmentWorker:
@@ -87,6 +89,10 @@ class SegmentWorker:
         exchange.attach(segment_id)
         #: Loopback: the master's own worker pays no wire time.
         self.is_loopback = segment_id == QD_SEGMENT
+        #: Current in-flight task/context (one at a time), for passive
+        #: scan instrumentation.
+        self._task = None
+        self._ctx = None
 
     # --------------------------------------------------------------- messages
     def _on_message(self, message: RpcMessage) -> None:
@@ -94,6 +100,11 @@ class SegmentWorker:
             return  # ABORT (or unknown): nothing mid-flight to cancel —
             # tasks run to completion within one bus delivery.
         task, root, sdp, ctx = message.payload
+        # One task at a time (synchronous bus delivery): stash the task
+        # and context so scan instrumentation can reach them without
+        # threading extra parameters through every provider signature.
+        self._task = task
+        self._ctx = ctx
         acc = CostAccumulator(ctx.cost_model)
         charged = None if self.is_loopback else acc
         self.bus.send(
@@ -172,6 +183,7 @@ class SegmentWorker:
                         columns,
                         acc,
                         segment_id=segment_id,
+                        name=name,
                     )
 
         return provider
@@ -206,6 +218,7 @@ class SegmentWorker:
                             columns,
                             acc,
                             segment_id=segment_id,
+                            name=name,
                         )
 
             return blocks()
@@ -221,7 +234,15 @@ class SegmentWorker:
             )
 
     def _charged_scan(
-        self, scan_fn, client, paths, meta, columns, acc, segment_id=None
+        self,
+        scan_fn,
+        client,
+        paths,
+        meta,
+        columns,
+        acc,
+        segment_id=None,
+        name=None,
     ):
         """Run one segfile-lane scan, charging the cost model the same
         way regardless of entry point (row tuples or column blocks):
@@ -254,6 +275,9 @@ class SegmentWorker:
         stats = ScanStats()
         remote_before = client.remote_bytes_read
         seconds_before = acc.seconds
+        cache = services.block_cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
         try:
             yield from scan_fn(
                 client,
@@ -275,6 +299,45 @@ class SegmentWorker:
             )
             if remote:
                 acc.network(remote)
+            hit_delta = (cache.hits - hits_before) if cache is not None else 0
+            miss_delta = (
+                (cache.misses - misses_before) if cache is not None else 0
+            )
+            metrics = services.metrics
+            if metrics is not None:
+                metrics.counter(
+                    "bytes_read",
+                    format=meta.storage_format,
+                    node=f"seg{segment_id}",
+                ).inc(int(stats.compressed_bytes))
+                if hit_delta:
+                    metrics.counter(
+                        "cache_hits", node=f"seg{segment_id}"
+                    ).inc(hit_delta)
+                if miss_delta:
+                    metrics.counter(
+                        "cache_misses", node=f"seg{segment_id}"
+                    ).inc(miss_delta)
+                if remote:
+                    metrics.counter(
+                        "remote_read_bytes", node=f"seg{segment_id}"
+                    ).inc(remote)
+            trace = getattr(self._ctx, "trace", None)
+            if trace is not None:
+                trace.op_mark(
+                    self._task.slice_id,
+                    self._task.segment,
+                    f"scan:{name}" if name else "scan",
+                    seconds_before,
+                    acc.seconds,
+                    cat="storage",
+                    table=name,
+                    read_bytes=int(stats.compressed_bytes),
+                    remote_bytes=remote,
+                    cache_hits=hit_delta,
+                    cache_misses=miss_delta,
+                    rows=stats.rows,
+                )
         services.chaos_progress(
             acc.seconds - seconds_before, segment_id=segment_id
         )

@@ -68,6 +68,8 @@ from repro.executor.runner import (
 from repro.hdfs import Hdfs
 from repro.interconnect.exchange import ExchangeFabric
 from repro.network.simnet import NetworkConditions, SimNetwork
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceCollector
 from repro.planner.analyzer import Analyzer, RelationInfo
 from repro.planner.dispatch import QD_SEGMENT, build_self_described_plan
 from repro.planner.logical import DerivedSource, LogicalQuery
@@ -143,6 +145,10 @@ class Engine:
         #: engine reports scan progress to it and it fires scheduled
         #: faults on the simulated clock, possibly mid-query.
         self.chaos = None
+        #: Engine-wide observability counters (see :mod:`repro.obs`);
+        #: sessions snapshot-diff it per statement onto
+        #: ``QueryResult.metrics``. Purely passive — never charged.
+        self.metrics = MetricsRegistry()
         #: The QD/QE process group of the in-flight execution attempt
         #: (set by :meth:`Session._execute_attempt`); chaos kills reach
         #: workers by dropping their RPC channel on this runtime.
@@ -300,10 +306,14 @@ class Engine:
             chaos_point=self.chaos_point,
             chaos_progress=self.chaos_progress,
             num_segments=self.num_segments,
+            metrics=self.metrics,
         )
+        bus.metrics = self.metrics
+        exchange.metrics = self.metrics
         for segment in self.segments:
             SegmentWorker(segment.segment_id, bus, exchange, services)
         SegmentWorker(QD_SEGMENT, bus, exchange, services)
+        self.metrics.counter("workers_spawned").inc(self.num_segments + 1)
         return runtime
 
     # --------------------------------------------------------------- helpers
@@ -322,6 +332,10 @@ class Session:
         self._txn: Optional[Transaction] = None
         self.default_isolation = IsolationLevel.READ_COMMITTED
         self.last_plan = None
+        #: ``SET trace = on`` records a :class:`repro.obs.trace.
+        #: QueryTrace` per dispatched statement on :attr:`tracer`.
+        self.trace_enabled = False
+        self.tracer = TraceCollector(engine.num_segments)
 
     # ------------------------------------------------------------ public api
     def execute(self, sql: str, params: Sequence[object] = ()) -> QueryResult:
@@ -353,6 +367,9 @@ class Session:
         if isinstance(stmt, ast.SetStmt):
             return self._set(stmt)
 
+        engine = self.engine
+        metrics_before = engine.metrics.snapshot()
+        wal_before = len(engine.txns.wal)
         implicit = not self.in_transaction
         txn = self._txn if self.in_transaction else self.engine.txns.begin(
             self.default_isolation
@@ -366,6 +383,14 @@ class Session:
             raise
         if implicit:
             self.engine.txns.commit(txn)
+        # Per-statement attribution by snapshot diff: everything the
+        # cluster counted while this statement ran (including its WAL
+        # records and commit) lands on the result.
+        engine.metrics.counter("statements").inc()
+        wal_delta = len(engine.txns.wal) - wal_before
+        if wal_delta:
+            engine.metrics.counter("wal_records").inc(wal_delta)
+        result.metrics = engine.metrics.snapshot().diff(metrics_before)
         return result
 
     def _run_in_txn(self, stmt: ast.Statement, txn: Transaction) -> QueryResult:
@@ -465,6 +490,11 @@ class Session:
             self.engine.security.role(stmt.value)  # must exist
             self.role = stmt.value.lower()
             return _ok("SET")
+        if stmt.name == "trace":
+            self.trace_enabled = str(stmt.value).lower() in (
+                "on", "true", "1", "yes",
+            )
+            return _ok("SET")
         return _ok("SET")  # other GUCs are accepted and ignored
 
     # ------------------------------------------------------------- security
@@ -527,7 +557,11 @@ class Session:
         return mapping
 
     def _dispatch_and_execute(
-        self, plan, snapshot: Snapshot, txn: Transaction
+        self,
+        plan,
+        snapshot: Snapshot,
+        txn: Transaction,
+        force_trace: bool = False,
     ) -> QueryResult:
         """Dispatch with bounded query restart (paper Section 2.6).
 
@@ -543,6 +577,11 @@ class Session:
         the client restarts it against the promoted standby.
         """
         engine = self.engine
+        trace = (
+            self.tracer.begin_query()
+            if (self.trace_enabled or force_trace)
+            else None
+        )
         retries = 0
         backoff_seconds = 0.0
         while True:
@@ -550,8 +589,14 @@ class Session:
                 # Sessions randomly fail down segments over to live hosts.
                 engine.fault_detector.assign_failover()
             try:
-                result = self._execute_attempt(plan, snapshot, txn)
+                result = self._execute_attempt(plan, snapshot, txn, trace)
             except (SegmentDown, HdfsError) as exc:
+                if trace is not None:
+                    # Close outstanding DISPATCHes of the failed attempt
+                    # (idempotent: the runtime's own abort path may have
+                    # closed them already; a _gather-raised SegmentDown
+                    # reaches only this handler).
+                    trace.attempt_aborted()
                 retries += 1
                 if retries > engine.max_query_retries:
                     raise QueryRetriesExhausted(
@@ -559,13 +604,18 @@ class Session:
                         f"restarts: {exc}"
                     ) from exc
                 backoff_seconds += engine.retry_backoff * (2 ** (retries - 1))
+                if engine.metrics is not None:
+                    engine.metrics.counter("query_retries").inc()
                 continue
             result.retries = retries
             result.cost.seconds += backoff_seconds
+            if trace is not None:
+                trace.finalize(result)
+                result.trace = trace
             return result
 
     def _execute_attempt(
-        self, plan, snapshot: Snapshot, txn: Transaction
+        self, plan, snapshot: Snapshot, txn: Transaction, trace=None
     ) -> QueryResult:
         """Run one dispatch attempt on a fresh QD/QE process group."""
         engine = self.engine
@@ -579,13 +629,26 @@ class Session:
             work_mem=min(engine.work_mem, queue.memory_limit),
             executor_mode=engine.executor_mode,
             metadata_dispatch=engine.metadata_dispatch,
+            trace=trace,
         )
         runtime = engine.build_runtime()
+        if trace is not None:
+            trace.begin_attempt()
+            runtime.bus.trace = trace
+            runtime.exchange.trace = trace
         engine._active_runtime = runtime
         try:
             return runtime.execute(plan, sdp, ctx)
         finally:
             engine._active_runtime = None
+            net = runtime.net
+            engine.metrics.counter(
+                "datagrams_delivered", mode=engine.interconnect
+            ).inc(net.delivered)
+            if net.dropped:
+                engine.metrics.counter(
+                    "datagrams_dropped", mode=engine.interconnect
+                ).inc(net.dropped)
 
     # ---------------------------------------------------------------- INSERT
     def _insert(self, stmt: ast.InsertStmt, txn: Transaction) -> QueryResult:
@@ -843,6 +906,9 @@ class Session:
             result.uncompressed_bytes, self.engine.cost_model.cpu_format_byte
         )
         acc.cpu_tuples(result.tupcount, ncolumns=len(schema.columns))
+        self.engine.metrics.counter(
+            "bytes_written", format=schema.storage_format
+        ).inc(max(written_bytes, 0))
 
     def _vacuum(self, stmt: ast.VacuumStmt, txn: Transaction) -> QueryResult:
         """Reclaim physical garbage: truncate segment files back to their
@@ -1156,8 +1222,16 @@ class Session:
             # EXPLAIN ANALYZE: actually run the plan and annotate each
             # slice from its scheduler timeline — the composed finish
             # time on the event clock, rows moved, and the per-segment
-            # task breakdown beneath it.
-            result = self._dispatch_and_execute(plan, snapshot, txn)
+            # task breakdown beneath it. VERBOSE additionally forces a
+            # trace and appends per-operator rows/time and per-table
+            # bytes/cache columns from the trace's spans.
+            result = self._dispatch_and_execute(
+                plan, snapshot, txn, force_trace=stmt.verbose
+            )
+            if stmt.verbose and result.trace is not None:
+                lines = plan.explain(
+                    annotate=_trace_annotator(result.trace)
+                ).splitlines()
             annotated = []
             for line in lines:
                 annotated.append(line)
@@ -1199,6 +1273,34 @@ class Session:
             cost=QueryCost(seconds=self.engine.cost_model.query_setup),
             plan=plan,
         )
+
+
+def _trace_annotator(trace):
+    """Build the EXPLAIN (ANALYZE, VERBOSE) per-node annotation callback
+    from a query trace: operator spans keyed by plan-node identity, plus
+    storage-layer per-table read/cache aggregates for scans."""
+    ops = trace.operator_stats()
+    scans = trace.scan_stats()
+
+    def annotate(node) -> Optional[str]:
+        parts: List[str] = []
+        stats = ops.get(id(node))
+        if stats is not None:
+            parts.append(
+                f"(actual rows={stats['rows']} calls={stats['calls']} "
+                f"time={stats['acc_seconds']:.4f}s)"
+            )
+        table = getattr(getattr(node, "table", None), "table_name", None)
+        if table is not None and table in scans:
+            scan = scans[table]
+            lookups = scan["cache_hits"] + scan["cache_misses"]
+            parts.append(
+                f"(read={scan['read_bytes']}B remote={scan['remote_bytes']}B "
+                f"cache hits={scan['cache_hits']}/{lookups})"
+            )
+        return " ".join(parts) if parts else None
+
+    return annotate
 
 
 # ----------------------------------------------------------------- adapters

@@ -40,6 +40,7 @@ from repro.cluster.rpc import (
 )
 from repro.errors import ExecutorError, SegmentDown
 from repro.interconnect.exchange import ExchangeFabric
+from repro.obs.metrics import MetricsSnapshot
 from repro.network.simnet import SimNetwork
 from repro.planner.dispatch import (
     QD_SEGMENT,
@@ -77,6 +78,11 @@ class ExecutionContext:
     #: Self-described plans (Section 3.1); when ablated, every QE pays a
     #: per-object catalog RPC storm against the master instead.
     metadata_dispatch: bool = True
+    #: Per-query :class:`repro.obs.trace.QueryTrace` recorder, or None.
+    #: Purely observational: workers record relative operator marks on
+    #: it; the runtime assembles absolute spans at gather time. Tracing
+    #: never charges the clock, so figures are identical either way.
+    trace: Optional[object] = None
 
 
 @dataclass
@@ -100,6 +106,13 @@ class QueryResult:
     #: Number of dispatch attempts abandoned to a dead segment before
     #: this result was produced (query restart beats heavy recovery).
     retries: int = 0
+    #: Per-query metrics delta (registry snapshot diff around this
+    #: statement): cache hits/misses, bytes read per format, datagrams,
+    #: WAL records, retries. Empty when nothing was instrumented.
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: The statement's :class:`repro.obs.trace.QueryTrace` when the
+    #: session had tracing enabled, else None.
+    trace: Optional[object] = None
 
 
 class DistributedRuntime:
@@ -166,8 +179,11 @@ class DistributedRuntime:
                 self.net.run()
         except Exception:
             # Best-effort abort to the surviving workers, then let the
-            # session's restart loop see the original failure.
+            # session's restart loop see the original failure. The trace
+            # synthesizes closures for tasks that will never report.
             self._broadcast_abort()
+            if ctx.trace is not None:
+                ctx.trace.attempt_aborted()
             raise
         return self._gather(plan, waves, ctx, master_acc, init_seconds)
 
@@ -336,6 +352,12 @@ class DistributedRuntime:
             total.disk_write_bytes += report.disk_write_bytes
             total.net_bytes += report.net_bytes
             total.tuples += report.tuples
+        if ctx.trace is not None:
+            # Absolute span placement: the scheduler's task windows,
+            # shifted past this plan's dispatch overhead (init-plan
+            # assemblies already advanced the trace cursor).
+            ctx.trace.assemble(waves, self._reports, schedule, master_acc.seconds)
+
         overhead = master_acc.seconds + init_seconds
         cost = QueryCost(
             seconds=schedule.makespan + overhead,

@@ -104,8 +104,70 @@ class SliceExecutor:
             pass
         return []
 
+    # ---------------------------------------------------------------- tracing
+    # Observability is passive: the helpers below only *read*
+    # ``acc.seconds`` and record marks on ``ctx.trace``; they never
+    # charge the accumulator, so traced and untraced runs stay
+    # bit-identical in both results and simulated cost.
+    @staticmethod
+    def _span_name(node: PlanNode) -> str:
+        name = type(node).__name__
+        if isinstance(node, SeqScan):
+            return f"{name}[{node.table.table_name}]"
+        if isinstance(node, Motion):
+            return f"{name}[{node.kind}]"
+        phase = getattr(node, "phase", None)
+        if phase:
+            return f"{name}[{phase}]"
+        return name
+
+    def _mark(
+        self, node: PlanNode, acc: CostAccumulator, t0: float, **attrs
+    ) -> None:
+        trace = self.ctx.trace
+        if trace is not None:
+            trace.op_mark(
+                self.task.slice_id,
+                self.segment,
+                self._span_name(node),
+                t0,
+                acc.seconds,
+                node_key=id(node),
+                **attrs,
+            )
+
+    def _traced(
+        self, it: Iterator[tuple], node: PlanNode, acc: CostAccumulator, t0: float
+    ) -> Iterator[tuple]:
+        emitted = 0
+        try:
+            for row in it:
+                emitted += 1
+                yield row
+        finally:
+            self._mark(node, acc, t0, rows=emitted)
+
+    def _traced_batches(self, it, node: PlanNode, acc: CostAccumulator, t0: float):
+        emitted = 0
+        try:
+            for cols, n in it:
+                emitted += n
+                yield cols, n
+        finally:
+            self._mark(node, acc, t0, rows=emitted)
+
     # -------------------------------------------------------------- operators
     def _run_node(
+        self, node: PlanNode, segment: int, acc: CostAccumulator
+    ) -> Iterator[tuple]:
+        if self.ctx.trace is None:
+            return self._node_rows(node, segment, acc)
+        # Capture t0 *before* dispatch: eager operators (Motion, Sort,
+        # MotionRecv) do their work inside the dispatch call itself.
+        t0 = acc.seconds
+        return self._traced(self._node_rows(node, segment, acc), node, acc, t0)
+
+    def _node_rows(
         self, node: PlanNode, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
         if isinstance(node, Motion):
@@ -163,6 +225,15 @@ class SliceExecutor:
         including the trailing per-operator CPU charge being skipped
         when a consumer (LIMIT) abandons the stream.
         """
+        t0 = acc.seconds
+        batches = self._node_batches(node, segment, acc)
+        if batches is None or self.ctx.trace is None:
+            return batches
+        return self._traced_batches(batches, node, acc, t0)
+
+    def _node_batches(
+        self, node: PlanNode, segment: int, acc: CostAccumulator
+    ):
         if self.ctx.executor_mode != "batch":
             return None
         if isinstance(node, SeqScan):

@@ -46,6 +46,10 @@ class ExchangeFabric:
         #: (slice_id, receiver) -> sender -> (rows, nbytes)
         self._inbox: Dict[Tuple[int, int], Dict[int, Tuple[List[tuple], int]]] = {}
         self.records: List[StreamRecord] = []
+        #: Optional passive observers (QueryTrace / MetricsRegistry);
+        #: they record streams but never charge the clock.
+        self.trace = None
+        self.metrics = None
 
     def attach(self, segment_id: int) -> None:
         """Bind a segment's exchange endpoint (QD uses segment id -1)."""
@@ -85,6 +89,11 @@ class ExchangeFabric:
                 nbytes=nbytes,
             )
         )
+        if self.trace is not None:
+            self.trace.stream(slice_id, sender, receiver, len(rows), nbytes)
+        if self.metrics is not None:
+            self.metrics.counter("motion_streams").inc()
+            self.metrics.counter("motion_bytes").inc(nbytes)
 
     def receive(self, slice_id: int, receiver: int) -> Tuple[List[tuple], int]:
         """Drain every stream of one motion addressed to ``receiver``.

@@ -1,4 +1,4 @@
-"""The rule registry: five invariants the reproduction's claims rest on.
+"""The rule registry: six invariants the reproduction's claims rest on.
 
 ==== ===================== =====================================================
 id   name                  protects
@@ -8,14 +8,17 @@ R1   no-wall-clock         reproducibility: simulated figures and chaos runs
 R2   seeded-randomness     reproducibility: all stochastic choices flow through
                            seeded ``util.rng.DeterministicRng`` streams
 R3   cost-conformance      validity of simulated figures: payload bytes moved in
-                           storage/hdfs/network/interconnect must be reachable
-                           from a ``repro.simtime`` charging context
+                           storage/hdfs/network/interconnect/obs must be
+                           reachable from a ``repro.simtime`` charging context
 R4   exception-hygiene     recovery correctness: broad ``except`` may not
                            swallow ``ClusterError``/``FaultInjected``, or the
                            query-restart loop (paper §2.6) never sees the fault
 R5   deterministic-iter    plan/answer determinism: no unordered set iteration
                            into planner, executor, or catalog output without
                            ``sorted(...)``
+R6   obs-passivity         trace=on bit-identity: ``repro.obs`` may read the
+                           simulated clock but never charge it or mutate cost
+                           state
 ==== ===================== =====================================================
 
 Rules are ordinary objects with ``id``/``name``/``description`` and a
@@ -227,7 +230,7 @@ class CostConformanceRule:
         }
     )
 
-    SCOPE_DIRS = ("storage", "hdfs", "network", "interconnect")
+    SCOPE_DIRS = ("storage", "hdfs", "network", "interconnect", "obs")
     #: Individual byte-moving modules outside those trees: the
     #: control-plane RPC layer and the event-driven scheduler.
     SCOPE_FILES = ("cluster/rpc.py", "simtime/scheduler.py")
@@ -527,12 +530,83 @@ class DeterministicIterationRule:
                     )
 
 
+# =========================================================================== R6
+class ObsPassivityRule:
+    """Observability must be passive: :mod:`repro.obs` may *read* the
+    simulated clock (``acc.seconds`` and friends) but never spend or
+    mutate it. A charging call (or a write to a cost-accumulator
+    attribute) inside ``obs/`` would make traced runs diverge from
+    untraced runs, breaking the trace=on bit-identity contract."""
+
+    id = "R6"
+    name = "obs-passivity"
+    description = (
+        "simtime charging call or cost-attribute write inside obs/ "
+        "(observability must never spend simulated time)"
+    )
+
+    #: The repro.simtime charging API.
+    CHARGING = frozenset(
+        {
+            "fixed",
+            "disk_read",
+            "disk_write",
+            "cpu_tuples",
+            "cpu_bytes",
+            "network",
+            "scaled",
+            "charge_control",
+        }
+    )
+    #: Mutable cost-accumulator state.
+    COST_ATTRS = frozenset(
+        {"seconds", "disk_read_bytes", "disk_write_bytes", "net_bytes", "tuples"}
+    )
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        if not _in_dir(source.path, "obs"):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                name: Optional[str] = None
+                if isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                elif isinstance(node.func, ast.Name):
+                    name = node.func.id
+                if name in self.CHARGING:
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"obs/ calls charging API {name}(): observability "
+                        "must record simulated time, never spend it",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in self.COST_ATTRS
+                    ):
+                        yield source.finding(
+                            self.id,
+                            target,
+                            f"obs/ writes cost attribute .{target.attr}: "
+                            "observability must never mutate accumulator "
+                            "state",
+                        )
+
+
 RULES = [
     NoWallClockRule(),
     SeededRandomnessRule(),
     CostConformanceRule(),
     ExceptionHygieneRule(),
     DeterministicIterationRule(),
+    ObsPassivityRule(),
 ]
 
 

@@ -1,0 +1,90 @@
+"""Trace a TPC-H query and export it: ``python -m repro.obs``.
+
+Stands up a small cluster, loads a TPC-H subset at ``--scale``, runs the
+chosen query with ``SET trace = on``, prints the text flame summary and
+per-query metrics, and (with ``--export``) writes Chrome trace_event
+JSON loadable in Perfetto / ``chrome://tracing``.
+
+    python -m repro.obs --query 3 --export trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.engine import Engine
+from repro.obs.export import render_summary, to_chrome_trace
+from repro.tpch import QUERIES, create_table_sql, generate
+
+#: Tables required per supported query (Q1/Q6 scan lineitem; Q3 joins).
+_TABLES = ("customer", "orders", "lineitem")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="trace one TPC-H query on the simulated cluster",
+    )
+    parser.add_argument(
+        "--query", type=int, default=3, choices=sorted(QUERIES),
+        help="TPC-H query number (default: 3)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.001,
+        help="TPC-H scale factor (default: 0.001)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="engine + data seed"
+    )
+    parser.add_argument(
+        "--mode", choices=("udp", "tcp"), default="udp",
+        help="interconnect mode (default: udp)",
+    )
+    parser.add_argument(
+        "--export", metavar="PATH", default=None,
+        help="write Chrome trace_event JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    engine = Engine(
+        num_segment_hosts=4,
+        segments_per_host=2,
+        seed=args.seed,
+        interconnect=args.mode,
+    )
+    session = engine.connect()
+    data = generate(args.scale, seed=args.seed or 19940601)
+    for table in _TABLES:
+        session.execute(create_table_sql(table))
+        session.load_rows(table, getattr(data, table))
+    session.execute("ANALYZE")
+
+    session.execute("SET trace = on")
+    result = None
+    for stmt in QUERIES[args.query]:
+        result = session.execute(stmt)
+    trace = result.trace
+    if trace is None:
+        print("no trace recorded (statement did not dispatch)")
+        return 1
+    trace.label = f"tpch-q{args.query} scale={args.scale} {args.mode}"
+
+    print(render_summary(trace))
+    print()
+    print(f"rows returned: {len(result.rows)}")
+    print("metrics (this statement):")
+    for key, value in result.metrics.items():
+        print(f"  {key} = {value}")
+
+    if args.export:
+        document = to_chrome_trace(trace)
+        with open(args.export, "w") as fh:
+            json.dump(document, fh, indent=1)
+        print(f"wrote {args.export} ({len(document['traceEvents'])} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Trace export: Chrome ``trace_event`` JSON and a text flame summary.
+
+The JSON form loads directly in Perfetto / ``chrome://tracing``: one
+process ("repro cluster"), one thread row per segment plus a master row,
+complete ("X") events for spans and instant ("i") events for RPC
+messages and motion streams. Timestamps are the trace's absolute
+simulated seconds converted to microseconds — the native unit of the
+trace_event format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.trace import MASTER_TRACK, QueryTrace, Span
+
+_PID = 1
+_PROCESS_NAME = "repro cluster (simulated clock)"
+
+
+def _tid_map(trace: QueryTrace) -> Dict[str, int]:
+    """Stable thread ids: master row 0, then seg0..segN-1, then any
+    extra tracks that appeared in the spans."""
+    tids: Dict[str, int] = {MASTER_TRACK: 0}
+    for segment in range(trace.num_segments):
+        tids[f"seg{segment}"] = segment + 1
+    for track in trace.tracks():
+        if track not in tids:
+            tids[track] = len(tids)
+    return tids
+
+
+def to_chrome_trace(trace: QueryTrace) -> dict:
+    """Render one query trace as a Chrome trace_event JSON object."""
+    tids = _tid_map(trace)
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": _PROCESS_NAME},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in trace.spans:
+        args = {k: v for k, v in span.attrs.items()}
+        if span.slice_id is not None:
+            args["slice_id"] = span.slice_id
+        if span.segment is not None:
+            args["segment"] = span.segment
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": _PID,
+                "tid": tids[span.track],
+                "args": args,
+            }
+        )
+    for instant in trace.instants:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": instant.cat,
+                "ph": "i",
+                "s": "t",
+                "ts": instant.ts * 1e6,
+                "pid": _PID,
+                "tid": tids[instant.track],
+                "args": dict(instant.attrs),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": trace.label,
+            "attempts": trace.attempts,
+            "retries": trace.retries,
+            "makespan_s": trace.makespan,
+            "overhead_s": trace.overhead,
+            "total_s": trace.total_seconds,
+        },
+    }
+
+
+def _nest(spans: List[Span]) -> List[tuple]:
+    """(depth, span) rows for one track, nesting by interval containment."""
+    ordered = sorted(spans, key=lambda s: (s.start, -s.end))
+    out: List[tuple] = []
+    stack: List[Span] = []
+    for span in ordered:
+        while stack and span.start >= stack[-1].end - 1e-15:
+            stack.pop()
+        out.append((len(stack), span))
+        stack.append(span)
+    return out
+
+
+def render_summary(trace: QueryTrace, width: int = 72) -> str:
+    """A text flamegraph-style summary: per-track nested spans with
+    durations and a cumulative per-operator table."""
+    lines: List[str] = []
+    header = f"trace: {trace.label}" if trace.label else "trace"
+    lines.append(
+        f"{header}  total={trace.total_seconds:.6f}s "
+        f"(makespan {trace.makespan:.6f}s + overhead {trace.overhead:.6f}s)"
+        + (f"  retries={trace.retries}" if trace.retries else "")
+    )
+    span_end = max((s.end for s in trace.spans), default=0.0)
+    for track in trace.tracks():
+        track_spans = [s for s in trace.spans if s.track == track]
+        if not track_spans:
+            continue
+        busy = sum(s.duration for s in track_spans if s.cat in ("task", "master"))
+        lines.append(f"{track}  busy={busy:.6f}s")
+        for depth, span in _nest(track_spans):
+            bar = ""
+            if span_end > 0:
+                start_col = int(span.start / span_end * 24)
+                end_col = max(int(span.end / span_end * 24), start_col + 1)
+                bar = " " * start_col + "#" * (end_col - start_col)
+            label = f"{'  ' * (depth + 1)}{span.name}"
+            lines.append(
+                f"{label:<38.38}{span.duration:>12.6f}s  |{bar:<24}|"
+            )
+    by_op: Dict[str, List[float]] = {}
+    for span in trace.spans:
+        if span.cat not in ("exec", "storage"):
+            continue
+        slot = by_op.setdefault(span.name, [0.0, 0])
+        slot[0] += span.attrs.get("acc_seconds", span.duration)
+        slot[1] += 1
+    if by_op:
+        lines.append("cumulative operator time (task-accumulator seconds):")
+        for name, (total, calls) in sorted(
+            by_op.items(), key=lambda item: -item[1][0]
+        ):
+            lines.append(f"  {name:<34.34}{total:>12.6f}s  x{calls}")
+    return "\n".join(lines)
+
+
+def validate_chrome_trace(document: dict) -> Optional[str]:
+    """Cheap structural validation; returns an error string or None."""
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return "traceEvents missing or empty"
+    for event in events:
+        if "ph" not in event or "pid" not in event or "tid" not in event:
+            return f"event missing ph/pid/tid: {event}"
+        if event["ph"] in ("X", "i") and "ts" not in event:
+            return f"timed event missing ts: {event}"
+        if event["ph"] == "X" and "dur" not in event:
+            return f"complete event missing dur: {event}"
+    return None

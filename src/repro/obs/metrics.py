@@ -1,0 +1,183 @@
+"""Per-node counters, gauges and histograms on the simulated cluster.
+
+A :class:`MetricsRegistry` is process-global per :class:`~repro.engine.
+Engine`: instrumentation points across the runtime (RPC bus, exchange
+fabric, segment workers, the write path) increment labeled metrics as a
+side effect of execution. Metrics are *passive observers* — they never
+charge the simulated clock (lint R6 enforces this for the whole ``obs``
+package), so enabling or reading them cannot perturb any simulated
+figure.
+
+Per-query attribution works by snapshot-diffing: the session snapshots
+the registry before a statement and exposes ``after.diff(before)`` on
+``QueryResult.metrics``. That is what lets the bench harness report a
+cache hit *rate per query* even though the block decode cache itself
+only keeps process-global counters.
+
+Metric keys render Prometheus-style: ``name{label=value,...}`` with
+labels sorted, so snapshots are deterministic and diff-able by string
+key alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+
+def _key(name: str, labels: Dict[str, object]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, rows)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (queue depth, cache bytes resident)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A cheap summary histogram: count / total / min / max.
+
+    Enough to answer "how many, how big, how skewed" without bucket
+    bookkeeping; snapshots expand it into four scalar series.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+
+class MetricsRegistry:
+    """Labeled metric instruments, keyed by rendered name."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, kind, name: str, labels: Dict[str, object]):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind()
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """A flat, immutable view: key -> scalar value."""
+        data: Dict[str, float] = {}
+        for key, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                data[f"{key}.count"] = metric.count
+                data[f"{key}.total"] = metric.total
+                if metric.min is not None:
+                    data[f"{key}.min"] = metric.min
+                if metric.max is not None:
+                    data[f"{key}.max"] = metric.max
+            else:
+                data[key] = metric.value
+        return MetricsSnapshot(data)
+
+
+class MetricsSnapshot(Mapping):
+    """Immutable flat metrics view; ``diff`` gives per-query deltas."""
+
+    def __init__(self, data: Optional[Dict[str, float]] = None) -> None:
+        self._data: Dict[str, float] = dict(data or {})
+
+    # ----------------------------------------------------------- Mapping api
+    def __getitem__(self, key: str) -> float:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"MetricsSnapshot({len(self._data)} series)"
+
+    # ------------------------------------------------------------- analysis
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """self - earlier, keeping only series that changed.
+
+        Gauges and histogram min/max are levels, not rates — the delta
+        of a level is still meaningful per query (how much it moved), so
+        one subtraction rule covers every instrument.
+        """
+        out: Dict[str, float] = {}
+        for key, value in self._data.items():
+            delta = value - earlier._data.get(key, 0)
+            if delta != 0:
+                out[key] = delta
+        return MetricsSnapshot(out)
+
+    def total(self, name: str) -> float:
+        """Sum one metric across all label combinations."""
+        out = 0.0
+        for key, value in self._data.items():
+            if key == name or key.startswith(name + "{"):
+                out += value
+        return out
+
+    def by_label(self, name: str) -> Dict[str, float]:
+        """``labels-suffix -> value`` for every series of one metric."""
+        out: Dict[str, float] = {}
+        prefix = name + "{"
+        for key, value in self._data.items():
+            if key == name:
+                out[""] = value
+            elif key.startswith(prefix):
+                out[key[len(prefix):-1]] = value
+        return out
+
+    def items(self) -> Iterator[Tuple[str, float]]:  # type: ignore[override]
+        return iter(sorted(self._data.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(sorted(self._data.items()))

@@ -393,22 +393,36 @@ class PhysicalPlan:
     def num_slices(self) -> int:
         return len(self.slices)
 
-    def explain(self) -> str:
-        """Human-readable plan tree for EXPLAIN."""
+    def explain(self, annotate=None) -> str:
+        """Human-readable plan tree for EXPLAIN.
+
+        ``annotate``, when given, is ``callback(node) -> Optional[str]``;
+        a returned string is appended to that node's line (EXPLAIN
+        (ANALYZE, VERBOSE) feeds per-operator trace stats through it).
+        """
         lines: List[str] = []
         for plan in self.init_plans:
             lines.append("InitPlan:")
-            lines.extend("  " + l for l in plan.explain().splitlines())
+            lines.extend(
+                "  " + l for l in plan.explain(annotate=annotate).splitlines()
+            )
         for plan_slice in reversed(self.slices):
             gang = "QD" if plan_slice.gang == "1" else "gang of N"
             lines.append(f"Slice {plan_slice.slice_id} ({gang}):")
-            self._explain_node(plan_slice.root, lines, depth=1)
+            self._explain_node(plan_slice.root, lines, depth=1, annotate=annotate)
         return "\n".join(lines)
 
-    def _explain_node(self, node: PlanNode, lines: List[str], depth: int) -> None:
-        lines.append("  " * depth + "-> " + node.describe())
+    def _explain_node(
+        self, node: PlanNode, lines: List[str], depth: int, annotate=None
+    ) -> None:
+        line = "  " * depth + "-> " + node.describe()
+        if annotate is not None:
+            extra = annotate(node)
+            if extra:
+                line += f"  {extra}"
+        lines.append(line)
         for child in node.children:
-            self._explain_node(child, lines, depth + 1)
+            self._explain_node(child, lines, depth + 1, annotate=annotate)
 
 
 def slice_plan(

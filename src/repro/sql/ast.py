@@ -278,6 +278,7 @@ class AnalyzeStmt(Statement):
 class ExplainStmt(Statement):
     statement: Statement = None
     analyze: bool = False
+    verbose: bool = False
 
 
 @dataclass

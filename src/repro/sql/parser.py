@@ -189,9 +189,30 @@ class _Parser:
             return ast.VacuumStmt(table=table)
         if self.at_keyword("EXPLAIN"):
             self.advance()
-            analyze = self.try_consume_keyword("ANALYZE")
+            analyze = False
+            verbose = False
+            if self.try_consume_op("("):
+                # PostgreSQL-style option list: EXPLAIN (ANALYZE, VERBOSE)
+                while True:
+                    option = self.consume_ident().upper()
+                    if option == "ANALYZE":
+                        analyze = True
+                    elif option == "VERBOSE":
+                        verbose = True
+                    else:
+                        raise self.error(
+                            f"unknown EXPLAIN option {option!r}"
+                        )
+                    if not self.try_consume_op(","):
+                        break
+                self.consume_op(")")
+            else:
+                analyze = self.try_consume_keyword("ANALYZE")
+                verbose = self.try_consume_keyword("VERBOSE")
             return ast.ExplainStmt(
-                statement=self.parse_statement(), analyze=analyze
+                statement=self.parse_statement(),
+                analyze=analyze,
+                verbose=verbose,
             )
         if self.at_keyword("COPY"):
             return self.parse_copy()

@@ -346,10 +346,52 @@ class TestBaseline:
         assert Baseline.load(tmp_path / "nope.json").entries == []
 
 
+# ============================================================ R6 obs passivity
+class TestObsPassivity:
+    def test_flags_charging_call_in_obs(self):
+        src = (
+            "def record(acc):\n"
+            "    acc.fixed(0.01)\n"
+        )
+        findings = run_rules({"src/repro/obs/trace.py": src}, select=["R6"])
+        assert [f.rule for f in findings] == ["R6"]
+        assert "fixed()" in findings[0].message
+
+    def test_flags_cost_attribute_write_in_obs(self):
+        src = (
+            "def record(self, acc):\n"
+            "    acc.seconds += 1.0\n"
+        )
+        findings = run_rules({"src/repro/obs/metrics.py": src}, select=["R6"])
+        assert len(findings) == 1
+        assert ".seconds" in findings[0].message
+
+    def test_flags_charge_control_call(self):
+        src = (
+            "from repro.cluster.rpc import charge_control\n"
+            "def record(acc):\n"
+            "    charge_control(acc, 64)\n"
+        )
+        findings = run_rules({"src/repro/obs/export.py": src}, select=["R6"])
+        assert len(findings) == 1
+
+    def test_reading_the_clock_is_fine(self):
+        src = (
+            "def mark(acc):\n"
+            "    t = acc.seconds\n"
+            "    return t\n"
+        )
+        assert not run_rules({"src/repro/obs/trace.py": src}, select=["R6"])
+
+    def test_outside_obs_not_in_scope(self):
+        src = "def f(acc):\n    acc.fixed(1.0)\n"
+        assert not run_rules({"src/repro/executor/runner.py": src}, select=["R6"])
+
+
 # ================================================================ rule registry
 class TestRegistry:
-    def test_five_rules_registered(self):
-        assert [r.id for r in RULES] == ["R1", "R2", "R3", "R4", "R5"]
+    def test_six_rules_registered(self):
+        assert [r.id for r in RULES] == ["R1", "R2", "R3", "R4", "R5", "R6"]
 
     def test_select_by_id_and_name(self):
         assert [r.id for r in get_rules(["R1", "exception-hygiene"])] == ["R1", "R4"]
@@ -441,7 +483,7 @@ class TestCli:
         assert proc.returncode == 0, proc.stdout + proc.stderr
         report = json.loads(proc.stdout)
         assert report["findings"] == []
-        assert report["rules"] == ["R1", "R2", "R3", "R4", "R5"]
+        assert report["rules"] == ["R1", "R2", "R3", "R4", "R5", "R6"]
         assert report["files"] > 50
         assert report["stale_baseline_entries"] == []
 
@@ -463,7 +505,7 @@ class TestCli:
     def test_list_rules(self):
         proc = self.run_cli("--list-rules")
         assert proc.returncode == 0
-        for rid in ("R1", "R2", "R3", "R4", "R5"):
+        for rid in ("R1", "R2", "R3", "R4", "R5", "R6"):
             assert rid in proc.stdout
 
     def test_types_flag_degrades_without_mypy(self):

@@ -12,7 +12,10 @@ python -m repro.lint
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== wall-clock bench (batch >= 1.5x row, embeds metrics) =="
+echo "== wall-clock bench, numpy backend (batch >= 5x row) =="
 python -m repro.bench --wallclock --check
+
+echo "== wall-clock bench, pure-python fallback (batch >= 1.5x row) =="
+REPRO_NO_NUMPY=1 python -m repro.bench --wallclock --check --no-report
 
 echo "CI gate passed."

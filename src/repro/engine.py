@@ -149,6 +149,12 @@ class Engine:
         #: sessions snapshot-diff it per statement onto
         #: ``QueryResult.metrics``. Purely passive — never charged.
         self.metrics = MetricsRegistry()
+        #: Engine-lifetime memo of compiled row/batch expression kernels
+        #: keyed by (kind, id(expr), layout): re-dispatching a slice to
+        #: N segments — or restarting a query after a chaos fault —
+        #: reuses one compiled closure instead of recompiling per
+        #: segment per attempt.
+        self.kernel_cache: dict = {}
         #: The QD/QE process group of the in-flight execution attempt
         #: (set by :meth:`Session._execute_attempt`); chaos kills reach
         #: workers by dropping their RPC channel on this runtime.
@@ -630,6 +636,7 @@ class Session:
             executor_mode=engine.executor_mode,
             metadata_dispatch=engine.metadata_dispatch,
             trace=trace,
+            kernel_cache=engine.kernel_cache,
         )
         runtime = engine.build_runtime()
         if trace is not None:

@@ -4,6 +4,12 @@ Each aggregate has a *state*; ``accumulate`` folds input values in,
 ``merge`` combines partial states from different QEs (the two-phase
 plan's final side), and ``finalize`` produces the SQL value. NULLs are
 skipped by every aggregate except ``count(*)``, per the standard.
+
+The ``count``/``total`` slots of CountState/SumState/AvgState are part
+of the vectorized fold contract: ``repro.executor.vecagg.fold_batch``
+updates them directly from whole-batch ``bincount`` reductions, and the
+prepend-the-running-total trick there only reproduces ``accumulate``'s
+left-to-right float addition if those slots keep their meaning.
 """
 
 from __future__ import annotations

@@ -1,22 +1,31 @@
 """Column batches for the vectorized execution path.
 
 A :class:`ColumnBatch` is the unit of data flow between batch-aware
-operators: per-column Python lists (``None`` marks SQL NULL — no
-separate mask is needed since every value slot is a Python object)
-plus the row count. Storage scans produce batches of
-``DEFAULT_BATCH_ROWS`` rows (aligned with the storage block size so a
-decoded block becomes a batch with zero copying), and
-``compile_expr_batch`` kernels evaluate expressions over whole batches.
+operators: per-column vectors — typed :mod:`repro.columnar` vectors
+straight from the storage decoders (int64/float64 buffers with null
+masks, dictionary-encoded strings) or plain Python lists for formats and
+kernels without a typed representation — plus the underlying row count
+and an optional *selection vector*. The selection vector is what fuses
+filter into its neighbours: a filter narrows ``sel`` instead of copying
+``len(sel)`` rows out of every column, and downstream kernels evaluate
+through the selection, so row materialization (``take``) is deferred all
+the way to a row-only boundary (hash-agg fallback, join build, motion).
 
-Batches are read-only by convention: operators build new column lists
-rather than mutating inputs, because a projection may alias an input
-column (zero-copy column references).
+Storage scans produce batches of ``DEFAULT_BATCH_ROWS`` rows (aligned
+with the storage block size so a decoded block becomes a batch with zero
+copying), and ``compile_expr_batch`` kernels evaluate expressions over
+whole batches.
+
+Batches are read-only by convention: operators build new batches rather
+than mutating inputs, because a projection may alias an input column
+(zero-copy column references).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence
 
+from repro.columnar import as_list, gather
 from repro.storage.base import DEFAULT_BLOCK_ROWS
 
 #: Rows per batch on the vectorized path. Matches the storage block row
@@ -25,13 +34,27 @@ DEFAULT_BATCH_ROWS = DEFAULT_BLOCK_ROWS
 
 
 class ColumnBatch:
-    """``nrows`` rows held as per-column value lists."""
+    """``nrows`` stored rows held as per-column vectors, of which the
+    rows indexed by ``sel`` (all of them when ``sel`` is None) are live."""
 
-    __slots__ = ("columns", "nrows")
+    __slots__ = ("columns", "nrows", "sel")
 
-    def __init__(self, columns: List[list], nrows: int):
+    def __init__(
+        self,
+        columns: List[object],
+        nrows: int,
+        sel: Optional[List[int]] = None,
+    ):
         self.columns = columns
         self.nrows = nrows
+        #: Live row indices into the columns, ascending, or None for all.
+        self.sel = sel
+
+    @property
+    def count(self) -> int:
+        """Number of live rows."""
+        sel = self.sel
+        return self.nrows if sel is None else len(sel)
 
     @classmethod
     def from_rows(cls, rows: Sequence[tuple], ncols: int) -> "ColumnBatch":
@@ -41,26 +64,21 @@ class ColumnBatch:
             return cls([[] for _ in range(ncols)], 0)
         return cls([list(col) for col in zip(*rows)], len(rows))
 
-    def iter_rows(self) -> Iterator[tuple]:
-        """Yield the batch's rows as tuples (the row-path interface)."""
+    def to_rows(self) -> Iterator[tuple]:
+        """Yield the live rows as tuples of Python values.
+
+        This is *the* batch→row boundary: each column is materialized
+        once per batch (``tolist``/``gather``, both cached on typed
+        vectors), never value-by-value, and dictionary columns hand out
+        their shared decoded ``str`` objects.
+        """
         if not self.columns:
-            for _ in range(self.nrows):
+            for _ in range(self.count):
                 yield ()
             return
-        yield from zip(*self.columns)
-
-    def take(self, sel: Sequence[int]) -> "ColumnBatch":
-        """New batch containing the rows selected by index vector ``sel``."""
-        return ColumnBatch(
-            [[col[i] for i in sel] for col in self.columns], len(sel)
-        )
-
-
-def rows_of(columns: Sequence[list], nrows: int) -> Iterator[tuple]:
-    """Yield tuples from positional column vectors (zero-column safe)."""
-    if not columns:
-        for _ in range(nrows):
-            yield ()
-        return
-    for row in zip(*columns):
-        yield row
+        sel = self.sel
+        if sel is None:
+            plain = [as_list(col) for col in self.columns]
+        else:
+            plain = [gather(col, sel) for col in self.columns]
+        yield from zip(*plain)

@@ -15,6 +15,8 @@ import re
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import DataType
+from repro.columnar import ConstVector, Vector
+from repro.columnar import kernels as vk
 from repro.errors import ExecutorError
 from repro.planner import exprs as ex
 from repro.planner.physical import ColumnId
@@ -22,8 +24,10 @@ from repro.planner.physical import ColumnId
 RowFn = Callable[[tuple], object]
 
 #: Batch evaluator: ``fn(cols, n, sel)`` over column vectors (see
-#: :func:`compile_expr_batch`).
-BatchFn = Callable[[Sequence[list], int, Optional[List[int]]], list]
+#: :func:`compile_expr_batch`). Results duck-type as sequences of
+#: Python values: plain lists, typed :mod:`repro.columnar` vectors, or
+#: :class:`~repro.columnar.ConstVector`.
+BatchFn = Callable[[Sequence[list], int, Optional[List[int]]], object]
 
 _LIKE_CACHE: Dict[str, "re.Pattern"] = {}
 
@@ -425,6 +429,76 @@ _CMP_OPS = {
     ">=": operator.ge,
 }
 
+_PURE_OPS = frozenset({"=", "<>", "<", "<=", ">", ">=", "and", "or",
+                       "+", "-", "*"})
+_PURE_FUNCS = frozenset({"upper", "lower", "length", "abs", "coalesce",
+                         "nullif"})
+
+
+def _is_pure(node: ex.BoundExpr) -> bool:
+    """May this expression be evaluated eagerly on extra rows?
+
+    "Pure" means evaluation cannot raise on rows the row path would have
+    skipped via AND/OR short-circuiting, so the batch path may evaluate
+    it over the whole selection and apply the Kleene truth table
+    afterwards — which gives exactly the short-circuit result. Division
+    (by zero), ``%``, casts (parse errors), substring/round (``int()``
+    of NULL arguments) and date±interval (calendar overflow) can raise,
+    so they are excluded; comparisons, numeric ``+``/``-``/``*``, logic,
+    LIKE/IN/IS NULL/CASE and total functions cannot.
+    """
+    if isinstance(node, (ex.BConst, ex.BParam, ex.BGroupRef, ex.BAggRef,
+                         ex.BTargetRef)):
+        return True
+    if isinstance(node, ex.BVar):
+        return node.level == 0
+    if isinstance(node, ex.BOp):
+        return (
+            node.op in _PURE_OPS
+            and _is_pure(node.left)
+            and _is_pure(node.right)
+        )
+    if isinstance(node, (ex.BNot, ex.BIsNull, ex.BLike)):
+        return _is_pure(node.operand)
+    if isinstance(node, ex.BIn):
+        return _is_pure(node.operand) and all(_is_pure(i) for i in node.items)
+    if isinstance(node, ex.BCase):
+        return all(
+            _is_pure(c) and _is_pure(r) for c, r in node.whens
+        ) and (node.else_result is None or _is_pure(node.else_result))
+    if isinstance(node, ex.BFunc):
+        return node.name in _PURE_FUNCS and all(_is_pure(a) for a in node.args)
+    return False  # BInterval, BCast, BSubPlan, BAgg, anything unknown
+
+
+def column_ref_key(node: ex.BoundExpr) -> Optional[tuple]:
+    """The layout ColumnId of a bare column reference, else None."""
+    if isinstance(node, ex.BVar) and node.level == 0:
+        return ("r", node.rel, node.col)
+    if isinstance(node, ex.BGroupRef):
+        return ("g", node.index)
+    if isinstance(node, ex.BAggRef):
+        return ("a", node.index)
+    if isinstance(node, ex.BTargetRef):
+        return ("t", node.index)
+    return None
+
+
+def column_ref_position(
+    node: ex.BoundExpr, layout: Sequence[ColumnId]
+) -> Optional[int]:
+    """Layout position of a bare column reference, else None.
+
+    Drives the fused-projection fast path: a projection made purely of
+    references permutes batch columns without evaluating any kernel."""
+    key = column_ref_key(node)
+    if key is None:
+        return None
+    for i, cid in enumerate(layout):
+        if cid == key:
+            return i
+    return None
+
 
 def compile_expr_batch(
     expr: ex.BoundExpr,
@@ -451,7 +525,7 @@ def compile_expr_batch(
 
     def constant(value) -> BatchFn:
         def f_const(cols, n, sel):
-            return [value] * (n if sel is None else len(sel))
+            return ConstVector(value, n if sel is None else len(sel))
         return f_const
 
     def column(position: int) -> BatchFn:
@@ -459,6 +533,8 @@ def compile_expr_batch(
             col = cols[position]
             if sel is None:
                 return col
+            if isinstance(col, (Vector, ConstVector)):
+                return col.take(sel)
             return [col[i] for i in sel]
         return f_col
 
@@ -509,8 +585,31 @@ def compile_expr_batch(
             right = compile_node(node.right)
             op = node.op
             if op == "and":
+                # When the right side provably cannot raise, both sides
+                # can be evaluated eagerly over the whole selection and
+                # combined with one vectorized Kleene pass — the truth
+                # table gives exactly the lazy short-circuit result. The
+                # eager route is only taken when the left side came back
+                # as a vector (i.e. the fast kernels are engaged);
+                # otherwise the lazy sub-selection path below evaluates
+                # the right side only where the left is not False.
+                pure_right = _is_pure(node.right)
                 def f_and(cols, n, sel):
                     a = left(cols, n, sel)
+                    if pure_right and isinstance(a, (Vector, ConstVector)):
+                        b = right(cols, n, sel)
+                        fast = vk.kleene_and(a, b)
+                        if fast is not None:
+                            return fast
+                        out = []
+                        for av, bv in zip(a, b):
+                            if av is False or bv is False:
+                                out.append(False)
+                            elif av is None or bv is None:
+                                out.append(None)
+                            else:
+                                out.append(True)
+                        return out
                     indices = range(n) if sel is None else sel
                     sub = [i for i, av in zip(indices, a) if av is not False]
                     if not sub:
@@ -531,8 +630,23 @@ def compile_expr_batch(
                     return out
                 return f_and
             if op == "or":
+                pure_right = _is_pure(node.right)
                 def f_or(cols, n, sel):
                     a = left(cols, n, sel)
+                    if pure_right and isinstance(a, (Vector, ConstVector)):
+                        b = right(cols, n, sel)
+                        fast = vk.kleene_or(a, b)
+                        if fast is not None:
+                            return fast
+                        out = []
+                        for av, bv in zip(a, b):
+                            if av is True or bv is True:
+                                out.append(True)
+                            elif av is None or bv is None:
+                                out.append(None)
+                            else:
+                                out.append(False)
+                        return out
                     indices = range(n) if sel is None else sel
                     sub = [i for i, av in zip(indices, a) if av is not True]
                     if not sub:
@@ -557,6 +671,9 @@ def compile_expr_batch(
                 def f_cmp(cols, n, sel):
                     l = left(cols, n, sel)
                     r = right(cols, n, sel)
+                    fast = vk.cmp_fast(py_op, l, r)
+                    if fast is not None:
+                        return fast
                     return [
                         None if a is None or b is None else py_op(a, b)
                         for a, b in zip(l, r)
@@ -565,12 +682,14 @@ def compile_expr_batch(
             if op in ("+", "-", "*"):
                 # Fast elementwise path; the per-value _Interval check
                 # keeps date arithmetic identical to sql_arith.
-                sign = -1 if op == "-" else 1
                 py_op = {"+": operator.add, "-": operator.sub,
                          "*": operator.mul}[op]
                 def f_arith(cols, n, sel):
                     l = left(cols, n, sel)
                     r = right(cols, n, sel)
+                    fast = vk.arith_fast(op, l, r)
+                    if fast is not None:
+                        return fast
                     return [
                         None if a is None or b is None
                         else (
@@ -584,15 +703,21 @@ def compile_expr_batch(
             def f_arith_slow(cols, n, sel):
                 l = left(cols, n, sel)
                 r = right(cols, n, sel)
+                if op == "%":
+                    # int64 %% nonzero-int-constant is total and exact.
+                    fast = vk.arith_fast(op, l, r)
+                    if fast is not None:
+                        return fast
                 return [sql_arith(op, a, b) for a, b in zip(l, r)]
             return f_arith_slow
         if isinstance(node, ex.BNot):
             operand = compile_node(node.operand)
             def f_not(cols, n, sel):
-                return [
-                    None if v is None else not v
-                    for v in operand(cols, n, sel)
-                ]
+                vals = operand(cols, n, sel)
+                fast = vk.not_fast(vals)
+                if fast is not None:
+                    return fast
+                return [None if v is None else not v for v in vals]
             return f_not
         if isinstance(node, ex.BCase):
             whens = [(compile_node(c), compile_node(r)) for c, r in node.whens]
@@ -634,17 +759,24 @@ def compile_expr_batch(
         if isinstance(node, ex.BLike):
             operand = compile_node(node.operand)
             match = _like_pattern(node.pattern).match
-            if node.negated:
+            negated = node.negated
+            if negated:
                 def f_nlike(cols, n, sel):
+                    vals = operand(cols, n, sel)
+                    fast = vk.like_fast(vals, match, negated)
+                    if fast is not None:
+                        return fast
                     return [
-                        None if v is None else match(v) is None
-                        for v in operand(cols, n, sel)
+                        None if v is None else match(v) is None for v in vals
                     ]
                 return f_nlike
             def f_like(cols, n, sel):
+                vals = operand(cols, n, sel)
+                fast = vk.like_fast(vals, match, negated)
+                if fast is not None:
+                    return fast
                 return [
-                    None if v is None else match(v) is not None
-                    for v in operand(cols, n, sel)
+                    None if v is None else match(v) is not None for v in vals
                 ]
             return f_like
         if isinstance(node, ex.BIn):
@@ -654,8 +786,12 @@ def compile_expr_batch(
                 # Tuple membership performs the same ==-scan any() did.
                 items = tuple(i.value for i in node.items)
                 def f_in_const(cols, n, sel):
+                    vals = operand(cols, n, sel)
+                    fast = vk.in_const_fast(vals, items, negated)
+                    if fast is not None:
+                        return fast
                     out = []
-                    for v in operand(cols, n, sel):
+                    for v in vals:
                         if v is None:
                             out.append(None)
                         else:
@@ -690,12 +826,21 @@ def compile_expr_batch(
             return f_in
         if isinstance(node, ex.BIsNull):
             operand = compile_node(node.operand)
-            if node.negated:
+            negated = node.negated
+            if negated:
                 def f_notnull(cols, n, sel):
-                    return [v is not None for v in operand(cols, n, sel)]
+                    vals = operand(cols, n, sel)
+                    fast = vk.isnull_fast(vals, negated)
+                    if fast is not None:
+                        return fast
+                    return [v is not None for v in vals]
                 return f_notnull
             def f_isnull(cols, n, sel):
-                return [v is None for v in operand(cols, n, sel)]
+                vals = operand(cols, n, sel)
+                fast = vk.isnull_fast(vals, negated)
+                if fast is not None:
+                    return fast
+                return [v is None for v in vals]
             return f_isnull
         if isinstance(node, ex.BExtract):
             operand = compile_node(node.operand)
@@ -723,17 +868,19 @@ def compile_expr_batch(
         name = node.name
         if name == "upper":
             def f_upper(cols, n, sel):
-                return [
-                    None if v is None else v.upper()
-                    for v in args[0](cols, n, sel)
-                ]
+                vals = args[0](cols, n, sel)
+                fast = vk.str_map_fast(vals, str.upper)
+                if fast is not None:
+                    return fast
+                return [None if v is None else v.upper() for v in vals]
             return f_upper
         if name == "lower":
             def f_lower(cols, n, sel):
-                return [
-                    None if v is None else v.lower()
-                    for v in args[0](cols, n, sel)
-                ]
+                vals = args[0](cols, n, sel)
+                fast = vk.str_map_fast(vals, str.lower)
+                if fast is not None:
+                    return fast
+                return [None if v is None else v.lower() for v in vals]
             return f_lower
         if name == "length":
             def f_length(cols, n, sel):

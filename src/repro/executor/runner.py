@@ -83,6 +83,10 @@ class ExecutionContext:
     #: it; the runtime assembles absolute spans at gather time. Tracing
     #: never charges the clock, so figures are identical either way.
     trace: Optional[object] = None
+    #: Engine-lifetime memo of compiled row/batch kernels, shared across
+    #: queries and retry attempts (see SliceExecutor._compiled). None
+    #: disables memoization (every compile_expr call is fresh).
+    kernel_cache: Optional[dict] = None
 
 
 @dataclass

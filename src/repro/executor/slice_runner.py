@@ -25,11 +25,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.catalog.schema import hash_values
+from repro.columnar import ConstVector
+from repro.columnar.vector import true_selection
 from repro.errors import ExecutorError
+from repro.executor import vecagg
 from repro.executor.aggregates import make_state
-from repro.executor.batch import rows_of
+from repro.executor.batch import ColumnBatch
 from repro.executor.expr import (
     RowSizer,
+    column_ref_position,
     compile_expr,
     compile_expr_batch,
 )
@@ -89,6 +93,35 @@ class SliceExecutor:
         #: Rows / bytes pushed through this slice's root motion.
         self.rows_out = 0
         self.bytes_out = 0
+
+    # ----------------------------------------------------- kernel memoization
+    # Compiled row/batch kernels are cached on the engine-lifetime
+    # ``ctx.kernel_cache`` keyed by (kind, id(expr), layout): the same
+    # plan node re-dispatched to N segments (or re-run after a chaos
+    # retry) compiles its expressions once, not N times. The cached
+    # expr object is held strongly so a dead expr's id can't alias a
+    # new one, and params are equality-checked because a retried query
+    # rebinds InitPlan params on a fresh context.
+    def _compiled(self, kind: str, expr, layout, compiler):
+        cache = self.ctx.kernel_cache
+        params = self.ctx.params
+        if cache is None:
+            return compiler(expr, layout, params)
+        key = (kind, id(expr), tuple(layout))
+        hit = cache.get(key)
+        if hit is not None and hit[0] is expr and hit[1] == params:
+            return hit[2]
+        fn = compiler(expr, layout, params)
+        if len(cache) > 4096:
+            cache.clear()
+        cache[key] = (expr, params, fn)
+        return fn
+
+    def _compile_row(self, expr, layout):
+        return self._compiled("row", expr, layout, compile_expr)
+
+    def _compile_batch(self, expr, layout):
+        return self._compiled("batch", expr, layout, compile_expr_batch)
 
     # ---------------------------------------------------------------- driver
     def run(self) -> List[tuple]:
@@ -150,9 +183,9 @@ class SliceExecutor:
     def _traced_batches(self, it, node: PlanNode, acc: CostAccumulator, t0: float):
         emitted = 0
         try:
-            for cols, n in it:
-                emitted += n
-                yield cols, n
+            for batch in it:
+                emitted += batch.count
+                yield batch
         finally:
             self._mark(node, acc, t0, rows=emitted)
 
@@ -212,18 +245,21 @@ class SliceExecutor:
 
     @staticmethod
     def _flatten_batches(batches) -> Iterator[tuple]:
-        for cols, n in batches:
-            yield from rows_of(cols, n)
+        for batch in batches:
+            yield from batch.to_rows()
 
     def _run_node_batches(
         self, node: PlanNode, segment: int, acc: CostAccumulator
     ):
         """Vectorized execution of a subtree, or None if unsupported.
 
-        Yields ``(cols, n)`` pairs: column vectors in ``node.layout``
-        order. Simulated charges mirror the row operators exactly,
-        including the trailing per-operator CPU charge being skipped
-        when a consumer (LIMIT) abandons the stream.
+        Yields :class:`ColumnBatch` objects: column vectors in
+        ``node.layout`` order plus a selection vector, so a fused
+        scan→filter→project chain narrows ``sel`` instead of copying
+        survivors between operators. Simulated charges mirror the row
+        operators exactly, including the trailing per-operator CPU
+        charge being skipped when a consumer (LIMIT) abandons the
+        stream.
         """
         t0 = acc.seconds
         batches = self._node_batches(node, segment, acc)
@@ -257,9 +293,7 @@ class SliceExecutor:
         if source is None:
             return None
         predicate = (
-            compile_expr_batch(
-                node.filter, self._scan_layout(node), self.ctx.params
-            )
+            self._compile_batch(node.filter, self._scan_layout(node))
             if node.filter is not None
             else None
         )
@@ -271,23 +305,29 @@ class SliceExecutor:
             for row_count, vectors in source:
                 count += row_count
                 if predicate is None:
-                    yield [vectors[c] for c in out_positions], row_count
+                    yield ColumnBatch(
+                        [vectors[c] for c in out_positions], row_count
+                    )
                     continue
                 # The scan filter is compiled against the full table row
                 # shape; the planner guarantees every referenced column
                 # is decoded, so unrequested positions never get read.
-                # Undecoded columns share one NULL vector — the same
+                # Undecoded columns share one NULL constant — the same
                 # None placeholders the row-path provider materializes.
-                placeholder = [None] * row_count
+                placeholder = ConstVector(None, row_count)
                 full = [vectors.get(c, placeholder) for c in range(ncols)]
                 mask = predicate(full, row_count, None)
-                sel = [i for i, m in enumerate(mask) if m is True]
+                sel = true_selection(mask, row_count, None)
                 if len(sel) == row_count:
-                    yield [vectors[c] for c in out_positions], row_count
+                    yield ColumnBatch(
+                        [vectors[c] for c in out_positions], row_count
+                    )
                 elif sel:
-                    yield [
-                        [vectors[c][i] for i in sel] for c in out_positions
-                    ], len(sel)
+                    # Survivors ride as a selection vector; the copy is
+                    # deferred to the next row-only boundary.
+                    yield ColumnBatch(
+                        [vectors[c] for c in out_positions], row_count, sel
+                    )
             acc.cpu_tuples(count, ncolumns=len(node.columns))
 
         return gen()
@@ -298,20 +338,19 @@ class SliceExecutor:
         child = self._run_node_batches(node.child, segment, acc)
         if child is None:
             return None
-        predicate = compile_expr_batch(
-            node.cond, node.child.layout, self.ctx.params
-        )
+        predicate = self._compile_batch(node.cond, node.child.layout)
 
         def gen():
             count = 0
-            for cols, n in child:
-                count += n
-                mask = predicate(cols, n, None)
-                sel = [i for i, m in enumerate(mask) if m is True]
-                if len(sel) == n:
-                    yield cols, n
+            for batch in child:
+                count += batch.count
+                mask = predicate(batch.columns, batch.nrows, batch.sel)
+                sel = true_selection(mask, batch.nrows, batch.sel)
+                if len(sel) == batch.count:
+                    yield batch
                 elif sel:
-                    yield [[col[i] for i in sel] for col in cols], len(sel)
+                    # Narrow the selection only — no column copies.
+                    yield ColumnBatch(batch.columns, batch.nrows, sel)
             acc.cpu_tuples(count, weight=0.5)
 
         return gen()
@@ -322,16 +361,36 @@ class SliceExecutor:
         child = self._run_node_batches(node.child, segment, acc)
         if child is None:
             return None
-        fns = [
-            compile_expr_batch(e, node.child.layout, self.ctx.params)
-            for e in node.exprs
+        positions = [
+            column_ref_position(e, node.child.layout) for e in node.exprs
         ]
+        if all(p is not None for p in positions):
+            # Pure column permutation: alias the child's vectors and keep
+            # its selection — zero compute, zero copies.
+            def gen():
+                count = 0
+                for batch in child:
+                    count += batch.count
+                    yield ColumnBatch(
+                        [batch.columns[p] for p in positions],
+                        batch.nrows,
+                        batch.sel,
+                    )
+                acc.cpu_tuples(count, ncolumns=len(positions))
+
+            return gen()
+        fns = [self._compile_batch(e, node.child.layout) for e in node.exprs]
 
         def gen():
             count = 0
-            for cols, n in child:
-                count += n
-                yield [fn(cols, n, None) for fn in fns], n
+            for batch in child:
+                count += batch.count
+                # Computed projections evaluate through the selection, so
+                # the output batch is dense (no sel) over the live rows.
+                yield ColumnBatch(
+                    [fn(batch.columns, batch.nrows, batch.sel) for fn in fns],
+                    batch.count,
+                )
             acc.cpu_tuples(count, ncolumns=len(fns))
 
         return gen()
@@ -343,7 +402,7 @@ class SliceExecutor:
         if self.providers.scan is None:
             raise ExecutorError("no scan provider configured")
         predicate = (
-            compile_expr(node.filter, self._scan_layout(node), self.ctx.params)
+            self._compile_row(node.filter, self._scan_layout(node))
             if node.filter is not None
             else None
         )
@@ -368,7 +427,7 @@ class SliceExecutor:
         if self.providers.external is None:
             raise ExecutorError("no external (PXF) provider configured")
         predicate = (
-            compile_expr(node.filter, self._scan_layout(node), self.ctx.params)
+            self._compile_row(node.filter, self._scan_layout(node))
             if node.filter is not None
             else None
         )
@@ -388,8 +447,7 @@ class SliceExecutor:
     ) -> Iterator[tuple]:
         receivers = self.task.receivers
         hash_fns = [
-            compile_expr(e, node.child.layout, self.ctx.params)
-            for e in node.hash_exprs
+            self._compile_row(e, node.child.layout) for e in node.hash_exprs
         ]
         buffers: Dict[int, List[tuple]] = defaultdict(list)
         buffer_bytes: Dict[int, int] = defaultdict(int)
@@ -462,7 +520,7 @@ class SliceExecutor:
     def _run_filter(
         self, node: Filter, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
-        predicate = compile_expr(node.cond, node.child.layout, self.ctx.params)
+        predicate = self._compile_row(node.cond, node.child.layout)
         count = 0
         for row in self._run_node(node.child, segment, acc):
             count += 1
@@ -473,9 +531,7 @@ class SliceExecutor:
     def _run_project(
         self, node: Project, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
-        fns = [
-            compile_expr(e, node.child.layout, self.ctx.params) for e in node.exprs
-        ]
+        fns = [self._compile_row(e, node.child.layout) for e in node.exprs]
         count = 0
         for row in self._run_node(node.child, segment, acc):
             count += 1
@@ -487,7 +543,7 @@ class SliceExecutor:
         self, node: HashJoin, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
         residual = (
-            compile_expr(node.residual, node.layout_for_residual(), self.ctx.params)
+            self._compile_row(node.residual, node.layout_for_residual())
             if node.residual is not None
             else None
         )
@@ -556,21 +612,21 @@ class SliceExecutor:
             batches = self._run_node_batches(node, segment, acc)
             if batches is not None:
                 key_fns = [
-                    compile_expr_batch(e, node.layout, self.ctx.params)
-                    for e in key_exprs
+                    self._compile_batch(e, node.layout) for e in key_exprs
                 ]
-                for cols, n in batches:
+                for batch in batches:
                     if key_fns:
-                        key_cols = [fn(cols, n, None) for fn in key_fns]
-                        yield from zip(rows_of(cols, n), zip(*key_cols))
+                        key_cols = [
+                            fn(batch.columns, batch.nrows, batch.sel)
+                            for fn in key_fns
+                        ]
+                        yield from zip(batch.to_rows(), zip(*key_cols))
                     else:
                         empty = ()
-                        for row in rows_of(cols, n):
+                        for row in batch.to_rows():
                             yield row, empty
                 return
-        fns = [
-            compile_expr(e, node.layout, self.ctx.params) for e in key_exprs
-        ]
+        fns = [self._compile_row(e, node.layout) for e in key_exprs]
         for row in self._run_node(node, segment, acc):
             yield row, tuple(fn(row) for fn in fns)
 
@@ -579,7 +635,7 @@ class SliceExecutor:
     ) -> Iterator[tuple]:
         inner = list(self._input_rows(node.right, segment, acc))
         cond = (
-            compile_expr(node.cond, node.layout_for_residual(), self.ctx.params)
+            self._compile_row(node.cond, node.layout_for_residual())
             if node.cond is not None
             else None
         )
@@ -644,42 +700,57 @@ class SliceExecutor:
         batches = self._run_node_batches(node.child, segment, acc)
         if batches is not None:
             # Vectorized accumulation: group keys and aggregate arguments
-            # are evaluated over whole batches, then folded per row.
+            # are evaluated over whole batches, then folded — with
+            # np.bincount when the shapes allow (vecagg), per row
+            # otherwise.
             key_fns_b = [
-                compile_expr_batch(e, child_layout, self.ctx.params)
-                for e in node.group_keys
+                self._compile_batch(e, child_layout) for e in node.group_keys
             ]
             arg_fns_b = [
-                compile_expr_batch(a.arg, child_layout, self.ctx.params)
+                self._compile_batch(a.arg, child_layout)
                 if a.arg is not None
                 else None
                 for a in node.aggs
             ]
-            for cols, n in batches:
+
+            def make_states():
+                return [make_state(a) for a in node.aggs]
+
+            for batch in batches:
+                n = batch.count
                 count += n
-                if key_fns_b:
-                    keys = list(zip(*(fn(cols, n, None) for fn in key_fns_b)))
-                else:
-                    keys = [()] * n
+                key_vecs = [
+                    fn(batch.columns, batch.nrows, batch.sel)
+                    for fn in key_fns_b
+                ]
                 arg_vecs = [
-                    fn(cols, n, None) if fn is not None else None
+                    fn(batch.columns, batch.nrows, batch.sel)
+                    if fn is not None
+                    else None
                     for fn in arg_fns_b
                 ]
+                added = vecagg.fold_batch(
+                    groups, node.aggs, key_vecs, arg_vecs, n, sizer,
+                    make_states,
+                )
+                if added is not None:
+                    group_bytes += added
+                    continue
+                keys = list(zip(*key_vecs)) if key_vecs else [()] * n
                 for i, key in enumerate(keys):
                     states = groups.get(key)
                     if states is None:
-                        states = [make_state(a) for a in node.aggs]
+                        states = make_states()
                         groups[key] = states
                         group_bytes += sizer(key) + 16 * len(states)
                     for state, vec in zip(states, arg_vecs):
                         state.accumulate(vec[i] if vec is not None else 1)
         else:
             key_fns = [
-                compile_expr(e, child_layout, self.ctx.params)
-                for e in node.group_keys
+                self._compile_row(e, child_layout) for e in node.group_keys
             ]
             arg_fns = [
-                compile_expr(a.arg, child_layout, self.ctx.params)
+                self._compile_row(a.arg, child_layout)
                 if a.arg is not None
                 else None
                 for a in node.aggs
@@ -713,7 +784,7 @@ class SliceExecutor:
         rows = list(self._input_rows(node.child, segment, acc))
         key_fns = [
             (
-                compile_expr(k.expr, node.child.layout, self.ctx.params),
+                self._compile_row(k.expr, node.child.layout),
                 k.ascending,
                 k.nulls_first,
             )
@@ -764,7 +835,7 @@ class SliceExecutor:
     def _run_result(
         self, node: Result, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
-        fns = [compile_expr(e, [], self.ctx.params) for e in node.exprs]
+        fns = [self._compile_row(e, []) for e in node.exprs]
         acc.cpu_tuples(1, ncolumns=len(fns))
         yield tuple(fn(()) for fn in fns)
 

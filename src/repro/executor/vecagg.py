@@ -1,0 +1,225 @@
+"""Vectorized hash-aggregate accumulation.
+
+``fold_batch`` folds one column batch into the executor's ``groups``
+dict (group key tuple → list of live ``AggState`` objects) without a
+per-row Python loop: group ids come from one ``np.unique`` over the key
+vector, and count/sum/avg transitions become ``np.bincount`` calls.
+
+The fold is *exact*, not approximate — the row/batch differential
+contract demands identical results:
+
+* Group output order is insertion order. New groups are inserted into
+  ``groups`` in first-appearance row order (``argsort`` of the unique
+  keys' first indices), exactly as the per-row loop would.
+* ``np.bincount`` accumulates weights in array-index order, so per-group
+  float sums add values in row order — and each group's *running total
+  from earlier batches is prepended as its first weight*, reproducing
+  ``((total + v0) + v1)`` rather than the differently-rounded
+  ``total + (v0 + v1)``.
+* Integer sums ride float64 only under the proof obligation
+  ``M * S < 2**53`` (``M`` = max |addend| including prior totals, ``S``
+  = worst-case addend count), under which every partial sum is exactly
+  representable; otherwise the batch falls back to the per-row loop.
+* min/max and DISTINCT aggregates always use the per-row loop (NaN and
+  ordering semantics are not worth vectorizing bit-compatibly).
+
+``fold_batch`` returns the ``group_bytes`` added for new groups (the
+spill-charge input, same ``sizer(key) + 16 * len(states)`` accounting as
+the row path), or None when the batch's shapes are unsupported — the
+caller then runs the ordinary per-row fallback for that batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.columnar.vector import (
+    ConstVector,
+    DictVector,
+    FloatVector,
+    IntVector,
+    numpy_module,
+)
+
+#: Addend-count × magnitude bound under which float64 int sums are exact.
+_EXACT_INT = 2**53
+
+_FOLDABLE = ("count", "sum", "avg")
+
+
+def _valid_of(np, vec):
+    """Bool array selecting non-NULL rows, or None when all rows are."""
+    if isinstance(vec, DictVector):
+        null = vec.data < 0
+        return ~null if null.any() else None
+    mask = vec.mask
+    if mask is None:
+        return None
+    mask = np.asarray(mask, dtype=bool)
+    return ~mask if mask.any() else None
+
+
+def _countable(vec) -> bool:
+    if isinstance(vec, ConstVector):
+        return True
+    from repro.columnar.vector import Vector
+
+    return isinstance(vec, Vector) and (
+        vec.is_numpy() or isinstance(vec, DictVector) and vec.is_numpy()
+    )
+
+
+def _count_fold(np, vec, inv, k: int, n: int) -> List[int]:
+    """Per-group accumulate counts for one batch (count(*) or count(x))."""
+    if vec is None:  # count(*): every row counts
+        if inv is None:
+            return [n]
+        return np.bincount(inv, minlength=k).tolist()
+    if isinstance(vec, ConstVector):
+        if vec.value is None:
+            return [0] * k
+        return [n] if inv is None else np.bincount(inv, minlength=k).tolist()
+    valid = _valid_of(np, vec)
+    if valid is None:
+        return [n] if inv is None else np.bincount(inv, minlength=k).tolist()
+    if inv is None:
+        return [int(valid.sum())]
+    return np.bincount(inv[valid], minlength=k).tolist()
+
+
+def fold_batch(
+    groups: dict,
+    aggs: Sequence,
+    key_vecs: Sequence,
+    arg_vecs: Sequence,
+    n: int,
+    sizer: Callable,
+    make_states: Callable[[], list],
+) -> Optional[int]:
+    """Fold one batch of ``n`` rows into ``groups``; returns added
+    group bytes, or None when this batch needs the per-row fallback."""
+    np = numpy_module()
+    if np is None or n == 0:
+        return None
+
+    # ---- validate aggregate shapes first (no mutation before commit)
+    for agg, vec in zip(aggs, arg_vecs):
+        if agg.distinct or agg.func not in _FOLDABLE:
+            return None
+        if agg.func == "count":
+            if vec is not None and not _countable(vec):
+                return None
+        elif not (
+            isinstance(vec, (IntVector, FloatVector)) and vec.is_numpy()
+        ):
+            return None
+
+    # ---- group ids: one np.unique over the (single) key vector
+    if not key_vecs:
+        k, inv = 1, None
+        uniq_keys: List[tuple] = [()]
+        order = [0]
+    elif len(key_vecs) == 1:
+        vec = key_vecs[0]
+        if isinstance(vec, DictVector) and vec.is_numpy():
+            dictionary = vec.dictionary
+            if len(set(dictionary)) != len(dictionary):
+                # Post-transform dictionaries (upper()) may alias two
+                # codes to one string; codes would no longer be
+                # injective group ids, so fold per row instead.
+                return None
+            uniq, first, inv = np.unique(
+                vec.data, return_index=True, return_inverse=True
+            )
+            uniq_keys = [
+                (None,) if c < 0 else (dictionary[c],) for c in uniq.tolist()
+            ]
+        elif (
+            isinstance(vec, IntVector) and vec.is_numpy() and vec.mask is None
+        ):
+            uniq, first, inv = np.unique(
+                vec.data, return_index=True, return_inverse=True
+            )
+            uniq_keys = [(v,) for v in uniq.tolist()]
+        else:
+            return None
+        k = len(uniq_keys)
+        order = np.argsort(first).tolist()  # first-appearance order
+    else:
+        return None
+
+    states_by_g = [groups.get(key) for key in uniq_keys]
+
+    # ---- int-sum exactness guard (uses existing totals, read-only)
+    for idx, (agg, vec) in enumerate(zip(aggs, arg_vecs)):
+        if agg.func != "sum" or not isinstance(vec, IntVector):
+            continue
+        valid = _valid_of(np, vec)
+        data = vec.data if valid is None else vec.data[valid]
+        magnitude = 0
+        if len(data):
+            magnitude = max(abs(int(data.max())), abs(int(data.min())))
+        for states in states_by_g:
+            if states is not None and states[idx].total is not None:
+                magnitude = max(magnitude, abs(states[idx].total))
+        if magnitude * (len(data) + 1) >= _EXACT_INT:
+            return None
+
+    # ---- commit: create missing groups in first-appearance order
+    added_bytes = 0
+    for j in order:
+        if states_by_g[j] is None:
+            states = make_states()
+            groups[uniq_keys[j]] = states
+            states_by_g[j] = states
+            added_bytes += sizer(uniq_keys[j]) + 16 * len(states)
+
+    # ---- fold every aggregate vectorized
+    for idx, (agg, vec) in enumerate(zip(aggs, arg_vecs)):
+        if agg.func == "count":
+            for j, c in enumerate(_count_fold(np, vec, inv, k, n)):
+                if c:
+                    states_by_g[j][idx].count += c
+            continue
+        is_avg = agg.func == "avg"
+        to_int = isinstance(vec, IntVector)
+        valid = _valid_of(np, vec)
+        if valid is None:
+            data = vec.data
+            gids = inv
+        else:
+            data = vec.data[valid]
+            gids = inv[valid] if inv is not None else None
+        if gids is None:
+            gids = np.zeros(len(data), dtype=np.intp)
+        counts = np.bincount(gids, minlength=k)
+        weights = data.astype(np.float64, copy=False)
+        # Prepend each group's running total as its first addend.
+        pre_g: List[int] = []
+        pre_v: List[float] = []
+        for j in range(k):
+            total = states_by_g[j][idx].total
+            if total is not None:  # AvgState totals always exist (0.0)
+                pre_g.append(j)
+                pre_v.append(float(total))
+        if pre_g:
+            gids = np.concatenate([np.asarray(pre_g, dtype=np.intp), gids])
+            weights = np.concatenate(
+                [np.asarray(pre_v, dtype=np.float64), weights]
+            )
+        sums = (
+            np.bincount(gids, weights=weights, minlength=k)
+            if len(gids)
+            else np.zeros(k)
+        )
+        for j in range(k):
+            c = int(counts[j])
+            if not c:
+                continue  # no new addends: leave the state untouched
+            state = states_by_g[j][idx]
+            if is_avg:
+                state.total = float(sums[j])
+                state.count += c
+            else:
+                state.total = int(sums[j]) if to_int else float(sums[j])
+    return added_bytes

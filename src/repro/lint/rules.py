@@ -14,11 +14,11 @@ R4   exception-hygiene     recovery correctness: broad ``except`` may not
                            swallow ``ClusterError``/``FaultInjected``, or the
                            query-restart loop (paper §2.6) never sees the fault
 R5   deterministic-iter    plan/answer determinism: no unordered set iteration
-                           into planner, executor, or catalog output without
-                           ``sorted(...)``
+                           into planner, executor, columnar, or catalog output
+                           without ``sorted(...)``
 R6   obs-passivity         trace=on bit-identity: ``repro.obs`` may read the
-                           simulated clock but never charge it or mutate cost
-                           state
+                           simulated clock but never charge it, mutate cost
+                           state, or force lazy column vectors to materialize
 ==== ===================== =====================================================
 
 Rules are ordinary objects with ``id``/``name``/``description`` and a
@@ -341,16 +341,18 @@ class DeterministicIterationRule:
     view) feeds its unordered elements into ordered output: rows, plan
     shapes, hash/dispatch choices.  Wrap the iterable in ``sorted(...)``
     or restructure.  Scope is limited to the subsystems whose output
-    order is an external contract: planner, executor, catalog."""
+    order is an external contract: planner, executor, catalog, and the
+    columnar vector/kernel layer (vector contents and selection vectors
+    flow straight into result rows)."""
 
     id = "R5"
     name = "deterministic-iteration"
     description = (
         "unsorted set/frozenset/.keys() iteration in planner//executor//"
-        "catalog"
+        "catalog//columnar"
     )
 
-    SCOPE_DIRS = ("planner", "executor", "catalog")
+    SCOPE_DIRS = ("planner", "executor", "catalog", "columnar")
     SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
     SET_METHODS = frozenset(
         {"union", "intersection", "difference", "symmetric_difference", "copy"}
@@ -536,13 +538,21 @@ class ObsPassivityRule:
     simulated clock (``acc.seconds`` and friends) but never spend or
     mutate it. A charging call (or a write to a cost-accumulator
     attribute) inside ``obs/`` would make traced runs diverge from
-    untraced runs, breaking the trace=on bit-identity contract."""
+    untraced runs, breaking the trace=on bit-identity contract.
+
+    The same contract covers the vectorized path's laziness: tracing
+    must not *force* column vectors — materializing a dictionary column
+    (``tolist``/``gather``/``to_rows``/``take``) from a trace hook would
+    change what work the traced run performs (and when its cached
+    materialized views appear), so those calls are banned in ``obs/``
+    alongside the charging API."""
 
     id = "R6"
     name = "obs-passivity"
     description = (
-        "simtime charging call or cost-attribute write inside obs/ "
-        "(observability must never spend simulated time)"
+        "simtime charging call, cost-attribute write, or vector "
+        "materialization inside obs/ (observability must never spend "
+        "simulated time nor force lazy columns)"
     )
 
     #: The repro.simtime charging API.
@@ -562,6 +572,9 @@ class ObsPassivityRule:
     COST_ATTRS = frozenset(
         {"seconds", "disk_read_bytes", "disk_write_bytes", "net_bytes", "tuples"}
     )
+    #: Column-vector materialization points: forcing one from a trace
+    #: hook would make traced runs do different (cached) work.
+    MATERIALIZING = frozenset({"tolist", "gather", "to_rows", "take"})
 
     def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
         if not _in_dir(source.path, "obs"):
@@ -579,6 +592,16 @@ class ObsPassivityRule:
                         node,
                         f"obs/ calls charging API {name}(): observability "
                         "must record simulated time, never spend it",
+                    )
+                elif (
+                    name in self.MATERIALIZING
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"obs/ calls .{name}(): tracing must never force "
+                        "column-vector (dictionary) materialization",
                     )
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 targets = (

@@ -6,9 +6,22 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.catalog.schema import Column, TableSchema
+from repro.catalog.schema import Column, TableSchema, TypeKind
+from repro.columnar.vector import (
+    dict_vector,
+    numeric_from_bytes,
+    numeric_from_packed,
+)
 from repro.errors import StorageError
 from repro.storage.compression import Codec
+
+#: Column kinds stored as packed 8-byte values (decodable in bulk).
+_FIXED_NUMERIC = {
+    TypeKind.INT4,
+    TypeKind.INT8,
+    TypeKind.FLOAT8,
+    TypeKind.DECIMAL,
+}
 
 #: Block header: magic (2) + row count (4) + uncompressed len (4) + compressed len (4).
 BLOCK_MAGIC = 0xA001
@@ -136,11 +149,50 @@ def encode_column(
 
 def decode_column(
     buf: bytes, offset: int, count: int, column: Column
-) -> Tuple[List[object], int]:
-    """Decode one column vector; returns (values, new offset)."""
+) -> Tuple[object, int]:
+    """Decode one column vector; returns (vector, new offset).
+
+    Numeric columns come back as typed :class:`~repro.columnar.IntVector`
+    / :class:`~repro.columnar.FloatVector` (bulk-decoded from the packed
+    little-endian buffer, null bitmap turned into an explicit mask) and
+    string columns as a :class:`~repro.columnar.DictVector` whose
+    dictionary holds each distinct value of the block once. DATE/BOOL/
+    BYTEA keep the plain Python-list representation. All of these
+    duck-type as sequences of Python values, so row-path consumers are
+    unaffected.
+    """
     bitmap_len = (count + 7) // 8
     bitmap = buf[offset : offset + bitmap_len]
     offset += bitmap_len
+    kind = column.type.kind
+    if kind in _FIXED_NUMERIC:
+        is_float = kind in (TypeKind.FLOAT8, TypeKind.DECIMAL)
+        if not any(bitmap):  # no NULLs: one bulk frombuffer, zero copies
+            end = offset + count * 8
+            return numeric_from_bytes(buf[offset:end], is_float, count), end
+        null_flags = [
+            bool(bitmap[i >> 3] & (1 << (i & 7))) for i in range(count)
+        ]
+        end = offset + (count - sum(null_flags)) * 8
+        vec = numeric_from_packed(buf[offset:end], is_float, count, null_flags)
+        return vec, end
+    if column.type.is_string:
+        codes: List[int] = []
+        dictionary: List[str] = []
+        mapping: Dict[str, int] = {}
+        decode_one = column.type.decode
+        for i in range(count):
+            if bitmap[i >> 3] & (1 << (i & 7)):
+                codes.append(-1)
+                continue
+            value, offset = decode_one(buf, offset)
+            code = mapping.get(value)
+            if code is None:
+                code = len(dictionary)
+                mapping[value] = code
+                dictionary.append(value)
+            codes.append(code)
+        return dict_vector(codes, dictionary), offset
     values: List[object] = []
     for i in range(count):
         if bitmap[i // 8] & (1 << (i % 8)):

@@ -50,7 +50,10 @@ class CachedBlock:
     uncompressed_bytes: int
     #: Bytes of this block's fetch served from a non-local HDFS replica.
     remote_bytes: int
-    #: CO/Parquet: the decoded value vector; AO: a list of row tuples.
+    #: CO/Parquet: the decoded typed vector (``repro.columnar.vector`` —
+    #: IntVector/FloatVector/DictVector/...; dictionary columns stay
+    #: encoded, so cached blocks never pin materialized Python strings);
+    #: AO: a list of row tuples.
     data: object
     #: Parquet only: per-group chunk directory + lazily decoded columns.
     detail: object = None

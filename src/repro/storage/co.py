@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import TableSchema
+from repro.columnar import as_list
 from repro.errors import StorageError
 from repro.hdfs import HdfsClient
 from repro.storage.base import (
@@ -89,9 +90,15 @@ def scan(
     for row_count, vectors in scan_blocks(
         client, paths, schema, codec_name, columns, stats, cache
     ):
+        # Materialize each typed vector to Python values once per block,
+        # not once per row (the per-vector tolist() is itself cached, so
+        # a decode-cache hit does not even pay the transposition again).
+        plain = [
+            as_list(vectors[i]) if i in vectors else None for i in range(ncols)
+        ]
         for r in range(row_count):
             yield tuple(
-                vectors[i][r] if i in vectors else None for i in range(ncols)
+                col[r] if col is not None else None for col in plain
             )
 
 

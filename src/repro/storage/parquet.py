@@ -20,6 +20,7 @@ import struct
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import TableSchema
+from repro.columnar import as_list
 from repro.errors import StorageError
 from repro.hdfs import HdfsClient
 from repro.storage.base import (
@@ -96,9 +97,14 @@ def scan(
     for row_count, vectors in scan_blocks(
         client, paths, schema, codec_name, columns, stats, cache
     ):
+        # One tolist() per typed vector per group instead of a per-row
+        # __getitem__ (the materialized view is cached on the vector).
+        plain = [
+            as_list(vectors[i]) if i in vectors else None for i in range(ncols)
+        ]
         for r in range(row_count):
             yield tuple(
-                vectors[i][r] if i in vectors else None for i in range(ncols)
+                col[r] if col is not None else None for col in plain
             )
 
 

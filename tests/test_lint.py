@@ -230,6 +230,13 @@ class TestDeterministicIteration:
         findings = run_rules({"src/repro/planner/scan.py": src}, select=["R5"])
         assert [f.rule for f in findings] == ["R5"]
 
+    def test_columnar_kernels_in_scope(self):
+        src = "for x in {3, 1, 2}:\n    print(x)\n"
+        findings = run_rules(
+            {"src/repro/columnar/kernels.py": src}, select=["R5"]
+        )
+        assert [f.rule for f in findings] == ["R5"]
+
     def test_flags_set_typed_local_comprehension(self):
         src = (
             "def plan(cols):\n"
@@ -386,6 +393,40 @@ class TestObsPassivity:
     def test_outside_obs_not_in_scope(self):
         src = "def f(acc):\n    acc.fixed(1.0)\n"
         assert not run_rules({"src/repro/executor/runner.py": src}, select=["R6"])
+
+    def test_flags_vector_materialization_in_obs(self):
+        src = (
+            "def snapshot(batch):\n"
+            "    return batch.to_rows()\n"
+        )
+        findings = run_rules({"src/repro/obs/trace.py": src}, select=["R6"])
+        assert len(findings) == 1
+        assert "materialization" in findings[0].message
+
+    def test_flags_tolist_and_gather_in_obs(self):
+        src = (
+            "def peek(vec, sel):\n"
+            "    return vec.tolist(), vec.gather(sel), vec.take(sel)\n"
+        )
+        findings = run_rules({"src/repro/obs/metrics.py": src}, select=["R6"])
+        assert len(findings) == 3
+
+    def test_bare_materializer_name_not_flagged(self):
+        # Only attribute calls are vector forces; a local helper named
+        # gather() is not a vector method.
+        src = (
+            "def gather(xs):\n"
+            "    return list(xs)\n"
+            "def use(xs):\n"
+            "    return gather(xs)\n"
+        )
+        assert not run_rules({"src/repro/obs/trace.py": src}, select=["R6"])
+
+    def test_materialization_outside_obs_not_in_scope(self):
+        src = "def f(vec):\n    return vec.tolist()\n"
+        assert not run_rules(
+            {"src/repro/executor/slice_runner.py": src}, select=["R6"]
+        )
 
 
 # ================================================================ rule registry

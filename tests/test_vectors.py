@@ -1,0 +1,320 @@
+"""Typed column vectors: unit tests, backend parity, and query-level
+edge cases for the vectorized execution path.
+
+Covers the contracts the differential suite leans on:
+
+* vectors hand out Python scalars only (never NumPy scalars),
+* NULLs ride an explicit mask (or code -1 for dictionary columns),
+* the NumPy and pure-python ``array`` backends are interchangeable,
+* selection vectors, all-NULL columns, 0/1-row batches at storage block
+  boundaries, and dictionary columns crossing motions all round-trip
+  bit-identically between the row and batch executors, and
+* compiled kernels are memoized per (plan node, layout) on the engine.
+"""
+
+import datetime
+
+import pytest
+
+from repro import Engine
+from repro.catalog.schema import Column, DataType, TypeKind
+from repro.columnar import vector
+from repro.columnar.vector import (
+    ConstVector,
+    bool_vector,
+    dict_vector,
+    float_vector,
+    int_vector,
+    true_selection,
+)
+from repro.storage.base import decode_column, encode_column
+
+
+def force_fallback(monkeypatch):
+    """Route all vector construction + kernels to the array backend."""
+    monkeypatch.setattr(vector, "_np", None)
+
+
+# ---------------------------------------------------------------- unit tests
+
+
+class TestVectorBasics:
+    def test_python_scalars_only(self):
+        iv = int_vector([1, 2, 3])
+        fv = float_vector([0.5, 1.5])
+        assert [type(v) for v in iv] == [int, int, int]
+        assert [type(v) for v in fv] == [float, float]
+        assert type(iv[0]) is int and type(fv[1]) is float
+
+    def test_null_mask(self):
+        iv = int_vector([1, 0, 3], mask=[False, True, False])
+        assert iv.tolist() == [1, None, 3]
+        assert iv[1] is None and iv[2] == 3
+        assert iv.has_nulls
+
+    def test_empty_vector(self):
+        iv = int_vector([])
+        assert len(iv) == 0 and iv.tolist() == []
+        assert not iv.has_nulls
+        assert iv.take([]).tolist() == []
+
+    def test_take_and_gather(self):
+        fv = float_vector([0.0, 1.0, 2.0, 3.0], mask=[False, True, False, False])
+        taken = fv.take([3, 1])
+        assert type(taken) is type(fv)
+        assert taken.tolist() == [3.0, None]
+        assert fv.gather([0, 2]) == [0.0, 2.0]
+
+    def test_dict_vector(self):
+        dv = dict_vector([0, 1, -1, 0], ["a", "b"])
+        assert dv.tolist() == ["a", "b", None, "a"]
+        assert dv[2] is None and dv[3] == "a"
+        assert dv.has_nulls
+        taken = dv.take([0, 2])
+        assert taken.tolist() == ["a", None]
+        assert taken.dictionary is dv.dictionary  # shared, not copied
+        assert dv.code_lut(str.upper) == ["A", "B"]
+
+    def test_dict_strings_are_shared_objects(self):
+        dv = dict_vector([0, 0, 0], ["shared"])
+        a, b, c = dv.tolist()
+        assert a is b is c  # one decoded str, not three
+
+    def test_const_vector(self):
+        cv = ConstVector(None, 4)
+        assert len(cv) == 4 and cv.tolist() == [None] * 4
+        assert cv.take([1, 2]).n == 2
+        assert cv.gather([0, 3]) == [None, None]
+
+    def test_bool_vector_three_valued(self):
+        bv = bool_vector([True, False, True], mask=[False, False, True])
+        assert bv.tolist() == [True, False, None]
+
+    def test_true_selection_dense_and_selected(self):
+        bv = bool_vector([True, False, True], mask=[False, False, True])
+        assert true_selection(bv, 3, None) == [0]
+        # mask aligned with a selection: results map back to input rows
+        assert true_selection(bv, 10, [4, 6, 8]) == [4]
+        assert true_selection([True, None, True], 3, None) == [0, 2]
+
+    def test_true_selection_returns_python_ints(self):
+        sel = true_selection(bool_vector([True, True]), 2, None)
+        assert sel == [0, 1]
+        assert all(type(i) is int for i in sel)
+
+
+def _roundtrip(values, column):
+    payload = bytearray()
+    encode_column(values, column, payload)
+    decoded, _ = decode_column(bytes(payload), 0, len(values), column)
+    return decoded
+
+
+INT_COL = Column("a", DataType(TypeKind.INT8))
+FLOAT_COL = Column("f", DataType(TypeKind.FLOAT8))
+TEXT_COL = Column("t", DataType(TypeKind.TEXT))
+
+
+class TestDecodeRoundTrip:
+    @pytest.mark.parametrize("fallback", [False, True])
+    def test_int_with_nulls(self, monkeypatch, fallback):
+        if fallback:
+            force_fallback(monkeypatch)
+        values = [5, None, -(2**62), None, 0]
+        vec = _roundtrip(values, INT_COL)
+        assert vec.tolist() == values
+        if fallback or vector.numpy_module() is None:
+            assert not vec.is_numpy()
+        else:
+            assert vec.is_numpy()
+
+    @pytest.mark.parametrize("fallback", [False, True])
+    def test_float_dense(self, monkeypatch, fallback):
+        if fallback:
+            force_fallback(monkeypatch)
+        values = [0.0, -1.5, 3.25e300]
+        vec = _roundtrip(values, FLOAT_COL)
+        assert vec.tolist() == values
+        assert vec.mask is None
+
+    @pytest.mark.parametrize("fallback", [False, True])
+    def test_text_dictionary(self, monkeypatch, fallback):
+        if fallback:
+            force_fallback(monkeypatch)
+        values = ["x", "y", None, "x", "y", "x"]
+        vec = _roundtrip(values, TEXT_COL)
+        assert vec.tolist() == values
+        # Repeats dedup onto one dictionary entry.
+        assert sorted(vec.dictionary) == ["x", "y"]
+
+    def test_all_null_column(self):
+        values = [None, None, None]
+        assert _roundtrip(values, INT_COL).tolist() == values
+        assert _roundtrip(values, TEXT_COL).tolist() == values
+
+    def test_empty_column(self):
+        assert _roundtrip([], FLOAT_COL).tolist() == []
+
+
+# ------------------------------------------------------------- query corpus
+
+
+def _session(mode, *, rows, num_hosts=2, per_host=2):
+    engine = Engine(
+        num_segment_hosts=num_hosts, segments_per_host=per_host,
+        executor_mode=mode,
+    )
+    s = engine.connect()
+    s.execute(
+        "CREATE TABLE vt (a INT NOT NULL, b INT, t TEXT, f FLOAT) "
+        "DISTRIBUTED BY (a)"
+    )
+    s.load_rows("vt", rows)
+    return s
+
+
+def _edge_rows(n):
+    return [
+        (
+            i,
+            None,  # all-NULL int column
+            None if i % 5 == 0 else f"tag{i % 3}",
+            i / 7.0,
+        )
+        for i in range(n)
+    ]
+
+
+EDGE_QUERIES = [
+    # Empty selection: no row survives, on every segment.
+    "SELECT a, t FROM vt WHERE a < 0",
+    # All-NULL column through filter, aggregation, and output.
+    "SELECT b FROM vt WHERE b IS NULL ORDER BY a",
+    "SELECT count(b), count(*), sum(b), avg(b) FROM vt",
+    # Dictionary columns through group-by and motions.
+    "SELECT t, count(*), sum(a) FROM vt GROUP BY t ORDER BY t NULLS LAST",
+    # Dictionary columns as join keys (redistribute motion round-trip).
+    "SELECT x.a, y.t FROM vt x JOIN vt y ON x.t = y.t"
+    " WHERE x.a < 9 ORDER BY x.a, y.a",
+    # Selection + late materialization + LIMIT abandonment.
+    "SELECT t, f FROM vt WHERE f > 1.0 ORDER BY a LIMIT 3",
+]
+
+
+@pytest.mark.parametrize("nrows", [0, 1, 1023, 1024, 1025])
+def test_block_boundary_row_counts(nrows):
+    """0/1-row tables and batches straddling the 1024-row block edge."""
+    rows = _edge_rows(nrows)
+    row_s = _session("row", rows=rows)
+    batch_s = _session("batch", rows=rows)
+    for sql in EDGE_QUERIES:
+        a = row_s.execute(sql)
+        b = batch_s.execute(sql)
+        assert a.rows == b.rows, sql
+        assert a.cost.seconds == b.cost.seconds, sql
+
+
+def test_dict_column_crosses_motion_intact():
+    """Strings from dictionary vectors must hash/route/compare exactly
+    like row-path strings across a redistribute motion."""
+    rows = [(i, i % 2, f"k{i % 13}", float(i)) for i in range(200)]
+    row_s = _session("row", rows=rows)
+    batch_s = _session("batch", rows=rows)
+    sql = (
+        "SELECT t, count(*), sum(a) FROM vt GROUP BY t ORDER BY t"
+    )
+    a = row_s.execute(sql)
+    b = batch_s.execute(sql)
+    assert a.rows == b.rows
+    assert a.cost.seconds == b.cost.seconds
+    assert len(b.rows) == 13
+
+
+# -------------------------------------------------------- backend parity
+
+
+def test_numpy_vs_fallback_full_corpus(monkeypatch):
+    """The pure-python array backend must match the NumPy backend on the
+    whole operator corpus — rows and simulated cost."""
+    from tests.test_batch_differential import EXECUTOR_QUERIES, _nums_session
+
+    if vector.numpy_module() is None:
+        pytest.skip("NumPy backend disabled; nothing to compare against")
+
+    numpy_results = []
+    s = _nums_session("batch")
+    for sql in EXECUTOR_QUERIES:
+        r = s.execute(sql)
+        numpy_results.append((r.rows, r.cost.seconds))
+    assert vector.numpy_module() is not None  # precondition of the test
+
+    force_fallback(monkeypatch)
+    s = _nums_session("batch")
+    for sql, (rows, seconds) in zip(EXECUTOR_QUERIES, numpy_results):
+        r = s.execute(sql)
+        assert r.rows == rows, sql
+        assert r.cost.seconds == seconds, sql
+
+
+def test_fallback_row_vs_batch(monkeypatch):
+    """Differential testing with NumPy off: both executors on arrays."""
+    force_fallback(monkeypatch)
+    rows = _edge_rows(60)
+    row_s = _session("row", rows=rows)
+    batch_s = _session("batch", rows=rows)
+    for sql in EDGE_QUERIES:
+        a = row_s.execute(sql)
+        b = batch_s.execute(sql)
+        assert a.rows == b.rows, sql
+        assert a.cost.seconds == b.cost.seconds, sql
+
+
+# ---------------------------------------------------- kernel memoization
+
+
+def test_kernels_compiled_once_per_plan_node(monkeypatch):
+    """Re-dispatching a slice to N segments (and re-running the query)
+    must reuse memoized kernels instead of recompiling per segment."""
+    from repro.executor import slice_runner
+
+    calls = {"batch": 0, "row": 0}
+    real_batch = slice_runner.compile_expr_batch
+    real_row = slice_runner.compile_expr
+
+    def counting_batch(expr, layout, params):
+        calls["batch"] += 1
+        return real_batch(expr, layout, params)
+
+    def counting_row(expr, layout, params):
+        calls["row"] += 1
+        return real_row(expr, layout, params)
+
+    monkeypatch.setattr(slice_runner, "compile_expr_batch", counting_batch)
+    monkeypatch.setattr(slice_runner, "compile_expr", counting_row)
+
+    s = _session("batch", rows=_edge_rows(40), num_hosts=4, per_host=1)
+    sql = "SELECT t, count(*), sum(a) FROM vt WHERE f >= 1.0 GROUP BY t"
+    first = s.execute(sql)
+    after_first = dict(calls)
+    assert sum(after_first.values()) > 0
+    # 4 segments ran the same slices, but each expression compiled once
+    # for the whole gang — far fewer compiles than (segments × exprs).
+    assert after_first["batch"] <= 8
+
+    # A re-issued query parses a fresh plan (new expr identities), so it
+    # compiles each node once more — again independent of segment count:
+    # exactly the first run's compile count, not 4x it.
+    second = s.execute(sql)
+    assert calls["batch"] == 2 * after_first["batch"]
+    assert calls["row"] == 2 * after_first["row"]
+    assert second.rows == first.rows
+    assert second.cost.seconds == first.cost.seconds
+
+
+def test_kernel_cache_distinguishes_layouts(monkeypatch):
+    """Two queries over different layouts must not collide in the cache."""
+    s = _session("batch", rows=_edge_rows(40))
+    a = s.execute("SELECT a FROM vt WHERE a < 5 ORDER BY a")
+    b = s.execute("SELECT a, t FROM vt WHERE a < 5 ORDER BY a")
+    assert [r[0] for r in a.rows] == [r[0] for r in b.rows]
+    assert len(s.engine.kernel_cache) > 0

@@ -18,4 +18,7 @@ python -m repro.bench --wallclock --check
 echo "== wall-clock bench, pure-python fallback (batch >= 1.5x row) =="
 REPRO_NO_NUMPY=1 python -m repro.bench --wallclock --check --no-report
 
+echo "== throughput bench (qps floor, p99/p50 ceiling, serial bit-identity) =="
+python -m repro.bench --throughput --check
+
 echo "CI gate passed."

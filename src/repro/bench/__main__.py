@@ -7,6 +7,9 @@
     python -m repro.bench --wallclock          # real-time row vs batch
     python -m repro.bench --wallclock --check  # perf guard (exit 1 on fail)
     python -m repro.bench --wallclock --check --no-report  # skip the JSON
+
+    python -m repro.bench --throughput          # N-stream concurrency sweep
+    python -m repro.bench --throughput --check  # qps floor + tail-ratio gate
 """
 
 from __future__ import annotations
@@ -136,6 +139,29 @@ FIGURES = {"fig6": fig6, "fig7": fig7, "fig12": fig12, "fig13": fig13}
 
 
 def main(argv) -> int:
+    if "--throughput" in argv:
+        from repro.bench.throughput import DEFAULT_SEED, run_throughput
+
+        check = "--check" in argv
+        out_path = None if "--no-report" in argv else "BENCH_throughput.json"
+        seed = DEFAULT_SEED
+        rest = [
+            a
+            for a in argv
+            if a not in ("--throughput", "--check", "--no-report")
+        ]
+        if "--seed" in rest:
+            at = rest.index("--seed")
+            try:
+                seed = int(rest[at + 1])
+            except (IndexError, ValueError):
+                print("--seed requires an integer value")
+                return 2
+            del rest[at : at + 2]
+        if rest:
+            print(f"--throughput takes no figure names: {rest}")
+            return 2
+        return run_throughput(out_path=out_path, check=check, seed=seed)
     if "--wallclock" in argv:
         from repro.bench.wallclock import DEFAULT_SEED, run_wallclock
 
@@ -163,7 +189,7 @@ def main(argv) -> int:
             return 2
         return run_wallclock(out_path=out_path, check=check, seed=seed)
     if "--check" in argv or "--seed" in argv or "--no-report" in argv:
-        print("--check/--seed/--no-report require --wallclock")
+        print("--check/--seed/--no-report require --wallclock or --throughput")
         return 2
     chosen = argv or sorted(FIGURES)
     unknown = [name for name in chosen if name not in FIGURES]

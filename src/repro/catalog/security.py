@@ -44,6 +44,9 @@ class ResourceQueue:
     name: str
     active_statements: int = 20
     memory_limit: float = 8e9  # simulated bytes per queue
+    #: Admission priority under concurrency: higher drains first when
+    #: slots free up (ties broken by arrival order).
+    priority: int = 0
     #: Currently running statements (runtime state, not catalog data).
     running: int = 0
 
@@ -150,6 +153,7 @@ class SecurityManager:
         name: str,
         active_statements: int = 20,
         memory_limit: float = 8e9,
+        priority: int = 0,
     ) -> ResourceQueue:
         name = name.lower()
         if name in self.queues:
@@ -158,6 +162,7 @@ class SecurityManager:
             name=name,
             active_statements=active_statements,
             memory_limit=memory_limit,
+            priority=priority,
         )
         self.queues[name] = queue
         return queue

@@ -31,11 +31,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.injector import FaultInjector
 from repro.chaos.netdrill import DrillReport, run_drill
-from repro.chaos.plan import FaultPlan, random_plan
+from repro.chaos.plan import FaultEvent, FaultPlan, random_plan
 from repro.engine import Engine
 from repro.errors import ClusterError
-from repro.obs.trace import rpc_closure_violations
+from repro.executor.concurrent import ConcurrentRunner
+from repro.obs.trace import rpc_closure_violations, trace_query_id_violations
 from repro.tpch import QUERIES, create_table_sql, generate
+from repro.util import DeterministicRng
 
 #: TPC-H scale factor for chaos runs: small enough that one schedule is
 #: sub-second, large enough that every segment holds multiple blocks.
@@ -50,6 +52,10 @@ STATEMENT_QUANTUM = 0.01
 #: reasonable reading of the cost model (the whole script costs < 10s).
 SIM_WATCHDOG_SECONDS = 3600.0
 REPLICATION = 3
+#: The concurrent phase (PR 7): every schedule also replays this many
+#: closed-loop SELECT streams with a seeded mid-flight segment kill.
+CONCURRENT_STREAMS = 4
+CONCURRENT_STATEMENTS = 3
 
 
 def build_engine(seed: int = 0) -> Engine:
@@ -113,6 +119,9 @@ class ScheduleReport:
     promoted: bool
     committed: int
     drill: Optional[DrillReport] = None
+    #: Queries the concurrent-phase kill cleanly failed (all of which
+    #: must have touched the dead segment).
+    concurrent_failed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -221,6 +230,10 @@ def run_schedule(seed: int, data, baseline: Baseline) -> ScheduleReport:
     for trace in session.tracer.queries:
         violations.extend(rpc_closure_violations(trace))
 
+    # Concurrency under chaos (PR 7): replay seeded concurrent streams
+    # on the healed cluster with one mid-flight segment kill.
+    concurrent_failed = run_concurrent_phase(engine, seed, violations)
+
     # Packet-level chaos: the paper-§4 UDP protocol must still deliver
     # exactly-once in-order over the plan's degraded fabric.
     drill = run_drill(seed, conditions=net_conditions)
@@ -239,7 +252,161 @@ def run_schedule(seed: int, data, baseline: Baseline) -> ScheduleReport:
         promoted=promoted,
         committed=committed,
         drill=drill,
+        concurrent_failed=concurrent_failed,
     )
+
+
+def concurrent_streams(seed: int) -> List[List[str]]:
+    """Seeded SELECT-only stream mix: full scans (Q6/Q1) that touch
+    every segment, plus direct-dispatch customer point lookups that
+    touch exactly one — so a kill can hit or miss a given query."""
+    pool = [
+        QUERIES[6][0],
+        QUERIES[1][0],
+    ]
+    streams: List[List[str]] = []
+    for stream_id in range(CONCURRENT_STREAMS):
+        rng = DeterministicRng(seed, "chaos-concurrent", f"stream{stream_id}")
+        stream = []
+        for _ in range(CONCURRENT_STATEMENTS):
+            if rng.chance(0.5):
+                key = rng.randrange(1, 76)  # SCALE=0.0005 -> keys 1..75
+                stream.append(
+                    "SELECT c_custkey, c_name FROM customer "
+                    f"WHERE c_custkey = {key}"
+                )
+            else:
+                stream.append(pool[rng.randrange(len(pool))])
+        streams.append(stream)
+    return streams
+
+
+def run_concurrent_phase(
+    engine: Engine, seed: int, violations: List[str]
+) -> int:
+    """Chaos under concurrency: 4 closed-loop streams, one seeded kill.
+
+    An empty-plan metering run establishes the expected rows, the set of
+    segments each statement touches, and the chaos-clock time of every
+    submission. A seeded (victim segment, submission) pair then places a
+    ``kill_segment`` inside that submission's execution window and the
+    same streams replay with no query retries. Properties:
+
+    * a killed segment fails only queries whose slices touch it (clean
+      :class:`~repro.errors.QueryRetriesExhausted`, nothing else);
+    * every surviving query returns rows bit-identical to the fault-free
+      run;
+    * per-query traces stay disjoint: each trace's RPC protocol closes
+      per attempt, carries only its own query id, and no query id
+      repeats across the phase's sessions.
+    """
+    streams = concurrent_streams(seed)
+    total = sum(len(s) for s in streams)
+
+    def metered_run(injector, starts, ends):
+        def before_query(stream_id, index):
+            # The chaos clock right before the pulse closes the
+            # *previous* statement's scan window; right after it opens
+            # this statement's. The kill must land between a
+            # statement's own start and end to be mid-query.
+            ends.append(injector.clock)
+            injector.pulse(STATEMENT_QUANTUM)
+            starts.append(injector.clock)
+
+        runner = ConcurrentRunner(
+            engine,
+            streams,
+            trace=True,
+            allow_failures=True,
+            before_query=before_query,
+        )
+        batch = runner.run()
+        ends.append(injector.clock)
+        del ends[0]  # clock before the first statement's pulse
+        return runner, batch
+
+    # Fault-free twin: expected rows, touched segments, scan windows.
+    meter = FaultInjector(engine, FaultPlan())
+    engine.attach_chaos(meter)
+    starts: List[float] = []
+    ends: List[float] = []
+    try:
+        _runner, expected = metered_run(meter, starts, ends)
+    finally:
+        engine.chaos = None
+        meter.detach()
+    for outcome in expected.outcomes:
+        if outcome.error is not None:
+            violations.append(
+                f"concurrent fault-free run failed: {outcome.error}"
+            )
+            return 0
+
+    rng = DeterministicRng(seed, "chaos-concurrent", "kill")
+    victim = rng.randrange(engine.num_segments)
+    # Aim at a statement that actually charges scan time (a point
+    # lookup's window is near-empty and the kill would drift past it).
+    candidates = [
+        k for k in range(total) if ends[k] - starts[k] > 1e-6
+    ] or list(range(total))
+    target = candidates[rng.randrange(len(candidates))]
+    kill_at = (starts[target] + ends[target]) / 2
+
+    saved_retries = engine.max_query_retries
+    engine.max_query_retries = 0
+    injector = FaultInjector(
+        engine,
+        FaultPlan(events=[
+            FaultEvent(at=kill_at, kind="kill_segment", target=victim)
+        ]),
+    )
+    engine.attach_chaos(injector)
+    try:
+        chaos_runner, chaos = metered_run(injector, [], [])
+    finally:
+        engine.max_query_retries = saved_retries
+        engine.chaos = None
+        injector.detach()
+
+    failed = 0
+    expected_by_key = {
+        (o.stream, o.index): o for o in expected.outcomes
+    }
+    for outcome in chaos.outcomes:
+        twin = expected_by_key[(outcome.stream, outcome.index)]
+        if outcome.error is not None:
+            failed += 1
+            if victim not in twin.segments:
+                violations.append(
+                    f"concurrent kill of seg{victim} failed stream "
+                    f"{outcome.stream} stmt {outcome.index}, whose slices "
+                    f"touch only {twin.segments}"
+                )
+            if "QueryRetriesExhausted" not in outcome.error:
+                violations.append(
+                    f"concurrent kill: stream {outcome.stream} stmt "
+                    f"{outcome.index} failed NON-CLEANLY: {outcome.error}"
+                )
+        elif outcome.rows != twin.rows:
+            violations.append(
+                f"concurrent survivor diverged: stream {outcome.stream} "
+                f"stmt {outcome.index} rows differ from fault-free run"
+            )
+
+    seen_ids = set()
+    for session in chaos_runner.sessions:
+        for trace in session.tracer.queries:
+            violations.extend(rpc_closure_violations(trace))
+            violations.extend(trace_query_id_violations(trace))
+            if trace.query_id and trace.query_id in seen_ids:
+                violations.append(
+                    f"duplicate query id {trace.query_id} across "
+                    "concurrent sessions"
+                )
+            seen_ids.add(trace.query_id)
+
+    heal(engine)
+    return failed
 
 
 def heal(engine: Engine) -> None:

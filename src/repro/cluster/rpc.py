@@ -67,6 +67,10 @@ class RpcMessage:
     #: Charged wire size in bytes (plan bytes for DISPATCH, a small
     #: fixed header for ACK/COMPLETE/ABORT).
     size: int = 0
+    #: Engine-wide id of the statement this message belongs to (0 when
+    #: no statement is attached). Under concurrency, every query's
+    #: control traffic must stay attributable — traces key on this.
+    query_id: int = 0
 
 
 @dataclass

@@ -115,6 +115,7 @@ class SegmentWorker:
                 sender=self.name,
                 payload=(task.slice_id, task.segment),
                 size=ACK_BYTES,
+                query_id=ctx.query_id,
             ),
             acc=charged,
         )
@@ -149,6 +150,7 @@ class SegmentWorker:
                 sender=self.name,
                 payload=report,
                 size=COMPLETE_BYTES,
+                query_id=ctx.query_id,
             ),
         )
 

@@ -47,6 +47,7 @@ from repro.cluster.segment import Segment
 from repro.cluster.standby import StandbyMaster
 from repro.cluster.worker import SegmentWorker, WorkerServices
 from repro.errors import (
+    CatalogError,
     ClusterError,
     ExecutorError,
     HdfsError,
@@ -178,6 +179,10 @@ class Engine:
         self.pxf.attach_hdfs(self.hdfs)
         self.security = SecurityManager()
         self._load_rng = itertools.count()  # round-robin for random dist
+        #: Engine-wide statement id allocator: every dispatched query
+        #: gets a unique id so RPCs and traces from concurrent sessions
+        #: stay attributable (and selectable) per statement.
+        self._query_ids = itertools.count(1)
         #: Bumped by ALTER TABLE storage rewrites so new physical files
         #: never collide with a previous generation's paths.
         self._table_generation: Dict[str, int] = {}
@@ -342,6 +347,9 @@ class Session:
         #: QueryTrace` per dispatched statement on :attr:`tracer`.
         self.trace_enabled = False
         self.tracer = TraceCollector(engine.num_segments)
+        #: ``SET resource_queue = name`` routes this session's queries
+        #: through a specific queue instead of the role's default.
+        self._queue_override: Optional[str] = None
 
     # ------------------------------------------------------------ public api
     def execute(self, sql: str, params: Sequence[object] = ()) -> QueryResult:
@@ -447,6 +455,7 @@ class Session:
                 stmt.name,
                 active_statements=int(options.get("active_statements", 20)),
                 memory_limit=float(options.get("memory_limit", 8e9)),
+                priority=int(options.get("priority", 0)),
             )
             return _ok("CREATE RESOURCE QUEUE")
         if isinstance(stmt, ast.DropResourceQueueStmt):
@@ -501,6 +510,17 @@ class Session:
                 "on", "true", "1", "yes",
             )
             return _ok("SET")
+        if stmt.name == "resource_queue":
+            value = str(stmt.value).lower()
+            if value in ("default", ""):
+                self._queue_override = None
+                return _ok("SET")
+            if value not in self.engine.security.queues:
+                raise CatalogError(
+                    f"resource queue {value!r} does not exist"
+                )
+            self._queue_override = value
+            return _ok("SET")
         return _ok("SET")  # other GUCs are accepted and ignored
 
     # ------------------------------------------------------------- security
@@ -531,7 +551,7 @@ class Session:
             txn.lock(f"rel:{name}", LockMode.ACCESS_SHARE)
             self._check_privilege("select", name, txn)
         plan = self._plan(query, snapshot)
-        queue = engine.security.queue_for(self.role)
+        queue = self._resource_queue()
         queue.admit()
         try:
             result = self._dispatch_and_execute(plan, snapshot, txn)
@@ -554,6 +574,13 @@ class Session:
             partition_children=self._partition_children(snapshot),
         )
         return planner.plan(query)
+
+    def _resource_queue(self):
+        """The session's admission queue: the ``SET resource_queue``
+        override when present, else the role's assigned queue."""
+        if self._queue_override is not None:
+            return self.engine.security.queues[self._queue_override]
+        return self.engine.security.queue_for(self.role)
 
     def _partition_children(self, snapshot: Snapshot) -> Dict[str, List]:
         mapping: Dict[str, List] = {}
@@ -583,8 +610,9 @@ class Session:
         the client restarts it against the promoted standby.
         """
         engine = self.engine
+        query_id = next(engine._query_ids)
         trace = (
-            self.tracer.begin_query()
+            self.tracer.begin_query(query_id=query_id)
             if (self.trace_enabled or force_trace)
             else None
         )
@@ -595,7 +623,9 @@ class Session:
                 # Sessions randomly fail down segments over to live hosts.
                 engine.fault_detector.assign_failover()
             try:
-                result = self._execute_attempt(plan, snapshot, txn, trace)
+                result = self._execute_attempt(
+                    plan, snapshot, txn, trace, query_id=query_id
+                )
             except (SegmentDown, HdfsError) as exc:
                 if trace is not None:
                     # Close outstanding DISPATCHes of the failed attempt
@@ -621,12 +651,13 @@ class Session:
             return result
 
     def _execute_attempt(
-        self, plan, snapshot: Snapshot, txn: Transaction, trace=None
+        self, plan, snapshot: Snapshot, txn: Transaction, trace=None,
+        query_id: int = 0,
     ) -> QueryResult:
         """Run one dispatch attempt on a fresh QD/QE process group."""
         engine = self.engine
         sdp = build_self_described_plan(plan, engine.catalog, snapshot)
-        queue = engine.security.queue_for(self.role)
+        queue = self._resource_queue()
         ctx = ExecutionContext(
             num_segments=engine.num_segments,
             cost_model=engine.cost_model,
@@ -637,6 +668,7 @@ class Session:
             metadata_dispatch=engine.metadata_dispatch,
             trace=trace,
             kernel_cache=engine.kernel_cache,
+            query_id=query_id,
         )
         runtime = engine.build_runtime()
         if trace is not None:
@@ -1235,9 +1267,12 @@ class Session:
             result = self._dispatch_and_execute(
                 plan, snapshot, txn, force_trace=stmt.verbose
             )
-            if stmt.verbose and result.trace is not None:
+            # Select the trace by this statement's query id — "latest
+            # trace" would race with other sessions under concurrency.
+            trace = self.tracer.for_query(result.query_id)
+            if stmt.verbose and trace is not None:
                 lines = plan.explain(
-                    annotate=_trace_annotator(result.trace)
+                    annotate=_trace_annotator(trace)
                 ).splitlines()
             annotated = []
             for line in lines:

@@ -1,0 +1,306 @@
+"""Concurrent multi-query execution over the shared event clock.
+
+The engine executes one statement at a time — sessions are synchronous,
+and the simulated cluster is single-threaded by design. Concurrency is
+therefore modeled in two phases, which keeps per-query answers (and
+per-query charged costs) bit-identical to a serial run by construction:
+
+**Phase A — serial execution.** Statements are executed round-robin
+across the streams in deterministic submission order. Each run produces
+real rows, a charged serial cost, and (new in PR 7) the query's
+:class:`~repro.simtime.scheduler.TaskGraph` — the (slice, segment) task
+DAG with gang-mean durations and motion/serialization edges that the
+serial schedule itself replayed.
+
+**Phase B — composed replay.** All task graphs are instantiated on one
+shared :class:`~repro.simtime.scheduler.EventScheduler` where each real
+segment is a one-task-at-a-time slot, gated by a
+:class:`~repro.cluster.resqueue.ResourceQueueManager`. Streams are
+closed-loop: a stream's next statement is submitted the instant its
+previous one finishes (a scheduler ``watch`` callback), waits in its
+resource queue if the queue is full, and then replays its DAG against
+everyone else's. The composed timeline yields per-query latencies
+(submit → finish, including queue wait and slot contention) and the
+batch makespan — the numbers the throughput bench reports.
+
+Cost accounting contract: a query's **charged** cost under concurrency
+is exactly its serial cost plus its measured queue wait
+(``charged_seconds == serial_seconds + queue_wait``, float-exact).
+Slot contention shows up in *latency* (and the batch makespan), never
+in the charged cost — a parked task delays the query, it does not make
+the query do more work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.resqueue import (
+    QueueStats,
+    ResourceQueueManager,
+    specs_from_security,
+)
+from repro.errors import ClusterError, ReproError
+from repro.simtime.scheduler import EventScheduler, TaskGraph
+
+
+@dataclass
+class QueryOutcome:
+    """One statement's fate across both phases."""
+
+    stream: int
+    index: int
+    sql: str
+    query_id: int = 0
+    rows: Optional[List[tuple]] = None
+    error: Optional[str] = None
+    #: Phase A capture: the statement's executed task DAG.
+    task_graph: Optional[TaskGraph] = None
+    #: Phase A: the statement's serially-charged ``cost.seconds``.
+    serial_seconds: float = 0.0
+    segments: List[int] = field(default_factory=list)
+    queue: str = "pg_default"
+    memory: float = 0.0
+    #: Phase B timeline (simulated seconds on the shared clock).
+    submit: float = 0.0
+    admit: float = 0.0
+    finish: float = 0.0
+    #: admit − submit: simulated seconds parked in the resource queue.
+    queue_wait: float = 0.0
+    #: Seconds this query's tasks spent parked on busy segment slots.
+    slot_wait: float = 0.0
+    #: serial_seconds + queue_wait (the accounting contract).
+    charged_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def latency(self) -> float:
+        """Client-observed latency: submission to last task finish."""
+        return self.finish - self.submit
+
+
+@dataclass
+class BatchResult:
+    """The composed run: outcomes plus batch-level throughput facts."""
+
+    outcomes: List[QueryOutcome]
+    #: Finish time of the last query on the shared clock.
+    makespan: float
+    queue_stats: Dict[str, QueueStats]
+
+    @property
+    def qps(self) -> float:
+        done = sum(1 for o in self.outcomes if o.ok)
+        return done / self.makespan if self.makespan > 0 else 0.0
+
+    def latencies(self) -> List[float]:
+        return sorted(o.latency for o in self.outcomes if o.ok)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over successful-query latencies."""
+        ordered = self.latencies()
+        if not ordered:
+            return 0.0
+        rank = max(0, min(len(ordered) - 1, int(p * len(ordered))))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def rows(self, stream: int, index: int) -> Optional[List[tuple]]:
+        for outcome in self.outcomes:
+            if outcome.stream == stream and outcome.index == index:
+                return outcome.rows
+        raise ReproError(f"no outcome for stream {stream} statement {index}")
+
+
+class ConcurrentRunner:
+    """Replays N closed-loop statement streams against one engine."""
+
+    def __init__(
+        self,
+        engine,
+        streams: List[List[str]],
+        role: str = "gpadmin",
+        queues: Optional[Dict[int, str]] = None,
+        trace: bool = False,
+        allow_failures: bool = False,
+        before_query: Optional[Callable[[int, int], None]] = None,
+    ):
+        self.engine = engine
+        self.streams = streams
+        self.queues = dict(queues or {})
+        self.allow_failures = allow_failures
+        self.before_query = before_query
+        #: One session per stream — each stream is its own client.
+        self.sessions = []
+        for stream_id in range(len(streams)):
+            session = engine.connect(role)
+            if trace:
+                session.trace_enabled = True
+            queue_name = self.queues.get(stream_id)
+            if queue_name:
+                session.execute(f"SET resource_queue = {queue_name}")
+            self.sessions.append(session)
+
+    # ---------------------------------------------------------------- phase A
+    def _execute_serial(self) -> List[QueryOutcome]:
+        """Round-robin the streams' statements through their sessions.
+
+        The round-robin order is the deterministic submission order the
+        composed replay reuses; it is a pure function of the workload.
+        """
+        outcomes: List[QueryOutcome] = []
+        longest = max((len(s) for s in self.streams), default=0)
+        for index in range(longest):
+            for stream_id, stream in enumerate(self.streams):
+                if index >= len(stream):
+                    continue
+                sql = stream[index]
+                outcome = QueryOutcome(
+                    stream=stream_id,
+                    index=index,
+                    sql=sql,
+                    queue=self._queue_name(stream_id),
+                )
+                if self.before_query is not None:
+                    self.before_query(stream_id, index)
+                session = self.sessions[stream_id]
+                try:
+                    result = session.execute(sql)
+                except ClusterError as exc:
+                    if not self.allow_failures:
+                        raise
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+                    outcome.query_id = self._last_query_id(session)
+                    outcome.serial_seconds = (
+                        self.engine.cost_model.query_setup
+                    )
+                else:
+                    outcome.query_id = result.query_id
+                    outcome.rows = result.rows
+                    outcome.serial_seconds = result.cost.seconds
+                    outcome.task_graph = result.task_graph
+                    if result.task_graph is not None:
+                        outcome.segments = result.task_graph.segments()
+                outcomes.append(outcome)
+        return outcomes
+
+    def _queue_name(self, stream_id: int) -> str:
+        session = self.sessions[stream_id]
+        return session._resource_queue().name
+
+    def _last_query_id(self, session) -> int:
+        """Best-effort id of a failed statement (its trace still exists
+        when tracing is on; untraced failures keep id 0)."""
+        if session.tracer.queries:
+            return session.tracer.queries[-1].query_id
+        return 0
+
+    # ---------------------------------------------------------------- phase B
+    def _compose(self, outcomes: List[QueryOutcome]) -> BatchResult:
+        """Replay every query's task DAG on one shared scheduler."""
+        engine = self.engine
+        scheduler = EventScheduler()
+        manager = ResourceQueueManager(
+            specs_from_security(engine.security), metrics=engine.metrics
+        )
+        # Serial number per outcome — the task-key namespace. Keys must
+        # stay homogeneous int 3-tuples for stable tie-breaks.
+        by_sn = {sn: outcome for sn, outcome in enumerate(outcomes)}
+        streams: Dict[int, List[int]] = {}
+        for sn, outcome in sorted(by_sn.items()):
+            streams.setdefault(outcome.stream, []).append(sn)
+            outcome.memory = min(
+                engine.work_mem,
+                engine.security.queues[outcome.queue].memory_limit,
+            )
+
+        def submit(sn: int) -> None:
+            outcome = by_sn[sn]
+            outcome.submit = scheduler.now
+
+            def on_admit(admit_time: float) -> None:
+                outcome.admit = admit_time
+                outcome.queue_wait = manager.waits[sn]
+                self._instantiate(scheduler, sn, outcome, admit_time, done)
+
+            # Failed statements (chaos) never reached dispatch — they
+            # bypass admission and burn only their setup penalty.
+            if outcome.error is not None:
+                key = (sn, -1, -1)
+                scheduler.add_task(key, outcome.serial_seconds,
+                                   release=scheduler.now)
+                scheduler.watch([key], lambda t, sn=sn: done(sn, t, False))
+                return
+            manager.submit(
+                sn,
+                outcome.queue,
+                outcome.memory,
+                scheduler.now,
+                on_admit,
+            )
+
+        def done(sn: int, finish_time: float, release: bool = True) -> None:
+            outcome = by_sn[sn]
+            outcome.finish = finish_time
+            outcome.charged_seconds = (
+                outcome.serial_seconds + outcome.queue_wait
+            )
+            if release:
+                manager.release(sn, finish_time)
+            lineup = streams[outcome.stream]
+            position = lineup.index(sn)
+            if position + 1 < len(lineup):
+                submit(lineup[position + 1])
+
+        for stream_id in sorted(streams):
+            submit(streams[stream_id][0])
+        schedule = scheduler.run()
+        for sn, outcome in sorted(by_sn.items()):
+            outcome.slot_wait = sum(
+                wait
+                for key, wait in sorted(schedule.waits.items())
+                if key[0] == sn
+            )
+        return BatchResult(
+            outcomes=outcomes,
+            makespan=schedule.makespan,
+            queue_stats=manager.stats(),
+        )
+
+    def _instantiate(
+        self, scheduler: EventScheduler, sn: int, outcome: QueryOutcome,
+        admit_time: float, done: Callable,
+    ) -> None:
+        graph = getattr(outcome, "task_graph", None)
+        if graph is None or not graph.tasks:
+            # Row-less statements (catalog-only answers) still take
+            # their serial seconds of master time, uncontended.
+            key = (sn, -1, -1)
+            scheduler.add_task(
+                key, outcome.serial_seconds, release=admit_time
+            )
+            scheduler.watch([key], lambda t, sn=sn: done(sn, t))
+            return
+        # Pre-task master time (dispatch overhead, init plans, retry
+        # backoff) delays every task: an uncontended query finishes at
+        # admit + serial_seconds exactly.
+        release = admit_time + (
+            outcome.serial_seconds - graph.replay().makespan
+        )
+        keys = scheduler.add_graph(graph, sn, release=max(release, admit_time))
+        scheduler.watch(keys, lambda t, sn=sn: done(sn, t))
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> BatchResult:
+        return self._compose(self._execute_serial())

@@ -51,8 +51,8 @@ from repro.planner.dispatch import (
 from repro.planner.physical import PhysicalPlan
 from repro.simtime import CostAccumulator, CostModel, QueryCost
 from repro.simtime.scheduler import (
-    EventScheduler,
     SliceTiming,
+    TaskGraph,
     TaskKey,
     TaskTiming,
 )
@@ -87,6 +87,10 @@ class ExecutionContext:
     #: queries and retry attempts (see SliceExecutor._compiled). None
     #: disables memoization (every compile_expr call is fresh).
     kernel_cache: Optional[dict] = None
+    #: Engine-wide statement id: every RPC this query's dispatch sends
+    #: (and every trace event) is tagged with it, so concurrent
+    #: sessions' control traffic stays attributable per query.
+    query_id: int = 0
 
 
 @dataclass
@@ -117,6 +121,14 @@ class QueryResult:
     #: The statement's :class:`repro.obs.trace.QueryTrace` when the
     #: session had tracing enabled, else None.
     trace: Optional[object] = None
+    #: Engine-wide id of the statement that produced this result (0 for
+    #: statements that never dispatched).
+    query_id: int = 0
+    #: The executed (slice, segment) task DAG with its gang-mean
+    #: durations and edges — what the concurrent runtime replays when
+    #: composing many queries onto shared per-segment slots. None for
+    #: undispatched statements.
+    task_graph: Optional[TaskGraph] = None
 
 
 class DistributedRuntime:
@@ -185,7 +197,7 @@ class DistributedRuntime:
             # Best-effort abort to the surviving workers, then let the
             # session's restart loop see the original failure. The trace
             # synthesizes closures for tasks that will never report.
-            self._broadcast_abort()
+            self._broadcast_abort(query_id=ctx.query_id)
             if ctx.trace is not None:
                 ctx.trace.attempt_aborted()
             raise
@@ -208,6 +220,7 @@ class DistributedRuntime:
                 sender=MASTER,
                 payload=(task, roots[task.slice_id], sdp, ctx),
                 size=task.payload_bytes,
+                query_id=ctx.query_id,
             )
             if task.segment == QD_SEGMENT:
                 # Loopback dispatch to the master's own worker: no wire.
@@ -222,14 +235,17 @@ class DistributedRuntime:
                 message.size = CATALOG_LOOKUP_BYTES
             self.bus.send(MASTER, f"seg{task.segment}", message, acc=master_acc)
 
-    def _broadcast_abort(self) -> None:
+    def _broadcast_abort(self, query_id: int = 0) -> None:
         for name, channel in sorted(self.bus.channels.items()):
             if name == MASTER or not channel.open:
                 continue
             self.bus.send(
                 MASTER,
                 name,
-                RpcMessage(kind=ABORT, sender=MASTER, size=ABORT_BYTES),
+                RpcMessage(
+                    kind=ABORT, sender=MASTER, size=ABORT_BYTES,
+                    query_id=query_id,
+                ),
             )
 
     # ----------------------------------------------------------------- gather
@@ -263,7 +279,12 @@ class DistributedRuntime:
                 )
             raise ExecutorError(f"no completion report for tasks {missing[:4]}")
 
-        scheduler = EventScheduler()
+        # Capture the task DAG as a portable TaskGraph (tasks and edges
+        # in the exact insertion order the serial schedule uses), then
+        # replay it: the graph is also attached to the result so the
+        # concurrent runtime can re-compose this query against others
+        # on shared per-segment slots.
+        graph = TaskGraph(tasks=[], edges=[])
         for wave in waves:
             slice_id = wave[0].slice_id
             seconds = [
@@ -271,7 +292,7 @@ class DistributedRuntime:
             ]
             mean = sum(seconds) / len(seconds)
             for task in wave:
-                scheduler.add_task((slice_id, task.segment), mean)
+                graph.tasks.append(((slice_id, task.segment), mean))
 
         # Motion edges: every sender task feeds every consumer task (the
         # consumer's MotionRecv drains the whole gang's streams, so the
@@ -299,26 +320,30 @@ class DistributedRuntime:
                 delay = model.net_latency + stage_delay.get(child_id, 0.0)
                 for child_task in tasks_of[child_id]:
                     for parent_task in parent:
-                        scheduler.add_edge(
-                            (child_id, child_task.segment),
-                            (plan_slice.slice_id, parent_task.segment),
-                            delay=delay,
+                        graph.edges.append(
+                            (
+                                (child_id, child_task.segment),
+                                (plan_slice.slice_id, parent_task.segment),
+                                delay,
+                            )
                         )
         # A worker executes one task at a time: tasks landing on the same
         # segment serialize in dispatch (wave) order. This is what keeps
         # sibling join branches — which all run on the same gang of
         # segments — from overlapping for free: the cores are shared.
         # Cross-*segment* overlap (direct dispatch, the QD's own slices
-        # against QE work) still parallelizes on the event clock.
+        # against QE work) still parallelizes on the event clock. The
+        # edges stay explicit in the graph (not implied by slots) so a
+        # lone query composes to its serial makespan exactly.
         last_on_segment: Dict[int, TaskKey] = {}
         for wave in waves:
             for task in wave:
                 key = (task.slice_id, task.segment)
                 prev = last_on_segment.get(task.segment)
                 if prev is not None:
-                    scheduler.add_edge(prev, key, delay=0.0)
+                    graph.edges.append((prev, key, 0.0))
                 last_on_segment[task.segment] = key
-        schedule = scheduler.run()
+        schedule = graph.replay()
 
         slices: Dict[int, SliceTiming] = {}
         for wave in waves:
@@ -363,6 +388,7 @@ class DistributedRuntime:
             ctx.trace.assemble(waves, self._reports, schedule, master_acc.seconds)
 
         overhead = master_acc.seconds + init_seconds
+        graph.overhead_seconds = overhead
         cost = QueryCost(
             seconds=schedule.makespan + overhead,
             disk_read_bytes=total.disk_read_bytes,
@@ -379,4 +405,6 @@ class DistributedRuntime:
             makespan=schedule.makespan,
             overhead_seconds=overhead,
             critical_path=schedule.critical_path,
+            query_id=ctx.query_id,
+            task_graph=graph,
         )

@@ -65,7 +65,10 @@ def main(argv=None) -> int:
     result = None
     for stmt in QUERIES[args.query]:
         result = session.execute(stmt)
-    trace = result.trace
+    # Select the trace by the statement's engine-wide query id — never
+    # "the latest trace", which under concurrent sessions could belong
+    # to someone else's statement.
+    trace = session.tracer.for_query(result.query_id)
     if trace is None:
         print("no trace recorded (statement did not dispatch)")
         return 1

@@ -100,6 +100,8 @@ class RpcEvent:
     sender: str
     dest: str
     size: int = 0
+    #: Engine-wide statement id the message carried (0 = untagged).
+    query_id: int = 0
 
 
 @dataclass
@@ -127,9 +129,14 @@ class _StreamMark:
 class QueryTrace:
     """Recorder + assembled trace for one statement."""
 
-    def __init__(self, label: str = "", num_segments: int = 0):
+    def __init__(self, label: str = "", num_segments: int = 0,
+                 query_id: int = 0):
         self.label = label
         self.num_segments = num_segments
+        #: Engine-wide statement id. Every RPC event recorded into this
+        #: trace must carry the same id — concurrent sessions may never
+        #: bleed protocol traffic into each other's trace.
+        self.query_id = query_id
         self.spans: List[Span] = []
         self.instants: List[Instant] = []
         self.rpc_events: List[RpcEvent] = []
@@ -178,6 +185,7 @@ class QueryTrace:
                 sender=sender,
                 dest=dest,
                 size=message.size,
+                query_id=getattr(message, "query_id", 0),
             )
         )
 
@@ -192,6 +200,7 @@ class QueryTrace:
                 segment=_segment_of(name),
                 sender=name,
                 dest="",
+                query_id=self.query_id,
             )
         )
 
@@ -211,6 +220,7 @@ class QueryTrace:
                         segment=key[1],
                         sender=MASTER_TRACK,
                         dest=_track(key[1]),
+                        query_id=self.query_id,
                     )
                 )
 
@@ -478,6 +488,24 @@ def rpc_closure_violations(trace: QueryTrace) -> List[str]:
     return violations
 
 
+def trace_query_id_violations(trace: QueryTrace) -> List[str]:
+    """Concurrency trace invariant: a trace keyed to query N may only
+    contain protocol events tagged with query N. A violation means two
+    in-flight statements shared a bus/trace recorder — concurrent
+    sessions read each other's control traffic."""
+    violations: List[str] = []
+    if not trace.query_id:
+        return violations
+    for event in trace.rpc_events:
+        if event.query_id != trace.query_id:
+            violations.append(
+                f"trace for query {trace.query_id} holds a {event.kind} "
+                f"event tagged query {event.query_id} "
+                f"({event.sender}->{event.dest})"
+            )
+    return violations
+
+
 class TraceCollector:
     """Per-session trace store: one :class:`QueryTrace` per traced
     statement, in execution order."""
@@ -486,10 +514,21 @@ class TraceCollector:
         self.num_segments = num_segments
         self.queries: List[QueryTrace] = []
 
-    def begin_query(self, label: str = "") -> QueryTrace:
-        trace = QueryTrace(label=label, num_segments=self.num_segments)
+    def begin_query(self, label: str = "", query_id: int = 0) -> QueryTrace:
+        trace = QueryTrace(
+            label=label, num_segments=self.num_segments, query_id=query_id
+        )
         self.queries.append(trace)
         return trace
+
+    def for_query(self, query_id: int) -> Optional[QueryTrace]:
+        """The trace of the statement with engine-wide id ``query_id``
+        (latest wins if ids ever repeat) — never "the last statement",
+        which under concurrency may belong to another session."""
+        for trace in reversed(self.queries):
+            if trace.query_id == query_id:
+                return trace
+        return None
 
     @property
     def last(self) -> Optional[QueryTrace]:

@@ -11,6 +11,16 @@ fired, and the query's wall time is the finish time of the last task —
 the **critical path** through the task DAG, not a per-slice
 max-then-sum fold.
 
+Concurrency (PR 7) extends the same clock to *many* in-flight queries:
+a task may declare a **slot** — a shared one-task-at-a-time resource,
+in practice the executing segment — and tasks from different queries
+contend for it. A ready task whose slot is busy parks until the slot
+frees; among parked tasks the earliest ``(ready time, key)`` wins, a
+stable tie-break that makes every interleaving a pure function of the
+submitted workload. Tasks and edges may also be added *while the clock
+runs* (see :meth:`EventScheduler.watch`), which is how a closed-loop
+stream submits its next query the instant the previous one finishes.
+
 Durations are charged by the cost model, so the event clock here only
 *composes* them; it never invents time of its own.
 """
@@ -20,12 +30,18 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ReproError
 
 #: One task is one plan slice executing on one segment (QD = -1).
 TaskKey = Tuple[int, int]
+
+#: Event ranks: at equal timestamps every finish is processed before any
+#: slot arrival, so a slot freed at ``t`` is visible to a task whose
+#: ready time is exactly ``t``.
+_FINISH = 0
+_ARRIVAL = 1
 
 
 @dataclass
@@ -58,6 +74,9 @@ class TaskSchedule:
     #: Chain of tasks, first to last, whose durations + edge delays sum
     #: to ``makespan`` — the query's critical path.
     critical_path: List[TaskKey]
+    #: Per-task seconds spent parked on a busy slot (0.0 for tasks with
+    #: no slot, or whose slot was free at their ready time).
+    waits: Dict[TaskKey, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -65,32 +84,109 @@ class _Task:
     key: TaskKey
     duration: float
     release: float
+    slot: Optional[object] = None
+
+
+@dataclass
+class TaskGraph:
+    """One executed query's task DAG, portable across schedulers.
+
+    Captured by the distributed runtime at gather time (tasks carry the
+    gang-mean durations the serial schedule used, edges the motion and
+    same-segment serialization constraints), and replayed either alone
+    (:meth:`replay` — reproduces the serial makespan exactly) or
+    composed with other queries' graphs on a shared scheduler with
+    per-segment slots. ``overhead_seconds`` is the master-side time that
+    precedes the tasks: dispatch overhead plus init-plan execution.
+    """
+
+    tasks: List[Tuple[TaskKey, float]]
+    edges: List[Tuple[TaskKey, TaskKey, float]]
+    overhead_seconds: float = 0.0
+
+    def segments(self) -> List[int]:
+        """Every real segment this query's slices touch (QD excluded)."""
+        return sorted({seg for (_sid, seg), _d in self.tasks if seg >= 0})
+
+    def makespan(self) -> float:
+        return self.replay().makespan
+
+    def replay(self) -> TaskSchedule:
+        """Re-run this graph alone on a fresh scheduler."""
+        scheduler = EventScheduler()
+        for key, duration in self.tasks:
+            scheduler.add_task(key, duration)
+        for src, dst, delay in self.edges:
+            scheduler.add_edge(src, dst, delay=delay)
+        return scheduler.run()
 
 
 class EventScheduler:
     """Builds a task DAG, then replays it on a discrete-event clock.
 
-    Deterministic: events fire in (time, insertion order), and tie-broken
-    choices (the critical path's deciding predecessor) follow processing
-    order, which is itself deterministic.
+    Deterministic: events fire in (time, finish-before-arrival,
+    insertion order); parked tasks acquire a freed slot in stable
+    ``(ready time, key)`` order; and tie-broken choices (the critical
+    path's deciding predecessor) follow processing order, which is
+    itself deterministic. A pure DAG — no slots, no mid-run additions —
+    replays bit-identically to the PR-4 scheduler.
     """
 
     def __init__(self) -> None:
         self._tasks: Dict[TaskKey, _Task] = {}
         self._out: Dict[TaskKey, List[Tuple[TaskKey, float]]] = {}
         self._indegree: Dict[TaskKey, int] = {}
+        #: ``[pending key set, callback]`` pairs (see :meth:`watch`).
+        self._watchers: List[list] = []
+        self._watch_index: Dict[TaskKey, List[list]] = {}
+        self._running = False
+        # Run state (only meaningful while _running).
+        self._now = 0.0
+        self._ready: Dict[TaskKey, float] = {}
+        self._deciding: Dict[TaskKey, Optional[TaskKey]] = {}
+        self._start: Dict[TaskKey, float] = {}
+        self._finish: Dict[TaskKey, float] = {}
+        self._waits: Dict[TaskKey, float] = {}
+        self._indeg: Dict[TaskKey, int] = {}
+        self._heap: List[Tuple[float, int, int, TaskKey]] = []
+        self._counter = itertools.count()
+        self._busy: Dict[object, Optional[TaskKey]] = {}
+        self._parked: Dict[object, List[TaskKey]] = {}
+        self._deferred: List[TaskKey] = []
 
+    # ------------------------------------------------------------ building
     def add_task(
-        self, key: TaskKey, duration: float, release: float = 0.0
+        self,
+        key: TaskKey,
+        duration: float,
+        release: float = 0.0,
+        slot: Optional[object] = None,
     ) -> None:
-        """Register a task; ``release`` is its earliest possible start."""
+        """Register a task; ``release`` is its earliest possible start.
+
+        ``slot`` names a shared one-task-at-a-time resource (a segment):
+        tasks sharing a slot never overlap, regardless of which query
+        they belong to. Tasks may be added while the clock runs (from a
+        :meth:`watch` callback); a mid-run release in the past is
+        clamped to the current simulated time.
+        """
         if key in self._tasks:
             raise ReproError(f"scheduler task {key} added twice")
         if duration < 0 or release < 0:
             raise ReproError(f"scheduler task {key} has negative time")
-        self._tasks[key] = _Task(key=key, duration=duration, release=release)
+        if self._running:
+            release = max(release, self._now)
+        task = _Task(key=key, duration=duration, release=release, slot=slot)
+        self._tasks[key] = task
         self._out[key] = []
         self._indegree[key] = 0
+        if self._running:
+            self._ready[key] = release
+            self._deciding[key] = None
+            self._indeg[key] = 0
+            # Launch is deferred until the current event (and the
+            # callback adding this task's edges) fully settles.
+            self._deferred.append(key)
 
     def add_edge(self, src: TaskKey, dst: TaskKey, delay: float = 0.0) -> None:
         """``dst`` may not start before ``src`` finishes + ``delay``.
@@ -102,49 +198,104 @@ class EventScheduler:
             raise ReproError(f"scheduler edge {src}->{dst} references unknown task")
         if delay < 0:
             raise ReproError(f"scheduler edge {src}->{dst} has negative delay")
+        if self._running and (src in self._finish or dst in self._start):
+            raise ReproError(
+                f"scheduler edge {src}->{dst} added after its endpoint ran"
+            )
         self._out[src].append((dst, delay))
         self._indegree[dst] += 1
+        if self._running:
+            self._indeg[dst] += 1
 
+    def add_graph(self, graph: TaskGraph, prefix: int, release: float = 0.0,
+                  shared_slots: bool = True) -> List[TaskKey]:
+        """Instantiate one query's :class:`TaskGraph` atomically.
+
+        Keys are namespaced as ``(prefix, slice_id, segment)`` so many
+        queries coexist; ``release`` delays every task (queue admission
+        plus the query's own master-side overhead); with
+        ``shared_slots`` each real segment becomes the task's slot (QD
+        tasks never contend — every session runs its own QD process).
+        Returns the instantiated keys, for :meth:`watch`.
+        """
+        keys: List[TaskKey] = []
+        for (slice_id, segment), duration in graph.tasks:
+            key = (prefix, slice_id, segment)
+            self.add_task(
+                key,
+                duration,
+                release=release,
+                slot=segment if (shared_slots and segment >= 0) else None,
+            )
+            keys.append(key)
+        for (s1, g1), (s2, g2), delay in graph.edges:
+            self.add_edge((prefix, s1, g1), (prefix, s2, g2), delay=delay)
+        return keys
+
+    def watch(
+        self, keys: Iterable[TaskKey], callback: Callable[[float], None]
+    ) -> None:
+        """Invoke ``callback(finish_time)`` once every key has finished.
+
+        The callback fires while the clock runs and may add tasks,
+        edges, and further watchers — the mechanism closed-loop streams
+        use to submit their next query at the previous one's completion.
+        """
+        pending = set()
+        for key in keys:
+            if key not in self._tasks:
+                raise ReproError(f"scheduler watch references unknown task {key}")
+            if key not in self._finish:
+                pending.add(key)
+        if not pending:
+            callback(self._now)
+            return
+        entry = [pending, callback]
+        self._watchers.append(entry)
+        for key in pending:
+            self._watch_index.setdefault(key, []).append(entry)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (meaningful inside watch callbacks)."""
+        return self._now
+
+    # ------------------------------------------------------------- running
     def run(self) -> TaskSchedule:
         """Replay the DAG; raises :class:`ReproError` on a dependency cycle."""
-        indegree = dict(self._indegree)
-        ready: Dict[TaskKey, float] = {
-            key: task.release for key, task in self._tasks.items()
-        }
-        deciding: Dict[TaskKey, Optional[TaskKey]] = {
-            key: None for key in self._tasks
-        }
-        start: Dict[TaskKey, float] = {}
-        finish: Dict[TaskKey, float] = {}
-        counter = itertools.count()
-        heap: List[Tuple[float, int, TaskKey]] = []
-
-        def launch(key: TaskKey) -> None:
-            start[key] = ready[key]
-            heapq.heappush(
-                heap,
-                (ready[key] + self._tasks[key].duration, next(counter), key),
-            )
-
-        for key in self._tasks:
-            if indegree[key] == 0:
-                launch(key)
-        while heap:
-            now, _seq, key = heapq.heappop(heap)
-            finish[key] = now
-            for dst, delay in self._out[key]:
-                arrival = now + delay
-                if arrival > ready[dst]:
-                    ready[dst] = arrival
-                    deciding[dst] = key
-                indegree[dst] -= 1
-                if indegree[dst] == 0:
-                    launch(dst)
-        if len(finish) != len(self._tasks):
-            stuck = sorted(k for k in self._tasks if k not in finish)
+        self._indeg = dict(self._indegree)
+        self._ready = {key: task.release for key, task in self._tasks.items()}
+        self._deciding = {key: None for key in self._tasks}
+        self._start = {}
+        self._finish = {}
+        self._waits = {}
+        self._counter = itertools.count()
+        self._heap = []
+        self._busy = {}
+        self._parked = {}
+        self._deferred = []
+        self._now = 0.0
+        self._running = True
+        try:
+            for key in list(self._tasks):
+                if self._indeg[key] == 0:
+                    self._release_task(key)
+            while self._heap:
+                now, rank, _seq, key = heapq.heappop(self._heap)
+                self._now = now
+                if rank == _FINISH:
+                    self._complete(key, now)
+                else:
+                    self._arrive(key, now)
+                self._flush_deferred()
+        finally:
+            self._running = False
+        if len(self._finish) != len(self._tasks):
+            stuck = sorted(k for k in self._tasks if k not in self._finish)
             raise ReproError(
                 f"scheduler deadlock: cyclic dependencies among {stuck[:4]}"
             )
+        finish = self._finish
         if not finish:
             return TaskSchedule(start={}, finish={}, makespan=0.0, critical_path=[])
         last = max(finish, key=lambda k: (finish[k], k))
@@ -152,11 +303,79 @@ class EventScheduler:
         cursor: Optional[TaskKey] = last
         while cursor is not None:
             path.append(cursor)
-            cursor = deciding[cursor]
+            cursor = self._deciding[cursor]
         path.reverse()
         return TaskSchedule(
-            start=start,
+            start=self._start,
             finish=finish,
             makespan=finish[last],
             critical_path=path,
+            waits=self._waits,
         )
+
+    # ----------------------------------------------------------- internals
+    def _release_task(self, key: TaskKey) -> None:
+        """All dependencies satisfied: start now, or contend for the slot."""
+        slot = self._tasks[key].slot
+        if slot is None:
+            self._start_task(key, self._ready[key])
+            return
+        heapq.heappush(
+            self._heap, (self._ready[key], _ARRIVAL, next(self._counter), key)
+        )
+
+    def _start_task(
+        self, key: TaskKey, at: float, blocker: Optional[TaskKey] = None
+    ) -> None:
+        task = self._tasks[key]
+        self._start[key] = at
+        self._waits[key] = at - self._ready[key]
+        if blocker is not None and at > self._ready[key]:
+            self._deciding[key] = blocker
+        if task.slot is not None:
+            self._busy[task.slot] = key
+        heapq.heappush(
+            self._heap, (at + task.duration, _FINISH, next(self._counter), key)
+        )
+
+    def _arrive(self, key: TaskKey, now: float) -> None:
+        """A slotted task's ready time came: take the slot or park."""
+        slot = self._tasks[key].slot
+        if self._busy.get(slot) is None:
+            self._start_task(key, now)
+        else:
+            self._parked.setdefault(slot, []).append(key)
+
+    def _complete(self, key: TaskKey, now: float) -> None:
+        self._finish[key] = now
+        for dst, delay in self._out[key]:
+            arrival = now + delay
+            if arrival > self._ready[dst]:
+                self._ready[dst] = arrival
+                self._deciding[dst] = key
+            self._indeg[dst] -= 1
+            if self._indeg[dst] == 0:
+                self._release_task(dst)
+        for entry in self._watch_index.pop(key, []):
+            entry[0].discard(key)
+            if not entry[0]:
+                entry[1](now)
+        slot = self._tasks[key].slot
+        if slot is not None:
+            self._busy[slot] = None
+            parked = self._parked.get(slot)
+            if parked:
+                # Stable tie-break: earliest ready time, then key order.
+                winner = min(parked, key=lambda k: (self._ready[k], k))
+                parked.remove(winner)
+                self._start_task(winner, now, blocker=key)
+
+    def _flush_deferred(self) -> None:
+        """Launch mid-run additions once the triggering event settled
+        (the adding callback may still have been wiring their edges)."""
+        if not self._deferred:
+            return
+        added, self._deferred = self._deferred, []
+        for key in added:
+            if self._indeg[key] == 0 and key not in self._start:
+                self._release_task(key)

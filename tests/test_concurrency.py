@@ -1,0 +1,437 @@
+"""PR 7 concurrency battery: slots, resource queues, the two-phase
+concurrent runner, trace isolation, and the throughput bench.
+
+The load-bearing properties:
+
+* **Serial/concurrent differential** — the same seeded statement mix
+  run serially and at N=2/4/8 interleaved streams returns bit-identical
+  rows per query, and every query's charged cost equals its serial cost
+  plus its explicitly-accounted queue wait (float-exact).
+* **Seeded-interleaving purity** — for 25 seeds, re-running a workload
+  reproduces identical makespans, per-query finish times, and waits:
+  interleaving is a pure function of (seed, workload).
+* **Trace isolation** — two interleaved sessions never read each
+  other's traces; every trace carries only its own query id.
+"""
+
+import pytest
+
+from repro.cluster.resqueue import (
+    QueueSpec,
+    ResourceQueueManager,
+    specs_from_security,
+)
+from repro.engine import Engine
+from repro.errors import CatalogError, ReproError
+from repro.executor.concurrent import ConcurrentRunner
+from repro.obs.trace import trace_query_id_violations
+from repro.simtime.scheduler import EventScheduler, TaskGraph
+from repro.util import DeterministicRng
+
+
+# --------------------------------------------------------------- fixtures
+def build_engine(seed: int = 11) -> Engine:
+    engine = Engine(num_segment_hosts=2, segments_per_host=2, seed=seed)
+    session = engine.connect()
+    session.execute(
+        "CREATE TABLE conc (a INT, b INT, c VARCHAR(8)) DISTRIBUTED BY (a)"
+    )
+    rows = [(i, (i * 7) % 100, f"v{i % 13}") for i in range(300)]
+    session.load_rows("conc", rows)
+    session.execute("ANALYZE")
+    return engine
+
+
+def make_streams(seed: int, count: int, statements: int = 4):
+    pool = [
+        "SELECT c, count(*), sum(b) FROM conc GROUP BY c ORDER BY c",
+        "SELECT a, b FROM conc WHERE b < 40 ORDER BY a",
+        "SELECT count(*) FROM conc WHERE a % 3 = 0",
+        "SELECT a, c FROM conc WHERE a = 17",
+    ]
+    streams = []
+    for stream_id in range(count):
+        rng = DeterministicRng(seed, "conc-test", f"stream{stream_id}")
+        streams.append(
+            [pool[rng.randrange(len(pool))] for _ in range(statements)]
+        )
+    return streams
+
+
+# ------------------------------------------------- scheduler slot semantics
+class TestSchedulerSlots:
+    def test_shared_slot_serializes_tasks(self):
+        sched = EventScheduler()
+        sched.add_task((1, 0, 0), 5.0, slot="seg")
+        sched.add_task((2, 0, 0), 3.0, slot="seg")
+        out = sched.run()
+        spans = sorted(
+            (out.start[k], out.finish[k]) for k in out.start
+        )
+        assert spans[0][1] <= spans[1][0]  # no overlap on the slot
+        assert out.makespan == 8.0
+
+    def test_slotless_tasks_overlap(self):
+        sched = EventScheduler()
+        sched.add_task((1, 0, 0), 5.0)
+        sched.add_task((2, 0, 0), 3.0)
+        out = sched.run()
+        assert out.makespan == 5.0
+
+    def test_parked_task_tie_break_is_stable(self):
+        # First arrival takes the free slot; the tasks parked behind it
+        # drain in stable (ready_time, key) order regardless of the
+        # order they were added.
+        sched = EventScheduler()
+        for prefix in (3, 2, 1):
+            sched.add_task((prefix, 0, 0), 1.0, slot=0)
+        out = sched.run()
+        order = sorted(out.start, key=lambda k: (out.start[k], k))
+        assert order == [(3, 0, 0), (1, 0, 0), (2, 0, 0)]
+
+    def test_waits_account_for_slot_contention(self):
+        sched = EventScheduler()
+        sched.add_task((1, 0, 0), 4.0, slot=0)
+        sched.add_task((2, 0, 0), 2.0, slot=0)
+        out = sched.run()
+        assert out.waits[(1, 0, 0)] == 0.0
+        assert out.waits[(2, 0, 0)] == 4.0
+
+    def test_watch_fires_at_last_finish(self):
+        sched = EventScheduler()
+        sched.add_task((1, 0, 0), 2.0)
+        sched.add_task((1, 1, 0), 5.0)
+        seen = []
+        sched.watch([(1, 0, 0), (1, 1, 0)], seen.append)
+        sched.run()
+        assert seen == [5.0]
+
+    def test_watch_callback_adds_next_query(self):
+        # Closed-loop: finishing query 1 submits query 2 dynamically.
+        sched = EventScheduler()
+        sched.add_task((1, 0, 0), 3.0, slot=0)
+
+        def submit_next(t):
+            sched.add_task((2, 0, 0), 2.0, release=t, slot=0)
+
+        sched.watch([(1, 0, 0)], submit_next)
+        out = sched.run()
+        assert out.finish[(2, 0, 0)] == 5.0
+        assert out.makespan == 5.0
+
+    def test_mid_run_edge_to_finished_task_rejected(self):
+        sched = EventScheduler()
+        sched.add_task((1, 0, 0), 1.0)
+
+        def bad(t):
+            sched.add_task((2, 0, 0), 1.0)
+            sched.add_edge((2, 0, 0), (1, 0, 0))
+
+        sched.watch([(1, 0, 0)], bad)
+        with pytest.raises(ReproError):
+            sched.run()
+
+    def test_add_graph_namespaces_and_contends(self):
+        graph = TaskGraph(
+            tasks=[((0, 0), 2.0), ((1, -1), 1.0)],
+            edges=[((0, 0), (1, -1), 0.5)],
+        )
+        sched = EventScheduler()
+        keys_a = sched.add_graph(graph, 1)
+        keys_b = sched.add_graph(graph, 2)
+        out = sched.run()
+        assert set(keys_a) == {(1, 0, 0), (1, 1, -1)}
+        # Segment 0 is a shared slot; QD (-1) tasks are slotless.
+        seg_spans = sorted(
+            (out.start[k], out.finish[k])
+            for k in out.start
+            if k[2] == 0
+        )
+        assert seg_spans[0][1] <= seg_spans[1][0]
+        assert out.finish[keys_b[1]] == out.finish[(2, 0, 0)] + 0.5 + 1.0
+
+
+# ------------------------------------------------------- resource queues
+class TestResourceQueues:
+    def manager(self, slots=2, memory=100.0, priority=0):
+        specs = {
+            "q": QueueSpec(
+                name="q", slots=slots, memory_limit=memory,
+                priority=priority,
+            )
+        }
+        return ResourceQueueManager(specs)
+
+    def test_admits_within_slots(self):
+        mgr = self.manager(slots=2)
+        admitted = []
+        mgr.submit(1, "q", 10.0, 0.0, admitted.append)
+        mgr.submit(2, "q", 10.0, 0.0, admitted.append)
+        assert admitted == [0.0, 0.0]
+        assert mgr.running("q") == 2
+
+    def test_parks_over_slot_budget_and_charges_wait(self):
+        mgr = self.manager(slots=1)
+        log = []
+        mgr.submit(1, "q", 10.0, 0.0, lambda t: log.append(("a", t)))
+        mgr.submit(2, "q", 10.0, 0.0, lambda t: log.append(("b", t)))
+        assert log == [("a", 0.0)]
+        assert mgr.depth("q") == 1
+        mgr.release(1, 7.5)
+        assert log == [("a", 0.0), ("b", 7.5)]
+        assert mgr.waits[2] == 7.5
+
+    def test_parks_over_memory_budget(self):
+        mgr = self.manager(slots=8, memory=100.0)
+        log = []
+        mgr.submit(1, "q", 60.0, 0.0, lambda t: log.append(1))
+        mgr.submit(2, "q", 60.0, 0.0, lambda t: log.append(2))
+        assert log == [1]
+        mgr.release(1, 3.0)
+        assert log == [1, 2]
+
+    def test_oversized_query_clamped_to_budget(self):
+        mgr = self.manager(slots=2, memory=100.0)
+        log = []
+        mgr.submit(1, "q", 500.0, 0.0, lambda t: log.append(1))
+        assert log == [1]  # clamped, runs alone
+
+    def test_priority_drains_first(self):
+        mgr = self.manager(slots=1)
+        log = []
+        mgr.submit(1, "q", 1.0, 0.0, lambda t: log.append(1))
+        mgr.submit(2, "q", 1.0, 0.0, lambda t: log.append(2), priority=0)
+        mgr.submit(3, "q", 1.0, 0.0, lambda t: log.append(3), priority=5)
+        mgr.release(1, 2.0)
+        mgr.release(3, 4.0)
+        assert log == [1, 3, 2]
+
+    def test_head_of_line_blocking(self):
+        # The front waiter needs more memory than is free; a smaller
+        # waiter behind it may NOT jump the queue.
+        mgr = self.manager(slots=8, memory=100.0)
+        log = []
+        mgr.submit(1, "q", 60.0, 0.0, lambda t: log.append(1))
+        mgr.submit(2, "q", 90.0, 0.0, lambda t: log.append(2))
+        mgr.submit(3, "q", 10.0, 0.0, lambda t: log.append(3))
+        # 3 would fit in the 40 free units, but 2 is ahead of it.
+        assert log == [1]
+        assert mgr.depth("q") == 2
+        mgr.release(1, 5.0)
+        # Once the head fits, the drain continues down the line.
+        assert log == [1, 2, 3]
+
+    def test_specs_from_security(self):
+        engine = Engine(num_segment_hosts=1, segments_per_host=1)
+        session = engine.connect()
+        session.execute(
+            "CREATE RESOURCE QUEUE etl WITH "
+            "(active_statements=3, memory_limit=1000000, priority=2)"
+        )
+        specs = specs_from_security(engine.security)
+        assert specs["etl"] == QueueSpec(
+            name="etl", slots=3, memory_limit=1000000.0, priority=2
+        )
+        assert "pg_default" in specs
+
+
+# ------------------------------------------ serial vs concurrent differential
+class TestSerialConcurrentDifferential:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_rows_bit_identical_and_cost_accounted(self, n):
+        streams = make_streams(seed=5, count=n)
+        batch = ConcurrentRunner(build_engine(), streams).run()
+
+        serial = {}
+        session = build_engine().connect()
+        for stream_id, stream in enumerate(streams):
+            for index, sql in enumerate(stream):
+                result = session.execute(sql)
+                serial[(stream_id, index)] = (
+                    result.rows, result.cost.seconds
+                )
+
+        for outcome in batch.outcomes:
+            rows, _cost = serial[(outcome.stream, outcome.index)]
+            assert outcome.rows == rows, (
+                f"stream {outcome.stream} stmt {outcome.index} diverged"
+            )
+            # The accounting contract, float-exact.
+            assert outcome.charged_seconds == (
+                outcome.serial_seconds + outcome.queue_wait
+            )
+            assert outcome.queue_wait >= 0.0
+            # latency reassociates (admit + (serial - makespan)) + makespan,
+            # so allow float-ulp slack; charged_seconds stays exact.
+            assert outcome.latency >= outcome.serial_seconds - 1e-9
+
+    def test_queue_wait_charged_when_parked(self):
+        engine = build_engine()
+        session = engine.connect()
+        session.execute(
+            "CREATE RESOURCE QUEUE narrow WITH (active_statements=1)"
+        )
+        streams = make_streams(seed=9, count=3, statements=2)
+        batch = ConcurrentRunner(
+            engine, streams, queues={0: "narrow", 1: "narrow", 2: "narrow"}
+        ).run()
+        waited = [o for o in batch.outcomes if o.queue_wait > 0]
+        assert waited, "a 1-slot queue under 3 streams must park someone"
+        for outcome in waited:
+            assert outcome.charged_seconds == (
+                outcome.serial_seconds + outcome.queue_wait
+            )
+            assert outcome.admit == outcome.submit + outcome.queue_wait
+        stats = batch.queue_stats["narrow"]
+        assert stats.parked == len(waited)
+        assert stats.wait_seconds == pytest.approx(
+            sum(o.queue_wait for o in waited)
+        )
+
+    def test_concurrent_makespan_beats_serial_sum(self):
+        streams = make_streams(seed=5, count=4)
+        batch = ConcurrentRunner(build_engine(), streams).run()
+        serial_sum = sum(o.serial_seconds for o in batch.outcomes)
+        assert batch.makespan < serial_sum
+
+
+# ------------------------------------------------- seeded interleaving purity
+class TestInterleavingPurity:
+    def test_25_seeds_reproduce_exactly(self):
+        for seed in range(25):
+            streams = make_streams(seed=seed, count=3, statements=2)
+            first = ConcurrentRunner(build_engine(), streams).run()
+            second = ConcurrentRunner(build_engine(), streams).run()
+            assert first.makespan == second.makespan, f"seed {seed}"
+            for a, b in zip(first.outcomes, second.outcomes):
+                assert (a.stream, a.index) == (b.stream, b.index)
+                assert a.rows == b.rows, f"seed {seed}"
+                assert a.submit == b.submit, f"seed {seed}"
+                assert a.finish == b.finish, f"seed {seed}"
+                assert a.queue_wait == b.queue_wait, f"seed {seed}"
+                assert a.slot_wait == b.slot_wait, f"seed {seed}"
+                assert a.charged_seconds == b.charged_seconds
+
+    def test_scheduler_replay_is_pure(self):
+        graph = TaskGraph(
+            tasks=[((0, 0), 2.0), ((0, 1), 3.0), ((1, -1), 1.0)],
+            edges=[((0, 0), (1, -1), 0.1), ((0, 1), (1, -1), 0.1)],
+        )
+        runs = []
+        for _ in range(3):
+            sched = EventScheduler()
+            for prefix in range(4):
+                sched.add_graph(graph, prefix)
+            out = sched.run()
+            runs.append((out.makespan, tuple(sorted(out.finish.items()))))
+        assert len(set(runs)) == 1
+
+
+# --------------------------------------------------------- engine-level GUCs
+class TestQueueGuc:
+    def test_set_resource_queue_overrides_role_default(self):
+        engine = build_engine()
+        session = engine.connect()
+        session.execute(
+            "CREATE RESOURCE QUEUE adhoc WITH (active_statements=2)"
+        )
+        session.execute("SET resource_queue = adhoc")
+        assert session._resource_queue().name == "adhoc"
+        session.execute("SET resource_queue = default")
+        assert session._resource_queue().name == "pg_default"
+
+    def test_set_resource_queue_unknown_raises(self):
+        session = build_engine().connect()
+        with pytest.raises(CatalogError):
+            session.execute("SET resource_queue = nope")
+
+    def test_work_mem_clamped_by_queue(self):
+        engine = build_engine()
+        session = engine.connect()
+        session.execute(
+            "CREATE RESOURCE QUEUE tiny WITH (memory_limit=1000)"
+        )
+        session.execute("SET resource_queue = tiny")
+        result = session.execute("SELECT count(*) FROM conc")
+        assert result.rows == [(300,)]
+
+
+# ----------------------------------------------------------- trace isolation
+class TestTraceIsolation:
+    def test_two_interleaved_sessions_keep_traces_disjoint(self):
+        engine = build_engine()
+        one = engine.connect()
+        two = engine.connect()
+        one.execute("SET trace = on")
+        two.execute("SET trace = on")
+        # Interleave: one, two, one, two.
+        r1a = one.execute("SELECT count(*) FROM conc")
+        r2a = two.execute("SELECT a, b FROM conc WHERE a = 17")
+        r1b = one.execute("SELECT c, count(*) FROM conc GROUP BY c ORDER BY c")
+        r2b = two.execute("SELECT count(*) FROM conc WHERE b < 40")
+
+        ids = [r.query_id for r in (r1a, r2a, r1b, r2b)]
+        assert len(set(ids)) == 4 and all(ids)
+        # Each session's tracer holds exactly its own statements.
+        assert [t.query_id for t in one.tracer.queries] == [r1a.query_id,
+                                                            r1b.query_id]
+        assert [t.query_id for t in two.tracer.queries] == [r2a.query_id,
+                                                            r2b.query_id]
+        # for_query selects by id, not recency.
+        assert one.tracer.for_query(r1a.query_id) is one.tracer.queries[0]
+        assert two.tracer.for_query(r1a.query_id) is None
+        # Every trace's RPC events carry only its own query id.
+        for session in (one, two):
+            for trace in session.tracer.queries:
+                assert trace_query_id_violations(trace) == []
+                assert trace.rpc_events, "traced statement recorded no RPCs"
+
+    def test_explain_analyze_verbose_unaffected_by_other_session(self):
+        engine = build_engine()
+        one = engine.connect()
+        two = engine.connect()
+        # Another session's traced statement lands between the verbose
+        # EXPLAIN's planning and any later inspection.
+        two.execute("SET trace = on")
+        rows = one.execute(
+            "EXPLAIN (ANALYZE, VERBOSE) SELECT count(*) FROM conc"
+        ).rows
+        two.execute("SELECT a FROM conc WHERE a = 3")
+        text = "\n".join(line for (line,) in rows)
+        assert "actual time=" in text
+        assert "Total:" in text
+
+    def test_concurrent_runner_traces_are_disjoint(self):
+        streams = make_streams(seed=3, count=3, statements=2)
+        runner = ConcurrentRunner(build_engine(), streams, trace=True)
+        runner.run()
+        seen = set()
+        for session in runner.sessions:
+            for trace in session.tracer.queries:
+                assert trace_query_id_violations(trace) == []
+                assert trace.query_id not in seen
+                seen.add(trace.query_id)
+        assert len(seen) == 6
+
+
+# ------------------------------------------------------------ bench smoke
+class TestThroughputBench:
+    def test_throughput_smoke(self, tmp_path):
+        import repro.bench.throughput as tp
+
+        out = tmp_path / "BENCH_throughput.json"
+        saved = tp.STREAM_COUNTS
+        tp.STREAM_COUNTS = (1, 2)
+        try:
+            code = tp.run_throughput(out_path=str(out), check=False, seed=5)
+        finally:
+            tp.STREAM_COUNTS = saved
+        assert code == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert set(report["runs"]) == {"1", "2"}
+        for entry in report["runs"].values():
+            assert entry["answers_match"]
+            assert entry["qps"] > 0
+        assert report["history"]

@@ -1,13 +1,37 @@
 #!/usr/bin/env bash
-# Local CI gate: determinism lint, tier-1 tests, wall-clock bench check.
+# Local CI gate: determinism lint, tier-1 tests, wall-clock bench check,
+# and the DetSan concurrency-isolation sweep.
 # Run from the repo root:  bash scripts/ci.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-echo "== repro-lint (R1..R6) =="
-python -m repro.lint
+echo "== repro-lint (R1..R9) =="
+lint_start=$(date +%s.%N)
+lint_json=$(python -m repro.lint --json) || {
+    status=$?
+    echo "$lint_json"
+    echo "repro-lint failed (exit $status)"
+    exit "$status"
+}
+lint_end=$(date +%s.%N)
+python - "$lint_json" "$lint_start" "$lint_end" <<'PY'
+import json, sys
+report = json.loads(sys.argv[1])
+wall = float(sys.argv[3]) - float(sys.argv[2])
+counts = {rule: 0 for rule in report["rules"]}
+for finding in report["findings"]:
+    counts[finding["rule"]] = counts.get(finding["rule"], 0) + 1
+for rule in sorted(counts):
+    print(f"  {rule}: {counts[rule]} finding(s)")
+print(
+    f"  {report['files']} files, {report['baselined']} baselined, "
+    f"{len(report['stale_baseline_entries'])} stale, "
+    f"{len(report['drifted_baseline_entries'])} drifted, "
+    f"{wall:.2f}s wall"
+)
+PY
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
@@ -20,5 +44,15 @@ REPRO_NO_NUMPY=1 python -m repro.bench --wallclock --check --no-report
 
 echo "== throughput bench (qps floor, p99/p50 ceiling, serial bit-identity) =="
 python -m repro.bench --throughput --check
+
+# Gated runtime leg: the DetSan chaos sweep replays 10 seeded concurrent
+# workloads x 4 streams and fails on any cross-query mutation outside
+# the shared-state registry. Skip with REPRO_SKIP_DETSAN=1.
+if [ "${REPRO_SKIP_DETSAN:-0}" != "1" ]; then
+    echo "== DetSan sweep (10 seeds x 4 streams) =="
+    python -m repro.sanitize --seeds 10 --streams 4
+else
+    echo "== DetSan sweep skipped (REPRO_SKIP_DETSAN=1) =="
+fi
 
 echo "CI gate passed."

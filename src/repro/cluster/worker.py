@@ -68,6 +68,9 @@ class WorkerServices:
     num_segments: int
     #: Optional :class:`repro.obs.metrics.MetricsRegistry` — passive.
     metrics: object = None
+    #: Optional :class:`repro.sanitize.DetSan`: when set, each
+    #: dispatched task executes inside its query's sanitizer scope.
+    detsan: object = None
 
 
 class SegmentWorker:
@@ -99,6 +102,16 @@ class SegmentWorker:
         if message.kind != DISPATCH:
             return  # ABORT (or unknown): nothing mid-flight to cancel —
             # tasks run to completion within one bus delivery.
+        detsan = self.services.detsan
+        if detsan is not None:
+            # Attribute every mutation this task performs (block cache,
+            # kernel memo, LIKE cache, ...) to its query id.
+            with detsan.scope(message.payload[3].query_id):
+                self._run_dispatch(message)
+            return
+        self._run_dispatch(message)
+
+    def _run_dispatch(self, message: RpcMessage) -> None:
         task, root, sdp, ctx = message.payload
         # One task at a time (synchronous bus delivery): stash the task
         # and context so scan instrumentation can reach them without

@@ -156,6 +156,12 @@ class Engine:
         #: reuses one compiled closure instead of recompiling per
         #: segment per attempt.
         self.kernel_cache: dict = {}
+        #: Optional :class:`repro.sanitize.DetSan` attached by
+        #: ``DetSan.install_engine``: workers scope every dispatched
+        #: task to its query id so mutations of shared caches are
+        #: attributed (and cross-query races on unregistered state
+        #: raise). None costs nothing.
+        self.detsan = None
         #: The QD/QE process group of the in-flight execution attempt
         #: (set by :meth:`Session._execute_attempt`); chaos kills reach
         #: workers by dropping their RPC channel on this runtime.
@@ -318,6 +324,7 @@ class Engine:
             chaos_progress=self.chaos_progress,
             num_segments=self.num_segments,
             metrics=self.metrics,
+            detsan=self.detsan,
         )
         bus.metrics = self.metrics
         exchange.metrics = self.metrics

@@ -135,12 +135,19 @@ class ConcurrentRunner:
         trace: bool = False,
         allow_failures: bool = False,
         before_query: Optional[Callable[[int, int], None]] = None,
+        detsan=None,
     ):
         self.engine = engine
         self.streams = streams
         self.queues = dict(queues or {})
         self.allow_failures = allow_failures
         self.before_query = before_query
+        #: Optional :class:`repro.sanitize.DetSan`: when set, both
+        #: phases run instrumented — phase A scopes every worker
+        #: dispatch to its query id (engine caches are guarded), phase B
+        #: guards the shared scheduler/resqueue structures and scopes
+        #: every submit/done/event to its statement's serial number.
+        self.detsan = detsan
         #: One session per stream — each stream is its own client.
         self.sessions = []
         for stream_id in range(len(streams)):
@@ -211,8 +218,11 @@ class ConcurrentRunner:
         """Replay every query's task DAG on one shared scheduler."""
         engine = self.engine
         scheduler = EventScheduler()
+        scheduler.detsan = self.detsan
         manager = ResourceQueueManager(
-            specs_from_security(engine.security), metrics=engine.metrics
+            specs_from_security(engine.security),
+            metrics=engine.metrics,
+            detsan=self.detsan,
         )
         # Serial number per outcome — the task-key namespace. Keys must
         # stay homogeneous int 3-tuples for stable tie-breaks.
@@ -226,6 +236,16 @@ class ConcurrentRunner:
             )
 
         def submit(sn: int) -> None:
+            if self.detsan is not None:
+                # Closed-loop arrivals fire from *another* query's
+                # completion event: re-scope before this statement's
+                # bookkeeping and admission writes.
+                with self.detsan.scope(sn):
+                    _submit(sn)
+            else:
+                _submit(sn)
+
+        def _submit(sn: int) -> None:
             outcome = by_sn[sn]
             outcome.submit = scheduler.now
 
@@ -303,4 +323,10 @@ class ConcurrentRunner:
 
     # ------------------------------------------------------------------- run
     def run(self) -> BatchResult:
-        return self._compose(self._execute_serial())
+        if self.detsan is None:
+            return self._compose(self._execute_serial())
+        self.detsan.install_engine(self.engine)
+        try:
+            return self._compose(self._execute_serial())
+        finally:
+            self.detsan.uninstall_engine(self.engine)

@@ -826,11 +826,20 @@ class SliceExecutor:
         self, node: Limit, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
         produced = 0
-        for row in self._input_rows(node.child, segment, acc):
-            if produced >= node.count:
-                break
-            produced += 1
-            yield row
+        rows = self._input_rows(node.child, segment, acc)
+        try:
+            for row in rows:
+                if produced >= node.count:
+                    break
+                produced += 1
+                yield row
+        finally:
+            # Close eagerly so the child's finally-charges (abandoned
+            # scans still pay for what they read) land inside this
+            # task's accumulator window, not at GC time.
+            close = getattr(rows, "close", None)
+            if close is not None:
+                close()
 
     def _run_result(
         self, node: Result, segment: int, acc: CostAccumulator

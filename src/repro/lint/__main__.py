@@ -59,6 +59,31 @@ def run_types(root: Path) -> int:
     return 0 if proc.returncode == 0 else 1
 
 
+def changed_files(root: Path) -> List[Path]:
+    """Files under ``src/repro`` changed vs main: the merge-base diff
+    plus untracked files. Deleted files are skipped (nothing to lint)."""
+    base = subprocess.run(
+        ["git", "merge-base", "HEAD", "main"],
+        cwd=root, capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", base],
+        cwd=root, capture_output=True, text=True, check=True,
+    ).stdout.splitlines()
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        cwd=root, capture_output=True, text=True, check=True,
+    ).stdout.splitlines()
+    out = []
+    for rel in sorted(set(diff) | set(untracked)):
+        if not rel.endswith(".py") or not rel.startswith("src/repro/"):
+            continue
+        path = root / rel
+        if path.exists():
+            out.append(path)
+    return out
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
@@ -93,6 +118,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "storage/cache)",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed vs the main branch (merge-base diff "
+        "plus untracked), restricted to src/repro",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
     )
     args = parser.parse_args(argv)
@@ -112,9 +143,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline = (
             Baseline([]) if args.no_baseline else Baseline.load(baseline_path)
         )
-        project = load_project(
-            root=root, paths=[Path(p) for p in args.paths] or None
-        )
+        paths = [Path(p) for p in args.paths] or None
+        if args.changed:
+            if paths is not None:
+                print(
+                    "repro.lint: --changed and explicit paths are "
+                    "mutually exclusive",
+                    file=sys.stderr,
+                )
+                return 2
+            paths = changed_files(root)
+            if not paths:
+                print("repro.lint: --changed: no changed files under src/repro")
+                return 0
+        # Subset runs (explicit paths or --changed) cannot see findings
+        # outside their slice, so unmatched baseline entries are not
+        # evidence of staleness there — only full runs enforce them.
+        subset = paths is not None
+        project = load_project(root=root, paths=paths)
         findings = project.run(rules)
         new, old = baseline.split(findings)
 
@@ -134,7 +180,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 0
 
-        stale = baseline.unused()
+        stale = [] if subset else baseline.unused()
+        drifts = [] if subset else baseline.drifted(findings)
+        drifted_keys = {id(d["entry"]) for d in drifts}
         if args.json:
             print(
                 json.dumps(
@@ -145,6 +193,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "findings": [f.to_json() for f in new],
                         "baselined": len(old),
                         "stale_baseline_entries": stale,
+                        "drifted_baseline_entries": [
+                            {
+                                "rule": d["entry"].get("rule"),
+                                "path": d["entry"].get("path"),
+                                "code": d["entry"].get("code"),
+                                "old_context": d["old_context"],
+                                "new_context": d["new_context"],
+                                "line": d["line"],
+                            }
+                            for d in drifts
+                        ],
                     },
                     indent=2,
                     sort_keys=True,
@@ -153,7 +212,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             for finding in new:
                 print(finding.render())
+            for drift in drifts:
+                entry = drift["entry"]
+                print(
+                    "BASELINE DRIFT: "
+                    f"{entry.get('rule')} {entry.get('path')} "
+                    f"{entry.get('code')!r} moved from context "
+                    f"[{drift['old_context']}] to "
+                    f"[{drift['new_context']}] (line {drift['line']}); "
+                    "update the entry's context or fix the finding"
+                )
             for entry in stale:
+                if id(entry) in drifted_keys:
+                    continue  # already reported, with the new context
                 print(
                     "stale baseline entry (fixed or moved): "
                     f"{entry.get('rule')} {entry.get('path')} "
@@ -164,6 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{len(rules)} rules, {len(new)} new finding(s), "
                 f"{len(old)} baselined, {len(stale)} stale baseline entr"
                 f"{'y' if len(stale) == 1 else 'ies'}"
+                f"{f', {len(drifts)} DRIFTED' if drifts else ''}"
             )
 
         status = 1 if new or stale else 0

@@ -213,6 +213,49 @@ class Baseline:
                 out.append(entry)
         return out
 
+    def drifted(self, findings: Sequence[Finding]) -> List[dict]:
+        """Stale entries whose finding still exists under a *moved* context.
+
+        A baseline entry keys on ``(rule, path, context, code)``; when the
+        enclosing function is renamed (or code migrates between scopes)
+        the entry silently stops matching and the finding resurfaces as
+        "new" while the entry reads as merely stale. This pairs each
+        stale entry with an unmatched current finding agreeing on
+        ``(rule, path, code)`` but not on context, so the CLI can report
+        the drift loudly — old context, new context — instead of two
+        half-truths. Call after :meth:`split`.
+        """
+        stale = self.unused()
+        if not stale:
+            return []
+        unmatched: Dict[Tuple[str, str, str], List[Finding]] = {}
+        for finding in findings:
+            # Exact-key findings were consumed by split(); only findings
+            # whose (rule, path, context, code) is absent from the pool
+            # can be a stale entry's moved twin.
+            if finding.key() not in self._pool:
+                loose = (finding.rule, finding.path, finding.code)
+                unmatched.setdefault(loose, []).append(finding)
+        drifts = []
+        for entry in stale:
+            loose = (
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("code", "")),
+            )
+            candidates = unmatched.get(loose)
+            if candidates:
+                finding = candidates.pop(0)
+                drifts.append(
+                    {
+                        "entry": entry,
+                        "old_context": str(entry.get("context", "")),
+                        "new_context": finding.context,
+                        "line": finding.line,
+                    }
+                )
+        return drifts
+
     @classmethod
     def from_findings(
         cls, findings: Sequence[Finding], reasons: Optional[Dict[tuple, str]] = None

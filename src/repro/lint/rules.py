@@ -40,6 +40,24 @@ def _in_dir(path: str, *dirnames: str) -> bool:
     return any(d in parts for d in dirnames)
 
 
+def _walk_own(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s own body without descending into nested defs.
+
+    ``ast.walk`` visits every descendant, so a ``continue`` on nested
+    ``FunctionDef`` nodes skips the def node itself but still scans its
+    body as if it belonged to the outer function; this walker prunes the
+    whole subtree (nested defs are separate call-graph nodes and are
+    analyzed on their own)."""
+    stack: List[ast.AST] = [func]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
 # =========================================================================== R1
 class NoWallClockRule:
     """Host-clock reads make simulated figures and chaos schedules
@@ -478,6 +496,10 @@ class DeterministicIterationRule:
     def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
         if not _in_dir(source.path, *self.SCOPE_DIRS):
             return
+        yield from self.scan(source)
+
+    def scan(self, source: SourceFile) -> Iterator[Finding]:
+        """Scope-free detection pass (R8 reuses this on its own files)."""
         set_funcs = self._set_returning_functions(source)
         flagged: Set[int] = set()
         for func in self._iter_functions(source):
@@ -623,6 +645,631 @@ class ObsPassivityRule:
                         )
 
 
+# =========================================================================== R7
+class CrossQueryIsolationRule:
+    """Writes to module-level or class-level mutable state from code
+    reachable from the concurrent entry points break the serial≡
+    concurrent bit-identity contract unless the sharing is deliberate.
+
+    Reachability is computed over the *resolved* call-graph edges only
+    (fuzzy name-matching would drag half the repo into the set and bury
+    real races in noise).  A write is exempt when its
+    ``path::qualname`` key appears in the shared-state registry
+    (``repro/sanitize/registry.py`` — parsed from the linted tree, not
+    the installed package) with a written reason, or under a per-line
+    ``# lint: allow[R7]``."""
+
+    id = "R7"
+    name = "cross-query-isolation"
+    description = (
+        "module/class-level mutable state written by code reachable from "
+        "the concurrent entry points and not in the shared-state registry"
+    )
+
+    #: Functions in these files are the concurrent roots: everything the
+    #: multi-query composer, the workers, and the event scheduler run.
+    ENTRY_FILES = (
+        "executor/concurrent.py",
+        "cluster/worker.py",
+        "simtime/scheduler.py",
+    )
+    REGISTRY_SUFFIX = "sanitize/registry.py"
+    REGISTRY_NAME = "SHARED_STATE"
+
+    MUTABLE_CONSTRUCTORS = frozenset(
+        {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+    )
+    MUTATORS = frozenset(
+        {
+            "append",
+            "extend",
+            "insert",
+            "add",
+            "update",
+            "setdefault",
+            "pop",
+            "popitem",
+            "remove",
+            "discard",
+            "clear",
+            "appendleft",
+            "extendleft",
+        }
+    )
+
+    # ------------------------------------------------------ shared analyses
+    @classmethod
+    def _registry(cls, project) -> Dict[str, str]:
+        """Parse SHARED_STATE out of the linted tree's registry module."""
+        for source in project.files:
+            if not source.path.endswith(cls.REGISTRY_SUFFIX):
+                continue
+            for node in ast.walk(source.tree):
+                target: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                elif isinstance(node, ast.AnnAssign):
+                    target = node.target
+                else:
+                    continue
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == cls.REGISTRY_NAME
+                    and node.value is not None
+                ):
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except ValueError:
+                        continue
+                    if isinstance(value, dict):
+                        return {str(k): str(v) for k, v in value.items()}
+        return {}
+
+    @classmethod
+    def _reachable(cls, project) -> Set[str]:
+        graph: CallGraph = project.shared("callgraph", CallGraph.build)
+        roots = graph.functions_in(*cls.ENTRY_FILES)
+        return graph.reachable_from(roots, include_fuzzy=False)
+
+    # --------------------------------------------------------- file indexes
+    def _is_mutable_value(self, node: Optional[ast.expr]) -> bool:
+        if isinstance(
+            node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            return name in self.MUTABLE_CONSTRUCTORS
+        return False
+
+    def _module_mutables(self, source: SourceFile) -> Set[str]:
+        out: Set[str] = set()
+        for node in source.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            if value is not None and self._is_mutable_value(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+        return out
+
+    def _class_mutables(self, source: SourceFile) -> Dict[str, Set[str]]:
+        """class qualname -> attrs bound to mutables in the class body
+        and never rebound per-instance via ``self.attr = ...``."""
+        out: Dict[str, Set[str]] = {}
+
+        def visit(node: ast.AST, qual: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    inner = child.name if not qual else f"{qual}.{child.name}"
+                    attrs: Set[str] = set()
+                    rebound: Set[str] = set()
+                    for stmt in child.body:
+                        targets: List[ast.expr] = []
+                        value: Optional[ast.expr] = None
+                        if isinstance(stmt, ast.Assign):
+                            targets, value = stmt.targets, stmt.value
+                        elif isinstance(stmt, ast.AnnAssign):
+                            targets, value = [stmt.target], stmt.value
+                        if value is not None and self._is_mutable_value(value):
+                            for target in targets:
+                                if isinstance(target, ast.Name):
+                                    attrs.add(target.id)
+                    for sub in ast.walk(child):
+                        if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                            subtargets = (
+                                sub.targets
+                                if isinstance(sub, ast.Assign)
+                                else [sub.target]
+                            )
+                            for target in subtargets:
+                                if (
+                                    isinstance(target, ast.Attribute)
+                                    and isinstance(target.value, ast.Name)
+                                    and target.value.id == "self"
+                                ):
+                                    rebound.add(target.attr)
+                    attrs -= rebound
+                    if attrs:
+                        out[inner] = attrs
+                    visit(child, inner)
+                else:
+                    visit(child, qual)
+
+        visit(source.tree, "")
+        return out
+
+    # ------------------------------------------------------------ detection
+    @staticmethod
+    def _locals_of(func: ast.AST) -> Set[str]:
+        """Names bound locally in ``func`` (excluding ``global`` names)."""
+        bound: Set[str] = set()
+        globals_: Set[str] = set()
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = func.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                bound.add(arg.arg)
+        for node in _walk_own(func):
+            if isinstance(node, ast.Global):
+                globals_.update(node.names)
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+                targets = [node.target]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                targets = [
+                    item.optional_vars
+                    for item in node.items
+                    if item.optional_vars is not None
+                ]
+            for target in targets:
+                stack = [target]
+                while stack:
+                    leaf = stack.pop()
+                    if isinstance(leaf, ast.Name):
+                        bound.add(leaf.id)
+                    elif isinstance(leaf, (ast.Tuple, ast.List)):
+                        stack.extend(leaf.elts)
+                    elif isinstance(leaf, ast.Starred):
+                        stack.append(leaf.value)
+                    # Subscript/Attribute targets bind nothing local.
+        return bound - globals_
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        reach: Set[str] = project.shared("r7-reachable", self._reachable)
+        registry: Dict[str, str] = project.shared("r7-registry", self._registry)
+        module_mutables = self._module_mutables(source)
+        class_mutables = self._class_mutables(source)
+        class_quals = set(class_mutables)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                class_quals.add(node.name)  # top-level short form is enough
+
+        functions: List[ast.AST] = [
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        locals_cache: Dict[int, Set[str]] = {}
+
+        def enclosing_class(scope: str) -> Optional[str]:
+            parts = scope.split(".")
+            for cut in range(len(parts) - 1, 0, -1):
+                prefix = ".".join(parts[:cut])
+                if prefix in class_quals or prefix in class_mutables:
+                    return prefix
+            return None
+
+        def emit(node: ast.AST, kind: str, registry_key: str) -> Optional[Finding]:
+            if registry_key in registry:
+                return None
+            return source.finding(
+                self.id,
+                node,
+                f"{kind} is written by code reachable from the concurrent "
+                f"entry points: namespace it per-query/per-engine or "
+                f"register '{registry_key}' in "
+                f"repro/sanitize/registry.py with a reason",
+            )
+
+        for func in functions:
+            scope = (
+                f"{source.scope_of(func)}.{func.name}"
+                if source.scope_of(func) != "<module>"
+                else func.name
+            )
+            key = f"{source.path}::{scope}"
+            if key not in reach:
+                continue
+            shadowed = locals_cache.setdefault(id(func), self._locals_of(func))
+            cls_qual = enclosing_class(scope)
+
+            for node in _walk_own(func):
+                finding: Optional[Finding] = None
+                # -- writes through a module-level mutable --------------
+                target_expr: Optional[ast.expr] = None
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                    candidates = (
+                        node.targets
+                        if isinstance(node, (ast.Assign, ast.Delete))
+                        else [node.target]
+                    )
+                    for target in candidates:
+                        if isinstance(target, ast.Subscript):
+                            target_expr = target.value
+                        elif isinstance(target, ast.Name) and isinstance(
+                            node, ast.AugAssign
+                        ):
+                            target_expr = target
+                        if (
+                            isinstance(target_expr, ast.Name)
+                            and target_expr.id in module_mutables
+                            and target_expr.id not in shadowed
+                        ):
+                            finding = emit(
+                                node,
+                                f"module-level mutable '{target_expr.id}'",
+                                f"{source.path}::{target_expr.id}",
+                            )
+                        # -- class attribute assignment ------------------
+                        if isinstance(target, ast.Attribute):
+                            owner = target.value
+                            owner_cls: Optional[str] = None
+                            if isinstance(owner, ast.Name):
+                                if owner.id == "cls" and cls_qual:
+                                    owner_cls = cls_qual
+                                elif owner.id in class_quals:
+                                    owner_cls = owner.id
+                            elif (
+                                isinstance(owner, ast.Call)
+                                and isinstance(owner.func, ast.Name)
+                                and owner.func.id == "type"
+                            ):
+                                owner_cls = cls_qual or "<class>"
+                            if owner_cls is not None:
+                                finding = emit(
+                                    node,
+                                    f"class attribute '{owner_cls}.{target.attr}'",
+                                    f"{source.path}::{owner_cls}.{target.attr}",
+                                )
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr in self.MUTATORS:
+                        owner = node.func.value
+                        if (
+                            isinstance(owner, ast.Name)
+                            and owner.id in module_mutables
+                            and owner.id not in shadowed
+                        ):
+                            finding = emit(
+                                node,
+                                f"module-level mutable '{owner.id}'",
+                                f"{source.path}::{owner.id}",
+                            )
+                        elif (
+                            isinstance(owner, ast.Attribute)
+                            and isinstance(owner.value, ast.Name)
+                        ):
+                            base = owner.value.id
+                            if base in ("self", "cls") and cls_qual:
+                                attrs = class_mutables.get(cls_qual, set())
+                                if owner.attr in attrs:
+                                    finding = emit(
+                                        node,
+                                        f"class-body mutable "
+                                        f"'{cls_qual}.{owner.attr}'",
+                                        f"{source.path}::{cls_qual}.{owner.attr}",
+                                    )
+                            elif base in class_quals:
+                                finding = emit(
+                                    node,
+                                    f"class attribute '{base}.{owner.attr}'",
+                                    f"{source.path}::{base}.{owner.attr}",
+                                )
+                if finding is not None:
+                    yield finding
+
+
+# =========================================================================== R8
+class SchedulerDeterminismRule:
+    """The concurrent interleaving must be a pure function of
+    ``(ready_time, key)`` — never of memory layout.  In the scheduler,
+    the concurrent composer, and the resource-queue manager this
+    forbids: ``id()``-based keys (CPython addresses vary run to run),
+    unsorted set/``.keys()`` iteration feeding any downstream order,
+    ``min``/``max`` over raw dict views (ties resolve by insertion
+    accident, not by a total key), and heap pushes whose entry is not a
+    tuple literal (an unkeyed entry falls back to object comparison —
+    or worse, address order)."""
+
+    id = "R8"
+    name = "scheduler-determinism"
+    description = (
+        "id()-keys, unsorted set iteration, dict-view min/max, or unkeyed "
+        "heap pushes in scheduler/concurrent/resqueue code"
+    )
+
+    SCOPE_FILES = (
+        "simtime/scheduler.py",
+        "executor/concurrent.py",
+        "cluster/resqueue.py",
+    )
+
+    _set_scan = DeterministicIterationRule()
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        if not any(source.path.endswith(f) for f in self.SCOPE_FILES):
+            return
+        for finding in self._set_scan.scan(source):
+            yield Finding(
+                rule=self.id,
+                path=finding.path,
+                line=finding.line,
+                message=(
+                    "unordered iteration feeds the scheduler interleaving: "
+                    + finding.message
+                ),
+                context=finding.context,
+                code=finding.code,
+            )
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "id" and node.args:
+                yield source.finding(
+                    self.id,
+                    node,
+                    "id()-based key: CPython object addresses vary run to "
+                    "run, making the interleaving depend on memory layout — "
+                    "key on stable identifiers like (query_id, slice, segment)",
+                )
+                continue
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "heappush" and len(node.args) >= 2:
+                if not isinstance(node.args[1], ast.Tuple):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        "unkeyed heap push: push an explicit "
+                        "(time, rank, seq, key) tuple so pops are "
+                        "total-ordered",
+                    )
+            elif name in ("min", "max") and node.args:
+                first = node.args[0]
+                if (
+                    isinstance(first, ast.Call)
+                    and isinstance(first.func, ast.Attribute)
+                    and first.func.attr in ("values", "items")
+                    and not first.args
+                ):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"{name}() over a raw dict .{first.func.attr}() view: "
+                        "ties resolve by insertion accident — sort with an "
+                        "explicit total key instead",
+                    )
+
+
+# =========================================================================== R9
+class RpcPairingRule:
+    """Two lexical pairing contracts keep the RPC protocol and the cost
+    ledger honest under aborts:
+
+    * every module that builds a DISPATCH message must also handle (or
+      emit) COMPLETE **and** ABORT — a dispatch site with no abort path
+      leaks in-flight tasks when a query dies;
+    * a ``for`` loop that abandons a *charged* iterator (one that was
+      handed a cost accumulator) via ``break`` must own the iterator and
+      close it in ``try/finally`` (or ``contextlib.closing``), otherwise
+      the generator's own ``finally`` charges — which keep abandoned
+      scans honest — fire at GC time, i.e. whenever memory pressure
+      says, not when the query says."""
+
+    id = "R9"
+    name = "rpc-pairing"
+    description = (
+        "DISPATCH construction without COMPLETE/ABORT handling, or a "
+        "charged iterator abandoned by break without an owned close"
+    )
+
+    SCOPE_DIRS = ("executor", "cluster", "interconnect")
+
+    # ------------------------------------------------------- charged calls
+    @staticmethod
+    def _is_charged_call(node: ast.expr) -> bool:
+        """A call that threads a cost accumulator (``acc``) through."""
+        if not isinstance(node, ast.Call):
+            return False
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        for value in values:
+            if isinstance(value, ast.Name) and value.id == "acc":
+                return True
+            if isinstance(value, ast.Attribute) and value.attr == "acc":
+                return True
+        return False
+
+    @staticmethod
+    def _has_direct_break(loop: ast.AST) -> bool:
+        """True if the loop body breaks out of *this* loop."""
+        stack: List[ast.AST] = list(loop.body) + list(
+            getattr(loop, "orelse", []) or []
+        )
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Break):
+                return True
+            if isinstance(
+                node,
+                (ast.For, ast.AsyncFor, ast.While, ast.FunctionDef,
+                 ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue  # break inside belongs to the inner construct
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    # ----------------------------------------------------- dispatch pairing
+    def _check_dispatch(self, source: SourceFile) -> Iterator[Finding]:
+        mentioned: Set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Name):
+                mentioned.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                mentioned.add(node.attr)
+            elif isinstance(node, ast.ImportFrom):
+                mentioned.update(a.asname or a.name for a in node.names)
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and (
+                    (isinstance(node.func, ast.Name) and node.func.id == "RpcMessage")
+                    or (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "RpcMessage"
+                    )
+                )
+            ):
+                continue
+            kind: Optional[str] = None
+            for keyword in node.keywords:
+                if keyword.arg != "kind":
+                    continue
+                value = keyword.value
+                if isinstance(value, ast.Name):
+                    kind = value.id
+                elif isinstance(value, ast.Attribute):
+                    kind = value.attr
+                elif isinstance(value, ast.Constant):
+                    kind = str(value.value).upper()
+            if kind != "DISPATCH":
+                continue
+            missing = [
+                partner
+                for partner in ("COMPLETE", "ABORT")
+                if partner not in mentioned
+            ]
+            if missing:
+                yield source.finding(
+                    self.id,
+                    node,
+                    "DISPATCH constructed here but this module never "
+                    f"references {'/'.join(missing)}: every dispatch site "
+                    "must be lexically paired with completion AND abort "
+                    "handling",
+                )
+
+    # --------------------------------------------------- iterator discipline
+    def _check_iterators(self, source: SourceFile) -> Iterator[Finding]:
+        functions = [
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for func in functions:
+            charged_names: Set[str] = set()
+            closed_names: Set[str] = set()
+            for node in _walk_own(func):
+                if isinstance(node, ast.Assign) and self._is_charged_call(
+                    node.value
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            charged_names.add(target.id)
+                # name.close() inside a finally, or closing(name)
+                if isinstance(node, ast.Try):
+                    for stmt in node.finalbody:
+                        for sub in ast.walk(stmt):
+                            if not isinstance(sub, ast.Call):
+                                continue
+                            if (
+                                isinstance(sub.func, ast.Attribute)
+                                and sub.func.attr == "close"
+                                and isinstance(sub.func.value, ast.Name)
+                            ):
+                                closed_names.add(sub.func.value.id)
+                            elif (
+                                # the duck-typed form for iterators that
+                                # may be plain iter(list):
+                                #   close = getattr(it, "close", None)
+                                isinstance(sub.func, ast.Name)
+                                and sub.func.id == "getattr"
+                                and len(sub.args) >= 2
+                                and isinstance(sub.args[0], ast.Name)
+                                and isinstance(sub.args[1], ast.Constant)
+                                and sub.args[1].value == "close"
+                            ):
+                                closed_names.add(sub.args[0].id)
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "closing"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                ):
+                    closed_names.add(node.args[0].id)
+            for node in _walk_own(func):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                if not self._has_direct_break(node):
+                    continue
+                if self._is_charged_call(node.iter):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        "break abandons an anonymous charged iterator: bind "
+                        "it to a name and close it in try/finally (or "
+                        "contextlib.closing) so its finally-charges fire "
+                        "now, not at GC time",
+                    )
+                elif (
+                    isinstance(node.iter, ast.Name)
+                    and node.iter.id in charged_names
+                    and node.iter.id not in closed_names
+                ):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"break abandons charged iterator "
+                        f"'{node.iter.id}' without closing it: wrap the "
+                        "loop in try/finally with "
+                        f"{node.iter.id}.close() (or contextlib.closing)",
+                    )
+
+    def check_file(self, source: SourceFile, project) -> Iterator[Finding]:
+        if not _in_dir(source.path, *self.SCOPE_DIRS):
+            return
+        yield from self._check_dispatch(source)
+        yield from self._check_iterators(source)
+
+
 RULES = [
     NoWallClockRule(),
     SeededRandomnessRule(),
@@ -630,6 +1277,9 @@ RULES = [
     ExceptionHygieneRule(),
     DeterministicIterationRule(),
     ObsPassivityRule(),
+    CrossQueryIsolationRule(),
+    SchedulerDeterminismRule(),
+    RpcPairingRule(),
 ]
 
 

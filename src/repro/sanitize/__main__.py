@@ -1,0 +1,119 @@
+"""DetSan sweep: seeded concurrent workloads under the sanitizer.
+
+CI's runtime leg of the concurrency-isolation gate::
+
+    python -m repro.sanitize --seeds 10 --streams 4
+
+Each seed builds a fresh chaos-sized cluster, loads the TPC-H subset,
+derives a seeded closed-loop SELECT stream mix (the same generator shape
+as the chaos suite's concurrent phase), and replays it with a
+:class:`~repro.sanitize.DetSan` installed.  The sweep fails (exit 1) if
+any seed observes a cross-query mutation of an unregistered shared
+structure — i.e. if :class:`~repro.sanitize.IsolationViolation` fires —
+and prints per-structure mutation counts so a green run still shows
+what the sanitizer actually watched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.chaos.suite import build_engine, generate_data, load_workload
+from repro.executor.concurrent import ConcurrentRunner
+from repro.sanitize import DetSan, IsolationViolation
+from repro.tpch import QUERIES
+from repro.util import DeterministicRng
+
+#: Statements per stream in the sweep workload.
+STATEMENTS = 3
+
+
+def sweep_streams(seed: int, streams: int) -> List[List[str]]:
+    """Seeded stream mix: full scans (Q6/Q1) interleaved with customer
+    point lookups — the same shape the chaos suite's concurrent phase
+    replays, parameterized on the stream count."""
+    pool = [QUERIES[6][0], QUERIES[1][0]]
+    mix: List[List[str]] = []
+    for stream_id in range(streams):
+        rng = DeterministicRng(seed, "detsan-sweep", f"stream{stream_id}")
+        stream = []
+        for _ in range(STATEMENTS):
+            if rng.chance(0.5):
+                key = rng.randrange(1, 76)
+                stream.append(
+                    "SELECT c_custkey, c_name FROM customer "
+                    f"WHERE c_custkey = {key}"
+                )
+            else:
+                stream.append(pool[rng.randrange(len(pool))])
+        mix.append(stream)
+    return mix
+
+
+def run_seed(seed: int, streams: int) -> DetSan:
+    """One sanitized concurrent batch; raises IsolationViolation on a
+    cross-query mutation outside the shared-state registry."""
+    engine = build_engine(seed)
+    load_workload(engine, generate_data())
+    sanitizer = DetSan()
+    runner = ConcurrentRunner(
+        engine,
+        sweep_streams(seed, streams),
+        detsan=sanitizer,
+        allow_failures=True,
+    )
+    result = runner.run()
+    failed = [o for o in result.outcomes if not o.ok]
+    if failed:
+        raise IsolationViolation(
+            f"seed {seed}: {len(failed)} statements failed outside chaos: "
+            f"{failed[0].error}"
+        )
+    return sanitizer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize",
+        description="Sweep seeded concurrent workloads under DetSan.",
+    )
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="number of seeds to sweep (default 10)")
+    parser.add_argument("--streams", type=int, default=4,
+                        help="concurrent streams per seed (default 4)")
+    args = parser.parse_args(argv)
+
+    totals: dict = {}
+    mutations = 0
+    started = time.perf_counter()  # lint: allow[R1] — CLI wall time, not simulated cost
+    for seed in range(args.seeds):
+        try:
+            sanitizer = run_seed(seed, args.streams)
+        except IsolationViolation as exc:
+            print(f"seed {seed}: VIOLATION")
+            print(f"  {exc}")
+            return 1
+        summary = sanitizer.summary()
+        mutations += summary["total_mutations"]
+        for label, count in summary["structures"].items():
+            totals[label] = totals.get(label, 0) + count
+        print(
+            f"seed {seed}: clean "
+            f"({summary['total_mutations']} mutations, "
+            f"{summary['tracked_entries']} tracked entries)"
+        )
+    elapsed = time.perf_counter() - started  # lint: allow[R1] — CLI wall time
+    print(
+        f"\nDetSan sweep: {args.seeds} seeds x {args.streams} streams, "
+        f"0 violations, {mutations} mutations in {elapsed:.1f}s"
+    )
+    for label in sorted(totals):
+        print(f"  {label}: {totals[label]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -431,8 +431,10 @@ class TestObsPassivity:
 
 # ================================================================ rule registry
 class TestRegistry:
-    def test_six_rules_registered(self):
-        assert [r.id for r in RULES] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+    def test_nine_rules_registered(self):
+        assert [r.id for r in RULES] == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"
+        ]
 
     def test_select_by_id_and_name(self):
         assert [r.id for r in get_rules(["R1", "exception-hygiene"])] == ["R1", "R4"]
@@ -524,7 +526,9 @@ class TestCli:
         assert proc.returncode == 0, proc.stdout + proc.stderr
         report = json.loads(proc.stdout)
         assert report["findings"] == []
-        assert report["rules"] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert report["rules"] == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"
+        ]
         assert report["files"] > 50
         assert report["stale_baseline_entries"] == []
 
@@ -546,7 +550,7 @@ class TestCli:
     def test_list_rules(self):
         proc = self.run_cli("--list-rules")
         assert proc.returncode == 0
-        for rid in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for rid in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"):
             assert rid in proc.stdout
 
     def test_types_flag_degrades_without_mypy(self):
@@ -557,3 +561,524 @@ class TestCli:
             import mypy  # noqa: F401
         except ImportError:
             assert "skipping type check" in proc.stdout
+
+
+# ============================================================= R7 isolation
+class TestCrossQueryIsolation:
+    """R7: mutable module/class state written by code reachable from the
+    concurrent entry points must be registered or namespaced."""
+
+    ENTRY = "src/repro/executor/concurrent.py"
+
+    def _sources(self, registry_entries=""):
+        sources = {
+            self.ENTRY: (
+                "from repro.mycache import put\n"
+                "def run_batch():\n"
+                "    put(1)\n"
+            ),
+            "src/repro/mycache.py": (
+                "CACHE = {}\n"
+                "def put(k):\n"
+                "    CACHE[k] = k\n"
+            ),
+        }
+        if registry_entries is not None:
+            sources["src/repro/sanitize/registry.py"] = (
+                "SHARED_STATE = {" + registry_entries + "}\n"
+            )
+        return sources
+
+    def test_reachable_module_mutation_is_flagged(self):
+        findings = run_rules(self._sources(), select=["R7"])
+        assert [f.rule for f in findings] == ["R7"]
+        assert findings[0].path == "src/repro/mycache.py"
+        assert findings[0].context == "put"
+        assert "CACHE" in findings[0].message
+        assert "src/repro/mycache.py::CACHE" in findings[0].message
+
+    def test_registered_state_is_exempt(self):
+        findings = run_rules(
+            self._sources(
+                "'src/repro/mycache.py::CACHE': 'pure memo, idempotent'"
+            ),
+            select=["R7"],
+        )
+        assert findings == []
+
+    def test_unreachable_mutation_is_ignored(self):
+        sources = self._sources()
+        # Same mutation, but nothing in an entry file calls it.
+        sources[self.ENTRY] = "def run_batch():\n    return 0\n"
+        findings = run_rules(sources, select=["R7"])
+        assert findings == []
+
+    def test_mutator_call_is_flagged(self):
+        sources = self._sources()
+        sources["src/repro/mycache.py"] = (
+            "SEEN = set()\n"
+            "def put(k):\n"
+            "    SEEN.add(k)\n"
+        )
+        findings = run_rules(sources, select=["R7"])
+        assert [f.rule for f in findings] == ["R7"]
+        assert "SEEN" in findings[0].message
+
+    def test_local_shadow_is_not_flagged(self):
+        sources = self._sources()
+        sources["src/repro/mycache.py"] = (
+            "CACHE = {}\n"
+            "def put(k):\n"
+            "    CACHE = {}\n"
+            "    CACHE[k] = k\n"
+            "    return CACHE\n"
+        )
+        findings = run_rules(sources, select=["R7"])
+        assert findings == []
+
+    def test_class_body_mutable_in_entry_file(self):
+        sources = {
+            self.ENTRY: (
+                "class Runner:\n"
+                "    inflight = {}\n"
+                "    def go(self, sn):\n"
+                "        self.inflight.setdefault(sn, 0)\n"
+            ),
+            "src/repro/sanitize/registry.py": "SHARED_STATE = {}\n",
+        }
+        findings = run_rules(sources, select=["R7"])
+        assert [f.rule for f in findings] == ["R7"]
+        assert "Runner.inflight" in findings[0].message
+
+    def test_instance_rebound_attr_is_not_flagged(self):
+        sources = {
+            self.ENTRY: (
+                "class Runner:\n"
+                "    inflight = {}\n"
+                "    def __init__(self):\n"
+                "        self.inflight = {}\n"
+                "    def go(self, sn):\n"
+                "        self.inflight.setdefault(sn, 0)\n"
+            ),
+            "src/repro/sanitize/registry.py": "SHARED_STATE = {}\n",
+        }
+        findings = run_rules(sources, select=["R7"])
+        assert findings == []
+
+    def test_live_registry_parses_and_has_reasons(self):
+        from repro.lint.rules import CrossQueryIsolationRule
+
+        project = load_project()
+        registry = CrossQueryIsolationRule._registry(project)
+        assert registry, "SHARED_STATE not found in the linted tree"
+        for key, reason in registry.items():
+            assert "::" in key
+            assert len(reason) > 10, f"{key}: reason too thin to audit"
+
+
+# ========================================================== R8 determinism
+class TestSchedulerDeterminism:
+    SCOPE = "src/repro/simtime/scheduler.py"
+
+    def test_id_key_is_flagged(self):
+        findings = run_rules(
+            {self.SCOPE: "def key_of(task):\n    return id(task)\n"},
+            select=["R8"],
+        )
+        assert [f.rule for f in findings] == ["R8"]
+        assert "id()" in findings[0].message
+
+    def test_out_of_scope_file_is_ignored(self):
+        findings = run_rules(
+            {"src/repro/storage/cache.py": "def key_of(t):\n    return id(t)\n"},
+            select=["R8"],
+        )
+        assert findings == []
+
+    def test_unkeyed_heappush_is_flagged(self):
+        src = (
+            "from heapq import heappush\n"
+            "def push(heap, task):\n"
+            "    heappush(heap, task)\n"
+        )
+        findings = run_rules({self.SCOPE: src}, select=["R8"])
+        assert [f.rule for f in findings] == ["R8"]
+        assert "heap" in findings[0].message
+
+    def test_tuple_heappush_is_clean(self):
+        src = (
+            "from heapq import heappush\n"
+            "def push(heap, t, seq, key):\n"
+            "    heappush(heap, (t, 0, seq, key))\n"
+        )
+        assert run_rules({self.SCOPE: src}, select=["R8"]) == []
+
+    def test_min_over_dict_view_is_flagged(self):
+        src = (
+            "def soonest(ready):\n"
+            "    return min(ready.values())\n"
+        )
+        findings = run_rules({self.SCOPE: src}, select=["R8"])
+        assert [f.rule for f in findings] == ["R8"]
+        assert "values" in findings[0].message
+
+    def test_unsorted_set_iteration_is_flagged_as_r8(self):
+        src = (
+            "def drain(parked):\n"
+            "    out = []\n"
+            "    for key in parked:\n"
+            "        out.append(key)\n"
+            "    return out\n"
+        )
+        findings = run_rules(
+            {self.SCOPE: "PARKED = set()\n" + src.replace("parked", "PARKED")},
+            select=["R8"],
+        )
+        assert findings and all(f.rule == "R8" for f in findings)
+
+    def test_sorted_iteration_is_clean(self):
+        src = (
+            "PARKED = set()\n"
+            "def drain():\n"
+            "    return [k for k in sorted(PARKED)]\n"
+        )
+        assert run_rules({self.SCOPE: src}, select=["R8"]) == []
+
+
+# ============================================================ R9 rpc pairing
+class TestRpcPairing:
+    def test_dispatch_without_abort_is_flagged(self):
+        src = (
+            "from repro.cluster.rpc import DISPATCH, COMPLETE, RpcMessage\n"
+            "def send(bus, payload):\n"
+            "    bus.send(RpcMessage(kind=DISPATCH, sender='m', payload=payload))\n"
+            "    return COMPLETE\n"
+        )
+        findings = run_rules(
+            {"src/repro/cluster/dispatcher.py": src}, select=["R9"]
+        )
+        assert [f.rule for f in findings] == ["R9"]
+        assert "ABORT" in findings[0].message
+
+    def test_dispatch_with_both_partners_is_clean(self):
+        src = (
+            "from repro.cluster.rpc import ABORT, COMPLETE, DISPATCH, RpcMessage\n"
+            "def send(bus, payload):\n"
+            "    bus.send(RpcMessage(kind=DISPATCH, sender='m', payload=payload))\n"
+            "def cleanup(bus):\n"
+            "    bus.send(RpcMessage(kind=ABORT, sender='m', payload=None))\n"
+            "def finish():\n"
+            "    return COMPLETE\n"
+        )
+        assert run_rules(
+            {"src/repro/cluster/dispatcher.py": src}, select=["R9"]
+        ) == []
+
+    def test_break_on_named_charged_iterator_is_flagged(self):
+        src = (
+            "def skim(child, acc, n):\n"
+            "    rows = child(acc)\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        if len(out) >= n:\n"
+            "            break\n"
+            "        out.append(row)\n"
+            "    return out\n"
+        )
+        findings = run_rules(
+            {"src/repro/executor/skim.py": src}, select=["R9"]
+        )
+        assert [f.rule for f in findings] == ["R9"]
+        assert "rows" in findings[0].message
+
+    def test_closed_in_finally_is_clean(self):
+        src = (
+            "def skim(child, acc, n):\n"
+            "    rows = child(acc)\n"
+            "    out = []\n"
+            "    try:\n"
+            "        for row in rows:\n"
+            "            if len(out) >= n:\n"
+            "                break\n"
+            "            out.append(row)\n"
+            "    finally:\n"
+            "        rows.close()\n"
+            "    return out\n"
+        )
+        assert run_rules(
+            {"src/repro/executor/skim.py": src}, select=["R9"]
+        ) == []
+
+    def test_getattr_close_in_finally_is_clean(self):
+        src = (
+            "def skim(child, acc, n):\n"
+            "    rows = child(acc)\n"
+            "    out = []\n"
+            "    try:\n"
+            "        for row in rows:\n"
+            "            break\n"
+            "    finally:\n"
+            "        close = getattr(rows, 'close', None)\n"
+            "        if close is not None:\n"
+            "            close()\n"
+            "    return out\n"
+        )
+        assert run_rules(
+            {"src/repro/executor/skim.py": src}, select=["R9"]
+        ) == []
+
+    def test_contextlib_closing_is_clean(self):
+        src = (
+            "from contextlib import closing\n"
+            "def skim(child, acc, n):\n"
+            "    rows = child(acc)\n"
+            "    out = []\n"
+            "    with closing(rows):\n"
+            "        for row in rows:\n"
+            "            break\n"
+            "    return out\n"
+        )
+        assert run_rules(
+            {"src/repro/executor/skim.py": src}, select=["R9"]
+        ) == []
+
+    def test_anonymous_charged_iterator_break_is_flagged(self):
+        src = (
+            "def skim(child, acc):\n"
+            "    for row in child(acc):\n"
+            "        break\n"
+        )
+        findings = run_rules(
+            {"src/repro/executor/skim.py": src}, select=["R9"]
+        )
+        assert [f.rule for f in findings] == ["R9"]
+        assert "anonymous" in findings[0].message
+
+    def test_exhausted_loop_without_break_is_clean(self):
+        src = (
+            "def consume(child, acc):\n"
+            "    out = []\n"
+            "    for row in child(acc):\n"
+            "        out.append(row)\n"
+            "    return out\n"
+        )
+        assert run_rules(
+            {"src/repro/executor/skim.py": src}, select=["R9"]
+        ) == []
+
+    def test_out_of_scope_dir_is_ignored(self):
+        src = (
+            "def skim(child, acc):\n"
+            "    for row in child(acc):\n"
+            "        break\n"
+        )
+        assert run_rules({"src/repro/tpch/gen.py": src}, select=["R9"]) == []
+
+
+# ===================================================== injected-race gate
+class TestInjectedConcurrencyViolations:
+    """Acceptance checks: each new rule must fire on a planted violation
+    in a copy of the live tree, with the right rule id and file."""
+
+    @pytest.fixture()
+    def repo_copy(self, tmp_path):
+        import shutil
+
+        dest = tmp_path / "src" / "repro"
+        shutil.copytree(REPO / "src" / "repro", dest)
+        return tmp_path
+
+    def _lint_tree(self, tree_root, select=None):
+        new, _, _ = run_lint(root=tree_root, rules=get_rules(select))
+        return new
+
+    def test_injected_shared_dict_is_caught_by_r7(self, repo_copy):
+        target = repo_copy / "src" / "repro" / "executor" / "concurrent.py"
+        src = target.read_text()
+        target.write_text(
+            src + "\n_RACE = {}\n\n\ndef _poison(sn):\n    _RACE[sn] = sn\n"
+        )
+        hits = [f for f in self._lint_tree(repo_copy, ["R7"])]
+        assert hits, "injected cross-query shared dict not caught"
+        assert hits[0].rule == "R7"
+        assert hits[0].path == "src/repro/executor/concurrent.py"
+        assert hits[0].context == "_poison"
+        assert "_RACE" in hits[0].message
+
+    def test_injected_id_key_is_caught_by_r8(self, repo_copy):
+        target = repo_copy / "src" / "repro" / "simtime" / "scheduler.py"
+        src = target.read_text()
+        line = src.count("\n") + 3  # blank + def, id() on the return line
+        target.write_text(
+            src + "\ndef _bad_key(obj):\n    return id(obj)\n"
+        )
+        hits = self._lint_tree(repo_copy, ["R8"])
+        assert hits, "injected id() key not caught"
+        assert hits[0].rule == "R8"
+        assert hits[0].path == "src/repro/simtime/scheduler.py"
+        assert hits[0].line == line
+
+    def test_injected_abandoned_iterator_is_caught_by_r9(self, repo_copy):
+        target = repo_copy / "src" / "repro" / "executor" / "runner.py"
+        src = target.read_text()
+        target.write_text(
+            src
+            + "\ndef _skim_rows(child, acc):\n"
+            "    rows = child(acc)\n"
+            "    for row in rows:\n"
+            "        break\n"
+        )
+        hits = self._lint_tree(repo_copy, ["R9"])
+        assert hits, "injected abandoned charged iterator not caught"
+        assert hits[0].rule == "R9"
+        assert hits[0].path == "src/repro/executor/runner.py"
+        assert hits[0].context == "_skim_rows"
+
+
+# ============================================================== determinism
+class TestLintDeterminism:
+    def test_findings_identical_across_runs_and_file_order(self):
+        """The lint gate itself obeys R5's spirit: two full runs — one
+        with the project's file list shuffled — must produce
+        byte-identical findings (order included)."""
+        import random
+
+        project_a = load_project()
+        findings_a = project_a.run(get_rules())
+
+        project_b = load_project()
+        random.Random(0xC0FFEE).shuffle(project_b.files)
+        findings_b = project_b.run(get_rules())
+
+        rendered_a = [f.render() for f in findings_a]
+        rendered_b = [f.render() for f in findings_b]
+        assert rendered_a == rendered_b
+        assert [f.key() for f in findings_a] == [f.key() for f in findings_b]
+
+    def test_repeat_run_is_byte_identical(self):
+        first = [f.render() for f in load_project().run(get_rules())]
+        second = [f.render() for f in load_project().run(get_rules())]
+        assert first == second
+
+
+# ============================================================ changed mode
+class TestChangedMode:
+    def _git(self, cwd, *args):
+        return subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+            cwd=cwd, capture_output=True, text=True, check=True,
+        )
+
+    def test_changed_files_diff_plus_untracked(self, tmp_path):
+        from repro.lint.__main__ import changed_files
+
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("A = 1\n")
+        (pkg / "b.py").write_text("B = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        self._git(tmp_path, "init", "-b", "main")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-m", "seed")
+        # One tracked modification, one untracked file, one deletion,
+        # one non-source change: only the first two count.
+        (pkg / "a.py").write_text("A = 2\n")
+        (pkg / "c.py").write_text("C = 1\n")
+        (pkg / "b.py").unlink()
+        (tmp_path / "notes.txt").write_text("still not python\n")
+
+        changed = changed_files(tmp_path)
+        rel = sorted(str(p.relative_to(tmp_path)) for p in changed)
+        assert rel == ["src/repro/a.py", "src/repro/c.py"]
+
+    def test_changed_agrees_with_full_run(self):
+        """--changed must report exactly the full run's findings for the
+        files it lints — same rules, same keys, no subset-only noise."""
+        cli = TestCli()
+        changed_proc = cli.run_cli("--changed", "--json", "--no-baseline")
+        if "no changed files" in changed_proc.stdout:
+            pytest.skip("working tree matches main: nothing to compare")
+        assert changed_proc.returncode in (0, 1), changed_proc.stderr
+        changed_report = json.loads(changed_proc.stdout)
+        from repro.lint.__main__ import changed_files
+
+        changed_paths = {
+            p.relative_to(REPO).as_posix() for p in changed_files(REPO)
+        }
+        full_proc = cli.run_cli("--json", "--no-baseline")
+        full_report = json.loads(full_proc.stdout)
+        full_on_changed = [
+            f for f in full_report["findings"] if f["path"] in changed_paths
+        ]
+        assert changed_report["findings"] == full_on_changed
+
+    def test_changed_excludes_explicit_paths(self):
+        proc = TestCli().run_cli("--changed", "src/repro/engine.py")
+        assert proc.returncode == 2
+        assert "mutually exclusive" in proc.stderr
+
+
+# ============================================================ baseline drift
+class TestBaselineDrift:
+    def test_drifted_pairs_stale_entry_with_moved_finding(self):
+        entry = {
+            "rule": "R4",
+            "path": "src/repro/x.py",
+            "context": "old_fn",
+            "code": "except Exception:",
+            "reason": "legacy fence",
+        }
+        baseline = Baseline([entry])
+        moved = Finding(
+            rule="R4",
+            path="src/repro/x.py",
+            line=42,
+            message="swallowed",
+            context="new_fn",
+            code="except Exception:",
+        )
+        new, old = baseline.split([moved])
+        assert new == [moved] and old == []
+        drifts = baseline.drifted([moved])
+        assert len(drifts) == 1
+        assert drifts[0]["old_context"] == "old_fn"
+        assert drifts[0]["new_context"] == "new_fn"
+        assert drifts[0]["line"] == 42
+
+    def test_truly_fixed_entry_is_stale_not_drifted(self):
+        entry = {
+            "rule": "R4",
+            "path": "src/repro/x.py",
+            "context": "old_fn",
+            "code": "except Exception:",
+            "reason": "legacy fence",
+        }
+        baseline = Baseline([entry])
+        baseline.split([])
+        assert baseline.unused() == [entry]
+        assert baseline.drifted([]) == []
+
+    def test_cli_reports_drift_loudly(self, tmp_path):
+        """A baseline entry whose context went stale must surface as a
+        loud BASELINE DRIFT line carrying both contexts — not as two
+        disconnected half-truths."""
+        entries = Baseline.load(default_baseline_path()).entries
+        assert entries, "live baseline unexpectedly empty"
+        mutated = [dict(e) for e in entries]
+        real_context = mutated[0]["context"]
+        mutated[0]["context"] = "renamed_away_fn"
+        drifted_path = tmp_path / "baseline.json"
+        drifted_path.write_text(json.dumps(mutated))
+
+        proc = TestCli().run_cli("--baseline", str(drifted_path))
+        assert proc.returncode == 1
+        assert "BASELINE DRIFT" in proc.stdout
+        assert "renamed_away_fn" in proc.stdout
+        assert real_context in proc.stdout
+
+        json_proc = TestCli().run_cli("--baseline", str(drifted_path), "--json")
+        report = json.loads(json_proc.stdout)
+        drifted = report["drifted_baseline_entries"]
+        assert len(drifted) == 1
+        assert drifted[0]["old_context"] == "renamed_away_fn"
+        assert drifted[0]["new_context"] == real_context

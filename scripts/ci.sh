@@ -51,6 +51,11 @@ python -m repro.bench --throughput --check
 if [ "${REPRO_SKIP_DETSAN:-0}" != "1" ]; then
     echo "== DetSan sweep (10 seeds x 4 streams) =="
     python -m repro.sanitize --seeds 10 --streams 4
+    # Cancel leg: seeded mid-flight cancels under the sanitizer must
+    # tear down cleanly — no orphaned queue slot, no leaked charged
+    # iterator, no cross-query mutation.
+    echo "== DetSan cancel sweep (5 seeds x 4 streams) =="
+    python -m repro.sanitize --seeds 5 --streams 4 --cancel
 else
     echo "== DetSan sweep skipped (REPRO_SKIP_DETSAN=1) =="
 fi

@@ -6,7 +6,8 @@ single-query latency. This bench replays N ∈ {1, 2, 4, 8} concurrent
 TPC-H streams through the :class:`~repro.executor.concurrent.
 ConcurrentRunner` — closed-loop sessions contending for per-segment
 slots under resource-queue admission — and records aggregate
-queries/sec plus p50/p99 tail latency into ``BENCH_throughput.json``.
+queries/sec, p50/p99 tail latency and admission wait-time percentiles
+into ``BENCH_throughput.json``.
 
     python -m repro.bench --throughput            # report + JSON artifact
     python -m repro.bench --throughput --check    # CI gate
@@ -130,6 +131,9 @@ def run_streams(seed: int, count: int) -> Dict[str, object]:
         "p50_s": batch.p50,
         "p99_s": batch.p99,
         "queue_wait_s": sum(o.queue_wait for o in batch.outcomes),
+        "wait_p50_s": batch.wait_percentile(50.0),
+        "wait_p95_s": batch.wait_percentile(95.0),
+        "wait_p99_s": batch.wait_percentile(99.0),
         "slot_wait_s": sum(o.slot_wait for o in batch.outcomes),
         "answers_match": mismatches == 0,
         "mismatches": mismatches,
@@ -153,6 +157,7 @@ def _append_history(out_path: str, runs: Dict[str, dict]) -> list:
             "qps": top["qps"],
             "p50_s": top["p50_s"],
             "p99_s": top["p99_s"],
+            "wait_p99_s": top["wait_p99_s"],
         }
     )
     return history
@@ -176,7 +181,7 @@ def run_throughput(
     print_figure(
         "Throughput: N concurrent TPC-H streams (simulated clock)",
         ["streams", "queries", "makespan s", "qps", "p50 s", "p99 s",
-         "answers"],
+         "wait p50 s", "wait p99 s", "answers"],
         [
             (
                 entry["streams"],
@@ -185,12 +190,15 @@ def run_throughput(
                 entry["qps"],
                 entry["p50_s"],
                 entry["p99_s"],
+                entry["wait_p50_s"],
+                entry["wait_p99_s"],
                 "match" if entry["answers_match"] else "DIVERGED",
             )
             for entry in runs.values()
         ],
         notes=[
             "closed-loop streams; per-segment slots; resource-queue admission",
+            "wait pXX: admission (resource-queue) wait-time percentiles",
             "every answer compared bit-for-bit against a fresh serial run",
         ],
     )

@@ -281,6 +281,39 @@ def concurrent_streams(seed: int) -> List[List[str]]:
     return streams
 
 
+def _metered_concurrent_run(
+    engine: Engine,
+    injector: FaultInjector,
+    streams: List[List[str]],
+    starts: List[float],
+    ends: List[float],
+    queues: Optional[Dict[int, str]] = None,
+):
+    """Run the streams concurrently while metering submission windows
+    on the injector's chaos clock. The clock right before each pulse
+    closes the *previous* submission's window; right after it opens the
+    next one's. A kill must land between a statement's own start and
+    end to be mid-query."""
+
+    def before_query(stream_id, index):
+        ends.append(injector.clock)
+        injector.pulse(STATEMENT_QUANTUM)
+        starts.append(injector.clock)
+
+    runner = ConcurrentRunner(
+        engine,
+        streams,
+        queues=queues,
+        trace=True,
+        allow_failures=True,
+        before_query=before_query,
+    )
+    batch = runner.run()
+    ends.append(injector.clock)
+    del ends[0]  # clock before the first statement's pulse
+    return runner, batch
+
+
 def run_concurrent_phase(
     engine: Engine, seed: int, violations: List[str]
 ) -> int:
@@ -303,35 +336,15 @@ def run_concurrent_phase(
     streams = concurrent_streams(seed)
     total = sum(len(s) for s in streams)
 
-    def metered_run(injector, starts, ends):
-        def before_query(stream_id, index):
-            # The chaos clock right before the pulse closes the
-            # *previous* statement's scan window; right after it opens
-            # this statement's. The kill must land between a
-            # statement's own start and end to be mid-query.
-            ends.append(injector.clock)
-            injector.pulse(STATEMENT_QUANTUM)
-            starts.append(injector.clock)
-
-        runner = ConcurrentRunner(
-            engine,
-            streams,
-            trace=True,
-            allow_failures=True,
-            before_query=before_query,
-        )
-        batch = runner.run()
-        ends.append(injector.clock)
-        del ends[0]  # clock before the first statement's pulse
-        return runner, batch
-
     # Fault-free twin: expected rows, touched segments, scan windows.
     meter = FaultInjector(engine, FaultPlan())
     engine.attach_chaos(meter)
     starts: List[float] = []
     ends: List[float] = []
     try:
-        _runner, expected = metered_run(meter, starts, ends)
+        _runner, expected = _metered_concurrent_run(
+            engine, meter, streams, starts, ends
+        )
     finally:
         engine.chaos = None
         meter.detach()
@@ -362,7 +375,9 @@ def run_concurrent_phase(
     )
     engine.attach_chaos(injector)
     try:
-        chaos_runner, chaos = metered_run(injector, [], [])
+        chaos_runner, chaos = _metered_concurrent_run(
+            engine, injector, streams, [], []
+        )
     finally:
         engine.max_query_retries = saved_retries
         engine.chaos = None
@@ -406,6 +421,144 @@ def run_concurrent_phase(
             seen_ids.add(trace.query_id)
 
     heal(engine)
+    failed += run_admission_kill_phase(
+        engine, seed, violations, expected_by_key
+    )
+    heal(engine)
+    return failed
+
+
+def run_admission_kill_phase(
+    engine: Engine,
+    seed: int,
+    violations: List[str],
+    expected_by_key: Dict[Tuple[int, int], object],
+) -> int:
+    """Chaos inside the admission window: the same streams replay
+    through a one-slot resource queue, so at any instant one statement
+    executes while the other stream heads sit *parked* waiting for
+    admission — a mid-execution kill therefore lands inside the
+    waiters' admission windows. On top of the mid-flight phase's
+    properties:
+
+    * **waiters drain** — every submitted statement settles with rows
+      or a clean error; the failed query's slot is released, nobody
+      waits forever, and the closed-loop streams run to completion;
+    * parking provably happened (the queue's stats saw waiters), so
+      the kill overlapped admission waits;
+    * queue pressure changes no rows: the queued fault-free twin and
+      every chaos survivor stay bit-identical to the unqueued run.
+    """
+    session = engine.connect()
+    session.execute(
+        "CREATE RESOURCE QUEUE chaos_narrow WITH (active_statements=1)"
+    )
+    streams = concurrent_streams(seed)
+    total = sum(len(s) for s in streams)
+    queues = {sid: "chaos_narrow" for sid in range(len(streams))}
+
+    # Queued fault-free twin: parking reshapes every window, so the
+    # unqueued phase's windows cannot place this phase's kill.
+    meter = FaultInjector(engine, FaultPlan())
+    engine.attach_chaos(meter)
+    starts: List[float] = []
+    ends: List[float] = []
+    try:
+        _runner, queued = _metered_concurrent_run(
+            engine, meter, streams, starts, ends, queues
+        )
+    finally:
+        engine.chaos = None
+        meter.detach()
+    queued_by_key = {}
+    for outcome in queued.outcomes:
+        if outcome.error is not None:
+            violations.append(
+                f"admission-window fault-free run failed: {outcome.error}"
+            )
+            return 0
+        queued_by_key[(outcome.stream, outcome.index)] = outcome
+        twin = expected_by_key[(outcome.stream, outcome.index)]
+        if outcome.rows != twin.rows:
+            violations.append(
+                f"queue pressure changed rows: stream {outcome.stream} "
+                f"stmt {outcome.index} diverges from the unqueued run"
+            )
+    if not any(o.queue_wait > 0 for o in queued.outcomes):
+        violations.append(
+            "admission-window phase: a one-slot queue under "
+            f"{len(streams)} streams parked nobody"
+        )
+        return 0
+
+    rng = DeterministicRng(seed, "chaos-concurrent", "admission-kill")
+    victim = rng.randrange(engine.num_segments)
+    candidates = [
+        k for k in range(total) if ends[k] - starts[k] > 1e-6
+    ] or list(range(total))
+    target = candidates[rng.randrange(len(candidates))]
+    kill_at = (starts[target] + ends[target]) / 2
+
+    saved_retries = engine.max_query_retries
+    engine.max_query_retries = 0
+    injector = FaultInjector(
+        engine,
+        FaultPlan(events=[
+            FaultEvent(at=kill_at, kind="kill_segment", target=victim)
+        ]),
+    )
+    engine.attach_chaos(injector)
+    try:
+        chaos_runner, chaos = _metered_concurrent_run(
+            engine, injector, streams, [], [], queues
+        )
+    finally:
+        engine.max_query_retries = saved_retries
+        engine.chaos = None
+        injector.detach()
+
+    failed = 0
+    settled = 0
+    for outcome in chaos.outcomes:
+        twin = queued_by_key[(outcome.stream, outcome.index)]
+        if outcome.error is not None or outcome.rows is not None:
+            settled += 1
+        if outcome.error is not None:
+            failed += 1
+            if victim not in twin.segments:
+                violations.append(
+                    f"admission-window kill of seg{victim} failed stream "
+                    f"{outcome.stream} stmt {outcome.index}, whose slices "
+                    f"touch only {twin.segments}"
+                )
+            if "QueryRetriesExhausted" not in outcome.error:
+                violations.append(
+                    f"admission-window kill: stream {outcome.stream} stmt "
+                    f"{outcome.index} failed NON-CLEANLY: {outcome.error}"
+                )
+        elif outcome.rows != twin.rows:
+            violations.append(
+                f"admission-window survivor diverged: stream "
+                f"{outcome.stream} stmt {outcome.index} rows differ "
+                "from fault-free run"
+            )
+    if len(chaos.outcomes) != total or settled != total:
+        violations.append(
+            "admission-window waiters did not drain: "
+            f"{settled}/{total} statements settled"
+        )
+    stats = chaos.queue_stats.get("chaos_narrow")
+    if stats is None or stats.parked == 0:
+        violations.append(
+            "admission-window kill replay parked nobody: the kill "
+            "cannot have overlapped an admission wait"
+        )
+
+    for session in chaos_runner.sessions:
+        for trace in session.tracer.queries:
+            violations.extend(rpc_closure_violations(trace))
+            violations.extend(trace_query_id_violations(trace))
+
     return failed
 
 

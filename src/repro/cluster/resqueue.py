@@ -229,10 +229,13 @@ class ResourceQueueManager:
             self._metrics.counter(
                 "resqueue_admitted", queue=state.spec.name
             ).inc()
-            if wait > 0:
-                self._metrics.histogram(
-                    "resqueue_wait_seconds", queue=state.spec.name
-                ).observe(wait)
+            # Observe every wait, including 0.0 for immediate admission:
+            # the histogram's count then equals admissions, so wait-time
+            # percentiles cover the whole workload, not only the parked
+            # statements.
+            self._metrics.histogram(
+                "resqueue_wait_seconds", queue=state.spec.name
+            ).observe(wait)
         on_admit(now)
 
     # --------------------------------------------------------------- release
@@ -260,6 +263,35 @@ class ResourceQueueManager:
             self._metrics.gauge(
                 "resqueue_depth", queue=state.spec.name
             ).set(len(state.waiting))
+
+    # ---------------------------------------------------------------- cancel
+    def cancel(self, query_id: int, now: float) -> bool:
+        """Withdraw a query from admission control.
+
+        A parked waiter is removed without ever firing its ``on_admit``
+        (cancel-while-queued); a running query's slot is released as if
+        it had finished, which may drain waiters behind it. Returns True
+        when the query was known to any queue. Never raises: cancelling
+        an unknown id is a silent no-op, mirroring
+        ``pg_cancel_backend``.
+        """
+        if query_id in self._owner:
+            self.release(query_id, now)
+            return True
+        for name, state in sorted(self._queues.items()):
+            for index, waiter in enumerate(state.waiting):
+                if waiter.query_id != query_id:
+                    continue
+                state.waiting.pop(index)
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "resqueue_cancelled", queue=state.spec.name
+                    ).inc()
+                    self._metrics.gauge(
+                        "resqueue_depth", queue=state.spec.name
+                    ).set(len(state.waiting))
+                return True
+        return False
 
     # ------------------------------------------------------------ inspection
     def depth(self, queue_name: str) -> int:

@@ -119,9 +119,28 @@ class RpcBus:
     def register(
         self, name: str, handler: Callable[[RpcMessage], None]
     ) -> RpcChannel:
-        """Bind ``name`` to a fresh (host, port) endpoint on the net."""
-        if name in self.channels:
+        """Bind ``name`` to a fresh (host, port) endpoint on the net.
+
+        A name whose channel was dropped may be re-registered — that is
+        a replacement process reviving a dead segment's endpoint. The
+        old address stays reachable (stray datagrams to it still vanish
+        at the closed channel); the revived endpoint listens on a fresh
+        port. Re-registering a live name is still an error.
+        """
+        existing = self.channels.get(name)
+        if existing is not None and existing.open:
             raise InterconnectError(f"rpc name already bound: {name}")
+        if existing is not None:
+            # Unbind the dead endpoint's port: datagrams addressed to
+            # the old process drop at the net, never at the new one.
+            self._net.unregister(existing.address)
+            if self.trace is not None:
+                # Revival is trace-visible, like the drop was: a
+                # COMPLETE from the replacement process must not read
+                # as the dead one reporting posthumously.
+                on_revive = getattr(self.trace, "on_revive", None)
+                if on_revive is not None:
+                    on_revive(name)
         address = (_RPC_HOST, next(self._ports))
         self._net.register(address, lambda d: self._receive(name, d))
         channel = RpcChannel(name=name, address=address)

@@ -26,6 +26,7 @@ from typing import Callable, Iterator, List
 
 from repro.catalog.service import CATALOG_RELATION_COLUMNS
 from repro.cluster.rpc import (
+    ABORT,
     ACK,
     ACK_BYTES,
     COMPLETE,
@@ -37,7 +38,7 @@ from repro.cluster.rpc import (
     TaskReport,
     charge_control,
 )
-from repro.errors import SegmentDown
+from repro.errors import QueryCanceled, SegmentDown
 from repro.executor.slice_runner import SliceExecutor, SliceProviders
 from repro.interconnect.exchange import ExchangeFabric
 from repro.planner.dispatch import QD_SEGMENT, SelfDescribedPlan
@@ -71,6 +72,10 @@ class WorkerServices:
     #: Optional :class:`repro.sanitize.DetSan`: when set, each
     #: dispatched task executes inside its query's sanitizer scope.
     detsan: object = None
+    #: ``query_id -> bool``: pending-cancellation probe (the engine's
+    #: :meth:`~repro.engine.Engine.is_cancelled`). Workers refuse new
+    #: slices and scan lanes for a cancelled query. None disables.
+    is_cancelled: Callable[[int], bool] = None
 
 
 class SegmentWorker:
@@ -99,9 +104,18 @@ class SegmentWorker:
 
     # --------------------------------------------------------------- messages
     def _on_message(self, message: RpcMessage) -> None:
+        if message.kind == ABORT:
+            # The master is tearing a query down. Tasks run to completion
+            # within one bus delivery, so there is nothing mid-flight to
+            # interrupt — but drop the instrumentation stash if it still
+            # points at the aborted query so later scans cannot attribute
+            # marks to a dead trace.
+            if self._ctx is not None and self._ctx.query_id == message.query_id:
+                self._task = None
+                self._ctx = None
+            return
         if message.kind != DISPATCH:
-            return  # ABORT (or unknown): nothing mid-flight to cancel —
-            # tasks run to completion within one bus delivery.
+            return  # unknown kind: ignore, UDP-style
         detsan = self.services.detsan
         if detsan is not None:
             # Attribute every mutation this task performs (block cache,
@@ -113,6 +127,15 @@ class SegmentWorker:
 
     def _run_dispatch(self, message: RpcMessage) -> None:
         task, root, sdp, ctx = message.payload
+        probe = self.services.is_cancelled
+        if probe is not None and probe(ctx.query_id):
+            # Refuse the slice outright: the master's abort broadcast and
+            # this dispatch can cross on the wire, and a cancelled query
+            # must not start new work it would only throw away.
+            raise QueryCanceled(
+                f"query {ctx.query_id} cancelled; "
+                f"slice {task.slice_id} refused by {self.name}"
+            )
         # One task at a time (synchronous bus delivery): stash the task
         # and context so scan instrumentation can reach them without
         # threading extra parameters through every provider signature.
@@ -275,6 +298,15 @@ class SegmentWorker:
         while a generator is being closed would corrupt the unwind."""
         services = self.services
         services.chaos_point(segment_id=segment_id)
+        probe = services.is_cancelled
+        if probe is not None and self._ctx is not None and probe(
+            self._ctx.query_id
+        ):
+            # Cancellation point between lanes: a long multi-segfile scan
+            # observes the cancel request without finishing every lane.
+            raise QueryCanceled(
+                f"query {self._ctx.query_id} cancelled mid-scan"
+            )
         model = acc.model
         codec = get_codec(meta.compression)
         io_factor = (
@@ -293,6 +325,11 @@ class SegmentWorker:
         cache = services.block_cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
+        if services.metrics is not None:
+            # Paired open/close counters: equal totals prove no charged
+            # scan iterator leaked, even across cancels (the sanitizer's
+            # cancel sweep asserts opened == closed).
+            services.metrics.counter("charged_scans_opened").inc()
         try:
             yield from scan_fn(
                 client,
@@ -304,6 +341,8 @@ class SegmentWorker:
                 cache=services.block_cache,
             )
         finally:
+            if services.metrics is not None:
+                services.metrics.counter("charged_scans_closed").inc()
             acc.disk_read(int(stats.compressed_bytes * io_factor))
             acc.cpu_bytes(
                 stats.uncompressed_bytes,

@@ -52,6 +52,7 @@ from repro.errors import (
     ExecutorError,
     HdfsError,
     MasterUnavailable,
+    QueryCanceled,
     QueryRetriesExhausted,
     ReproError,
     SegmentDown,
@@ -166,6 +167,14 @@ class Engine:
         #: (set by :meth:`Session._execute_attempt`); chaos kills reach
         #: workers by dropping their RPC channel on this runtime.
         self._active_runtime: Optional[DistributedRuntime] = None
+        #: Query ids with a pending cancellation request. Serial
+        #: dispatch notices at the next wave boundary; workers refuse
+        #: new slices and scan lanes for a cancelled id; the concurrent
+        #: driver is additionally notified through ``_cancel_notify``.
+        self._cancel_requests: set = set()
+        #: Callback installed by the in-flight concurrent batch so a
+        #: ``Session.cancel`` lands as a scheduler event immediately.
+        self._cancel_notify = None
 
         self.hdfs = Hdfs(block_size=block_size, replication=replication, seed=seed)
         self.hosts = [f"host{i}" for i in range(num_segment_hosts)]
@@ -233,6 +242,25 @@ class Engine:
         the next attempt spawns fresh workers against failover hosts)."""
         if self._active_runtime is not None:
             self._active_runtime.bus.drop(f"seg{segment_id}")
+
+    # ----------------------------------------------------------- cancellation
+    def cancel_query(self, query_id: int) -> None:
+        """Request cancellation of an in-flight statement by id.
+
+        Serial dispatch notices at its next wave boundary; segment
+        workers refuse further slices and scan lanes tagged with the
+        id; a running concurrent batch is notified immediately so the
+        cancellation lands as a scheduler event at the current
+        simulated time. Cancelling an unknown or finished id is a
+        silent no-op (the pg_cancel_backend contract).
+        """
+        self._cancel_requests.add(query_id)
+        if self._cancel_notify is not None:
+            self._cancel_notify(query_id)
+
+    def is_cancelled(self, query_id: int) -> bool:
+        """True when ``query_id`` has a pending cancellation request."""
+        return query_id in self._cancel_requests
 
     def recover_segment(self, segment_id: int) -> None:
         self.fault_detector.recover_segment(segment_id)
@@ -325,12 +353,16 @@ class Engine:
             num_segments=self.num_segments,
             metrics=self.metrics,
             detsan=self.detsan,
+            is_cancelled=self.is_cancelled,
         )
         bus.metrics = self.metrics
         exchange.metrics = self.metrics
         for segment in self.segments:
             SegmentWorker(segment.segment_id, bus, exchange, services)
         SegmentWorker(QD_SEGMENT, bus, exchange, services)
+        # The concurrent driver revives killed workers mid-batch (chaos
+        # retries) by re-instantiating them against the same services.
+        runtime.services = services
         self.metrics.counter("workers_spawned").inc(self.num_segments + 1)
         return runtime
 
@@ -357,6 +389,10 @@ class Session:
         #: ``SET resource_queue = name`` routes this session's queries
         #: through a specific queue instead of the role's default.
         self._queue_override: Optional[str] = None
+        #: ``SET statement_timeout = <simulated seconds>``: a SELECT
+        #: whose composed elapsed time crosses this is cancelled with
+        #: :class:`~repro.errors.QueryCanceled`. 0.0 disables.
+        self.statement_timeout = 0.0
 
     # ------------------------------------------------------------ public api
     def execute(self, sql: str, params: Sequence[object] = ()) -> QueryResult:
@@ -372,6 +408,12 @@ class Session:
     def query(self, sql: str) -> List[tuple]:
         """Convenience: execute and return rows only."""
         return self.execute(sql).rows
+
+    def cancel(self, query_id: int) -> None:
+        """Cancel an in-flight statement by its engine-wide query id
+        (the pg_cancel_backend stand-in — any session may cancel any
+        statement). No-op for unknown or already-finished ids."""
+        self.engine.cancel_query(query_id)
 
     @property
     def in_transaction(self) -> bool:
@@ -528,6 +570,21 @@ class Session:
                 )
             self._queue_override = value
             return _ok("SET")
+        if stmt.name == "statement_timeout":
+            value = str(stmt.value).lower()
+            if value in ("off", "0", ""):
+                self.statement_timeout = 0.0
+                return _ok("SET")
+            try:
+                seconds = float(value)
+            except ValueError:
+                raise SqlError(
+                    f"invalid statement_timeout value {stmt.value!r}"
+                ) from None
+            if seconds < 0:
+                raise SqlError("statement_timeout may not be negative")
+            self.statement_timeout = seconds
+            return _ok("SET")
         return _ok("SET")  # other GUCs are accepted and ignored
 
     # ------------------------------------------------------------- security
@@ -566,6 +623,75 @@ class Session:
             queue.release()
         self.last_plan = result.plan
         return result
+
+    def prepare_select(self, sql: str) -> Optional["PreparedSelect"]:
+        """Front-half of one SELECT for the event-driven concurrent
+        driver: parse, analyze, lock, plan, and allocate the query id
+        and trace — without dispatching anything.
+
+        Returns a :class:`PreparedSelect` whose plan the driver feeds
+        to the shared runtime wave-by-wave as scheduler events; the
+        statement's implicit transaction stays open until the driver
+        calls :meth:`PreparedSelect.finish` (or :meth:`~PreparedSelect.
+        fail`). Non-SELECT statements (and multi-statement strings)
+        return None — the driver executes those synchronously through
+        :meth:`execute`.
+        """
+        statements = parse_sql(sql)
+        if len(statements) != 1 or not isinstance(statements[0], ast.SelectStmt):
+            return None
+        stmt = statements[0]
+        engine = self.engine
+        metrics_before = engine.metrics.snapshot()
+        wal_before = len(engine.txns.wal)
+        txn = engine.txns.begin(self.default_isolation)
+        try:
+            snapshot = txn.statement_snapshot()
+            analyzer = Analyzer(_CatalogAdapter(engine.catalog, snapshot))
+            query = analyzer.analyze(stmt)
+            for name in _tables_of(query):
+                if name in CATALOG_RELATION_COLUMNS:
+                    continue  # catalog reads are unlocked, world-readable
+                txn.lock(f"rel:{name}", LockMode.ACCESS_SHARE)
+                self._check_privilege("select", name, txn)
+            plan = self._plan(query, snapshot)
+            queue = self._resource_queue()
+            query_id = next(engine._query_ids)
+            trace = (
+                self.tracer.begin_query(query_id=query_id)
+                if self.trace_enabled
+                else None
+            )
+            sdp = build_self_described_plan(plan, engine.catalog, snapshot)
+            ctx = ExecutionContext(
+                num_segments=engine.num_segments,
+                cost_model=engine.cost_model,
+                interconnect=engine.interconnect,
+                pipelined=engine.pipelined,
+                work_mem=min(engine.work_mem, queue.memory_limit),
+                executor_mode=engine.executor_mode,
+                metadata_dispatch=engine.metadata_dispatch,
+                trace=trace,
+                kernel_cache=engine.kernel_cache,
+                query_id=query_id,
+            )
+        except Exception:
+            engine.txns.abort(txn)
+            raise
+        return PreparedSelect(
+            session=self,
+            txn=txn,
+            plan=plan,
+            sdp=sdp,
+            ctx=ctx,
+            query_id=query_id,
+            trace=trace,
+            queue_name=queue.name,
+            memory=min(engine.work_mem, queue.memory_limit),
+            statement_timeout=self.statement_timeout,
+            metrics_before=metrics_before,
+            wal_before=wal_before,
+        )
 
     def _plan(self, query: LogicalQuery, snapshot: Snapshot):
         engine = self.engine
@@ -625,37 +751,44 @@ class Session:
         )
         retries = 0
         backoff_seconds = 0.0
-        while True:
-            if engine.run_fault_detection():
-                # Sessions randomly fail down segments over to live hosts.
-                engine.fault_detector.assign_failover()
-            try:
-                result = self._execute_attempt(
-                    plan, snapshot, txn, trace, query_id=query_id
-                )
-            except (SegmentDown, HdfsError) as exc:
+        try:
+            while True:
+                if engine.run_fault_detection():
+                    # Sessions randomly fail down segments over to live
+                    # hosts.
+                    engine.fault_detector.assign_failover()
+                try:
+                    result = self._execute_attempt(
+                        plan, snapshot, txn, trace, query_id=query_id
+                    )
+                except (SegmentDown, HdfsError) as exc:
+                    if trace is not None:
+                        # Close outstanding DISPATCHes of the failed
+                        # attempt (idempotent: the runtime's own abort
+                        # path may have closed them already; a
+                        # _gather-raised SegmentDown reaches only this
+                        # handler).
+                        trace.attempt_aborted()
+                    retries += 1
+                    if retries > engine.max_query_retries:
+                        raise QueryRetriesExhausted(
+                            f"query failed after {engine.max_query_retries} "
+                            f"restarts: {exc}"
+                        ) from exc
+                    backoff_seconds += engine.retry_backoff * (2 ** (retries - 1))
+                    if engine.metrics is not None:
+                        engine.metrics.counter("query_retries").inc()
+                    continue
+                result.retries = retries
+                result.cost.seconds += backoff_seconds
                 if trace is not None:
-                    # Close outstanding DISPATCHes of the failed attempt
-                    # (idempotent: the runtime's own abort path may have
-                    # closed them already; a _gather-raised SegmentDown
-                    # reaches only this handler).
-                    trace.attempt_aborted()
-                retries += 1
-                if retries > engine.max_query_retries:
-                    raise QueryRetriesExhausted(
-                        f"query failed after {engine.max_query_retries} "
-                        f"restarts: {exc}"
-                    ) from exc
-                backoff_seconds += engine.retry_backoff * (2 ** (retries - 1))
-                if engine.metrics is not None:
-                    engine.metrics.counter("query_retries").inc()
-                continue
-            result.retries = retries
-            result.cost.seconds += backoff_seconds
-            if trace is not None:
-                trace.finalize(result)
-                result.trace = trace
-            return result
+                    trace.finalize(result)
+                    result.trace = trace
+                return result
+        finally:
+            # A pending cancel is consumed with the statement — a later
+            # query must never inherit it.
+            engine._cancel_requests.discard(query_id)
 
     def _execute_attempt(
         self, plan, snapshot: Snapshot, txn: Transaction, trace=None,
@@ -682,11 +815,12 @@ class Session:
             trace.begin_attempt()
             runtime.bus.trace = trace
             runtime.exchange.trace = trace
+        previous_runtime = engine._active_runtime
         engine._active_runtime = runtime
         try:
-            return runtime.execute(plan, sdp, ctx)
+            return runtime.execute(plan, sdp, ctx, check=self._wave_check)
         finally:
-            engine._active_runtime = None
+            engine._active_runtime = previous_runtime
             net = runtime.net
             engine.metrics.counter(
                 "datagrams_delivered", mode=engine.interconnect
@@ -695,6 +829,25 @@ class Session:
                 engine.metrics.counter(
                     "datagrams_dropped", mode=engine.interconnect
                 ).inc(net.dropped)
+
+    def _wave_check(self, dispatch, wave_index: int) -> None:
+        """Serial-path cancellation point, run after each wave settles.
+
+        Raises :class:`QueryCanceled` when the statement has a pending
+        cancel request, or when ``statement_timeout`` is set and the
+        deterministic elapsed time (partial-DAG makespan plus master
+        charges) has crossed it. The runtime's abort path then closes
+        the attempt cleanly.
+        """
+        query_id = dispatch.ctx.query_id
+        if self.engine.is_cancelled(query_id):
+            raise QueryCanceled(f"query {query_id} cancelled by request")
+        timeout = self.statement_timeout
+        if timeout > 0 and dispatch.elapsed_seconds(wave_index) > timeout:
+            raise QueryCanceled(
+                f"query {query_id} cancelled: statement_timeout of "
+                f"{timeout}s exceeded"
+            )
 
     # ---------------------------------------------------------------- INSERT
     def _insert(self, stmt: ast.InsertStmt, txn: Transaction) -> QueryResult:
@@ -1322,6 +1475,63 @@ class Session:
             cost=QueryCost(seconds=self.engine.cost_model.query_setup),
             plan=plan,
         )
+
+
+@dataclass
+class PreparedSelect:
+    """One SELECT's front-half, handed to the concurrent driver.
+
+    Produced by :meth:`Session.prepare_select`. The statement's
+    implicit transaction is already open and its locks held; the driver
+    owns the back half — wave dispatch on the shared runtime as
+    scheduler events — and must settle the statement through exactly
+    one of :meth:`finish` (commit + per-statement metrics attribution +
+    trace finalization) or :meth:`fail` (abort).
+    """
+
+    session: "Session"
+    txn: Transaction
+    plan: object
+    sdp: object
+    ctx: ExecutionContext
+    query_id: int
+    trace: Optional[object]
+    queue_name: str
+    #: Admission memory ask: the session's work_mem clamped to the
+    #: queue's limit (what ResourceQueueManager charges the slot).
+    memory: float
+    #: The session's ``statement_timeout`` at prepare time (0 = off).
+    statement_timeout: float
+    metrics_before: object
+    wal_before: int
+    settled: bool = False
+
+    def finish(self, result: QueryResult) -> None:
+        """Commit the statement and attribute its metrics and trace."""
+        if self.settled:
+            return
+        self.settled = True
+        engine = self.session.engine
+        engine.txns.commit(self.txn)
+        engine.metrics.counter("statements").inc()
+        wal_delta = len(engine.txns.wal) - self.wal_before
+        if wal_delta:
+            engine.metrics.counter("wal_records").inc(wal_delta)
+        result.metrics = engine.metrics.snapshot().diff(self.metrics_before)
+        if self.trace is not None:
+            self.trace.finalize(result)
+            result.trace = self.trace
+        self.session.last_plan = result.plan
+        engine._cancel_requests.discard(self.query_id)
+
+    def fail(self) -> None:
+        """Abort the statement's transaction (error or cancellation)."""
+        if self.settled:
+            return
+        self.settled = True
+        engine = self.session.engine
+        engine.txns.abort(self.txn)
+        engine._cancel_requests.discard(self.query_id)
 
 
 def _trace_annotator(trace):

@@ -69,6 +69,16 @@ class ExecutorError(ReproError):
     """Runtime failure while executing a plan."""
 
 
+class QueryCanceled(ReproError):
+    """A statement was cancelled — by :meth:`Session.cancel`, or by the
+    ``statement_timeout`` GUC expiring on the simulated clock.
+
+    Deliberately *not* a :class:`ClusterError`: cancellation is a user
+    decision, so the session's bounded-restart loop must never retry it
+    and chaos recovery paths must never treat it as a segment fault.
+    """
+
+
 class TransactionError(ReproError):
     """Base class for transaction-management errors."""
 

@@ -37,8 +37,9 @@ from repro.cluster.rpc import (
     RpcBus,
     RpcMessage,
     TaskReport,
+    charge_control,
 )
-from repro.errors import ExecutorError, SegmentDown
+from repro.errors import ExecutorError, ReproError, SegmentDown
 from repro.interconnect.exchange import ExchangeFabric
 from repro.obs.metrics import MetricsSnapshot
 from repro.network.simnet import SimNetwork
@@ -129,166 +130,179 @@ class QueryResult:
     #: composing many queries onto shared per-segment slots. None for
     #: undispatched statements.
     task_graph: Optional[TaskGraph] = None
+    #: Simulated seconds this statement waited for resource-queue
+    #: admission (0.0 when the slot was free at submit, and for the
+    #: serial path where every queue is idle).
+    queue_wait_seconds: float = 0.0
+    #: Absolute simulated time the resource queue admitted the
+    #: statement (equals submit time + queue_wait_seconds; 0.0 on the
+    #: serial path).
+    admitted_at: float = 0.0
 
 
-class DistributedRuntime:
-    """The QD's dispatcher: one instance per execution attempt.
+class QueryDispatch:
+    """One plan execution's master-side state, addressable mid-flight.
 
-    Owns the master's RPC endpoint; workers are registered on the same
-    bus by the engine before :meth:`execute` is called.
+    Holds the wave list, the master cost accumulator, and the
+    ACK/COMPLETE routing tables for a single in-flight
+    :class:`~repro.planner.physical.PhysicalPlan`. The serial driver
+    (:meth:`DistributedRuntime.execute`) walks the waves synchronously;
+    the concurrent driver dispatches each wave from a scheduler event,
+    with many dispatches in flight on the same runtime — replies route
+    back here by the message's ``query_id``.
     """
 
-    def __init__(self, net: SimNetwork, bus: RpcBus, exchange: ExchangeFabric):
-        self.net = net
-        self.bus = bus
-        self.exchange = exchange
-        self._reports: Dict[TaskKey, TaskReport] = {}
-        self._acks: Dict[TaskKey, str] = {}
-        bus.register(MASTER, self._on_message)
-
-    # --------------------------------------------------------------- messages
-    def _on_message(self, message: RpcMessage) -> None:
-        if message.kind == ACK:
-            slice_id, segment = message.payload
-            self._acks[(slice_id, segment)] = message.sender
-        elif message.kind == COMPLETE:
-            report: TaskReport = message.payload
-            self._reports[(report.slice_id, report.segment)] = report
-
-    # ----------------------------------------------------------------- driver
-    def execute(
-        self, plan: PhysicalPlan, sdp: SelfDescribedPlan, ctx: ExecutionContext
-    ) -> QueryResult:
-        """Dispatch a sliced physical plan and gather its result."""
-        # InitPlans first: their single values become this plan's
-        # parameters. Parameters are scoped per PhysicalPlan (nested
-        # init plans resolve their own), so run with a fresh param list.
-        init_seconds = 0.0
-        if plan.init_plans:
-            params: List[object] = []
-            for init_plan in plan.init_plans:
-                sub = self.execute(
-                    init_plan, sdp, dataclasses.replace(ctx, params=[])
-                )
-                if len(sub.rows) > 1:
-                    raise ExecutorError("InitPlan returned more than one row")
-                params.append(sub.rows[0][0] if sub.rows else None)
-                init_seconds += sub.cost.seconds
-            ctx = dataclasses.replace(ctx, params=params)
-
-        # Init plans reuse slice ids; never let their streams leak in.
-        self.exchange.reset()
-        self._reports.clear()
-        self._acks.clear()
-
-        model = ctx.cost_model
-        master_acc = CostAccumulator(model)
-        master_acc.fixed(model.query_setup)
-        waves = make_slice_tasks(plan, sdp, ctx.num_segments)
-        roots = {s.slice_id: s.root for s in plan.slices}
-        try:
-            for wave in waves:
-                self._dispatch_wave(wave, roots, sdp, ctx, master_acc)
-                # Drain the net: DISPATCH delivery runs each worker's
-                # task synchronously, and their motion streams + control
-                # replies settle before the next (consumer) wave goes out.
-                self.net.run()
-        except Exception:
-            # Best-effort abort to the surviving workers, then let the
-            # session's restart loop see the original failure. The trace
-            # synthesizes closures for tasks that will never report.
-            self._broadcast_abort(query_id=ctx.query_id)
-            if ctx.trace is not None:
-                ctx.trace.attempt_aborted()
-            raise
-        return self._gather(plan, waves, ctx, master_acc, init_seconds)
-
-    def _dispatch_wave(
+    def __init__(
         self,
-        wave: List[SliceTask],
-        roots: Dict[int, object],
+        runtime: "DistributedRuntime",
+        plan: PhysicalPlan,
         sdp: SelfDescribedPlan,
         ctx: ExecutionContext,
-        master_acc: CostAccumulator,
-    ) -> None:
+        init_seconds: float = 0.0,
+    ):
+        self.runtime = runtime
+        self.plan = plan
+        self.sdp = sdp
+        self.ctx = ctx
+        self.init_seconds = init_seconds
         model = ctx.cost_model
-        master_acc.fixed(model.gang_setup)
-        for task in wave:
-            master_acc.fixed(model.dispatch_per_segment)
+        self.master_acc = CostAccumulator(model)
+        self.master_acc.fixed(model.query_setup)
+        self.waves = make_slice_tasks(plan, sdp, ctx.num_segments)
+        self.roots = {s.slice_id: s.root for s in plan.slices}
+        self.reports: Dict[TaskKey, TaskReport] = {}
+        self.acks: Dict[TaskKey, str] = {}
+        self.closed = False
+        # Nested executions share a query id (a query's init plans are
+        # plans of the same statement); shadow the outer entry and
+        # restore it at close.
+        self._shadow = runtime._inflight.get(ctx.query_id)
+        runtime._inflight[ctx.query_id] = self
+
+    @property
+    def wave_count(self) -> int:
+        return len(self.waves)
+
+    def wave_keys(self, index: int) -> List[TaskKey]:
+        """The (slice_id, segment) keys of one wave's tasks."""
+        return [(t.slice_id, t.segment) for t in self.waves[index]]
+
+    def predicted_overhead(self) -> float:
+        """The master-side seconds this dispatch *will* charge.
+
+        The master's charges are a pure function of the wave structure
+        (fixed setup/dispatch costs plus control-message wire time), so
+        replaying the exact ``fixed()`` sequence on a scratch
+        accumulator — same ops, same order — reproduces the eventual
+        ``master_acc.seconds`` float-exactly *before* any wave goes
+        out. The concurrent driver releases wave-0 tasks at admit time
+        plus this value, which keeps ``charged_seconds =
+        serial_seconds + queue_wait`` exact under interleaving.
+        """
+        model = self.ctx.cost_model
+        scratch = CostAccumulator(model)
+        scratch.fixed(model.query_setup)
+        for wave in self.waves:
+            scratch.fixed(model.gang_setup)
+            for task in wave:
+                scratch.fixed(model.dispatch_per_segment)
+                if task.segment == QD_SEGMENT:
+                    continue
+                if not self.ctx.metadata_dispatch:
+                    lookups = max(len(self.sdp.metadata), 1) * 4
+                    scratch.fixed(model.catalog_rpc * lookups)
+                    charge_control(scratch, CATALOG_LOOKUP_BYTES)
+                else:
+                    charge_control(scratch, task.payload_bytes)
+        return scratch.seconds + self.init_seconds
+
+    def dispatch_wave(self, index: int) -> None:
+        """Send one wave's DISPATCH messages (children-first order)."""
+        model = self.ctx.cost_model
+        bus = self.runtime.bus
+        self.master_acc.fixed(model.gang_setup)
+        for task in self.waves[index]:
+            self.master_acc.fixed(model.dispatch_per_segment)
             message = RpcMessage(
                 kind=DISPATCH,
                 sender=MASTER,
-                payload=(task, roots[task.slice_id], sdp, ctx),
+                payload=(task, self.roots[task.slice_id], self.sdp, self.ctx),
                 size=task.payload_bytes,
-                query_id=ctx.query_id,
+                query_id=self.ctx.query_id,
             )
             if task.segment == QD_SEGMENT:
                 # Loopback dispatch to the master's own worker: no wire.
-                self.bus.send(MASTER, f"seg{task.segment}", message)
+                bus.send(MASTER, f"seg{task.segment}", message)
                 continue
-            if not ctx.metadata_dispatch:
+            if not self.ctx.metadata_dispatch:
                 # Ablation: the plan goes out thin and the QE turns
                 # around and storms the master's catalog, one RPC per
                 # object it needs (schema, files, stats, types).
-                lookups = max(len(sdp.metadata), 1) * 4
-                master_acc.fixed(model.catalog_rpc * lookups)
+                lookups = max(len(self.sdp.metadata), 1) * 4
+                self.master_acc.fixed(model.catalog_rpc * lookups)
                 message.size = CATALOG_LOOKUP_BYTES
-            self.bus.send(MASTER, f"seg{task.segment}", message, acc=master_acc)
-
-    def _broadcast_abort(self, query_id: int = 0) -> None:
-        for name, channel in sorted(self.bus.channels.items()):
-            if name == MASTER or not channel.open:
-                continue
-            self.bus.send(
-                MASTER,
-                name,
-                RpcMessage(
-                    kind=ABORT, sender=MASTER, size=ABORT_BYTES,
-                    query_id=query_id,
-                ),
+            bus.send(
+                MASTER, f"seg{task.segment}", message, acc=self.master_acc
             )
 
-    # ----------------------------------------------------------------- gather
-    def _gather(
-        self,
-        plan: PhysicalPlan,
-        waves: List[List[SliceTask]],
-        ctx: ExecutionContext,
-        master_acc: CostAccumulator,
-        init_seconds: float,
-    ) -> QueryResult:
-        model = ctx.cost_model
-        missing = [
-            (task.slice_id, task.segment)
-            for wave in waves
-            for task in wave
-            if (task.slice_id, task.segment) not in self._reports
-        ]
-        if missing:
-            # A DISPATCH addressed to a channel that dropped before
-            # delivery vanishes silently (UDP semantics) — the master
-            # notices the worker's death here, at gather time.
-            dead = [
-                seg
-                for _sid, seg in missing
-                if not self.bus.is_open(f"seg{seg}")
-            ]
-            if dead:
-                raise SegmentDown(
-                    f"segment {dead[0]} died before completing its task"
-                )
-            raise ExecutorError(f"no completion report for tasks {missing[:4]}")
+    def abort(self) -> None:
+        """Clean up a failed or cancelled dispatch.
 
-        # Capture the task DAG as a portable TaskGraph (tasks and edges
-        # in the exact insertion order the serial schedule uses), then
-        # replay it: the graph is also attached to the result so the
-        # concurrent runtime can re-compose this query against others
-        # on shared per-segment slots.
+        Drains the net (already-queued deliveries run to completion;
+        their late replies route here and are discarded — a further
+        failure inside the drain is swallowed, the query is dead either
+        way), broadcasts a query-tagged ABORT to the surviving workers,
+        synthesizes trace closures for tasks that will never report,
+        and drops the query's exchange streams. The caller (session
+        restart loop or concurrent driver) owns the original exception.
+        """
+        self._drain()
+        self.runtime._broadcast_abort(query_id=self.ctx.query_id)
+        self._drain()
+        if self.ctx.trace is not None:
+            self.ctx.trace.attempt_aborted()
+        self.runtime.exchange.clear(self.ctx.query_id)
+        self.close()
+
+    def _drain(self) -> None:
+        # The query is already dead when abort() runs: the retry loop
+        # owns the *original* exception, so faults surfacing from queued
+        # deliveries during the drain carry no new information.
+        for _ in range(10_000):
+            try:
+                self.runtime.net.run()
+                return
+            except ReproError:  # lint: allow[R4] — abort drain, see above
+                continue
+        raise ExecutorError("abort drain did not settle")
+
+    def close(self) -> None:
+        """Deregister from the runtime's in-flight routing table."""
+        if self.closed:
+            return
+        self.closed = True
+        if self.runtime._inflight.get(self.ctx.query_id) is self:
+            if self._shadow is not None:
+                self.runtime._inflight[self.ctx.query_id] = self._shadow
+            else:
+                del self.runtime._inflight[self.ctx.query_id]
+
+    def task_graph(self, waves: List[List[SliceTask]]) -> TaskGraph:
+        """Compose the (possibly partial) task DAG of ``waves`` from
+        their COMPLETE reports.
+
+        Shared by :meth:`gather` (all waves) and the statement-timeout
+        check (the prefix of waves dispatched so far — motions into
+        not-yet-dispatched consumers are simply absent).
+        """
+        plan = self.plan
+        ctx = self.ctx
+        model = ctx.cost_model
         graph = TaskGraph(tasks=[], edges=[])
         for wave in waves:
             slice_id = wave[0].slice_id
             seconds = [
-                self._reports[(slice_id, task.segment)].seconds for task in wave
+                self.reports[(slice_id, task.segment)].seconds for task in wave
             ]
             mean = sum(seconds) / len(seconds)
             for task in wave:
@@ -303,7 +317,9 @@ class DistributedRuntime:
         stage_delay: Dict[int, float] = {}
         if not ctx.pipelined:
             sent: Dict[int, int] = {}
-            for record in self.exchange.records:
+            for record in self.runtime.exchange.records:
+                if record.query_id != ctx.query_id:
+                    continue  # another in-flight query's motion
                 sent[record.slice_id] = sent.get(record.slice_id, 0) + record.nbytes
             for wave in waves:
                 slice_id = wave[0].slice_id
@@ -315,8 +331,12 @@ class DistributedRuntime:
             wave[0].slice_id: wave for wave in waves
         }
         for plan_slice in plan.slices:
+            if plan_slice.slice_id not in tasks_of:
+                continue  # beyond the dispatched prefix
             parent = tasks_of[plan_slice.slice_id]
             for child_id in plan_slice.child_slices:
+                if child_id not in tasks_of:
+                    continue
                 delay = model.net_latency + stage_delay.get(child_id, 0.0)
                 for child_task in tasks_of[child_id]:
                     for parent_task in parent:
@@ -343,6 +363,56 @@ class DistributedRuntime:
                 if prev is not None:
                     graph.edges.append((prev, key, 0.0))
                 last_on_segment[task.segment] = key
+        return graph
+
+    def elapsed_seconds(self, through_wave: int) -> float:
+        """Deterministic elapsed time after ``through_wave`` completed:
+        the partial DAG's makespan plus the master charges so far.
+        This is what the statement-timeout check compares against —
+        wave boundaries are the serial driver's cancellation points."""
+        partial = self.task_graph(self.waves[: through_wave + 1])
+        return (
+            partial.replay().makespan
+            + self.master_acc.seconds
+            + self.init_seconds
+        )
+
+    # ----------------------------------------------------------------- gather
+    def gather(self) -> QueryResult:
+        """Assemble the result once every task has reported COMPLETE."""
+        plan = self.plan
+        waves = self.waves
+        ctx = self.ctx
+        master_acc = self.master_acc
+        init_seconds = self.init_seconds
+        model = ctx.cost_model
+        missing = [
+            (task.slice_id, task.segment)
+            for wave in waves
+            for task in wave
+            if (task.slice_id, task.segment) not in self.reports
+        ]
+        if missing:
+            # A DISPATCH addressed to a channel that dropped before
+            # delivery vanishes silently (UDP semantics) — the master
+            # notices the worker's death here, at gather time.
+            dead = [
+                seg
+                for _sid, seg in missing
+                if not self.runtime.bus.is_open(f"seg{seg}")
+            ]
+            if dead:
+                raise SegmentDown(
+                    f"segment {dead[0]} died before completing its task"
+                )
+            raise ExecutorError(f"no completion report for tasks {missing[:4]}")
+
+        # Capture the task DAG as a portable TaskGraph (tasks and edges
+        # in the exact insertion order the serial schedule uses), then
+        # replay it: the graph is also attached to the result so the
+        # concurrent runtime can re-compose this query against others
+        # on shared per-segment slots.
+        graph = self.task_graph(waves)
         schedule = graph.replay()
 
         slices: Dict[int, SliceTiming] = {}
@@ -355,7 +425,7 @@ class DistributedRuntime:
                 rows=0,
             )
             for task in wave:
-                report = self._reports[(slice_id, task.segment)]
+                report = self.reports[(slice_id, task.segment)]
                 timing.rows += report.rows_out
                 timing.tasks[task.segment] = TaskTiming(
                     seconds=report.seconds,
@@ -366,8 +436,11 @@ class DistributedRuntime:
 
         rows: List[tuple] = []
         top_id = plan.top_slice.slice_id
-        for task in sorted(tasks_of[top_id], key=lambda t: t.segment):
-            report = self._reports[(top_id, task.segment)]
+        top_tasks = [
+            task for wave in waves for task in wave if task.slice_id == top_id
+        ]
+        for task in sorted(top_tasks, key=lambda t: t.segment):
+            report = self.reports[(top_id, task.segment)]
             if report.result_rows is not None:
                 rows.extend(report.result_rows)
 
@@ -376,7 +449,7 @@ class DistributedRuntime:
         total.disk_write_bytes = master_acc.disk_write_bytes
         total.net_bytes = master_acc.net_bytes
         total.tuples = master_acc.tuples
-        for report in self._reports.values():
+        for report in self.reports.values():
             total.disk_read_bytes += report.disk_read_bytes
             total.disk_write_bytes += report.disk_write_bytes
             total.net_bytes += report.net_bytes
@@ -385,7 +458,7 @@ class DistributedRuntime:
             # Absolute span placement: the scheduler's task windows,
             # shifted past this plan's dispatch overhead (init-plan
             # assemblies already advanced the trace cursor).
-            ctx.trace.assemble(waves, self._reports, schedule, master_acc.seconds)
+            ctx.trace.assemble(waves, self.reports, schedule, master_acc.seconds)
 
         overhead = master_acc.seconds + init_seconds
         graph.overhead_seconds = overhead
@@ -396,6 +469,7 @@ class DistributedRuntime:
             net_bytes=total.net_bytes,
             tuples=total.tuples,
         )
+        self.close()
         return QueryResult(
             rows=rows,
             column_names=plan.output_names,
@@ -408,3 +482,106 @@ class DistributedRuntime:
             query_id=ctx.query_id,
             task_graph=graph,
         )
+
+
+class DistributedRuntime:
+    """The QD's dispatcher: routes replies to in-flight dispatches.
+
+    Owns the master's RPC endpoint; workers are registered on the same
+    bus by the engine. One runtime now serves *many* concurrent plan
+    executions — each :meth:`begin` registers a
+    :class:`QueryDispatch` in the in-flight table, and every ACK or
+    COMPLETE reply routes to its owner by the message's ``query_id``.
+    Replies for queries no longer in flight (aborted, cancelled, or
+    already gathered) are discarded, UDP-style.
+    """
+
+    def __init__(self, net: SimNetwork, bus: RpcBus, exchange: ExchangeFabric):
+        self.net = net
+        self.bus = bus
+        self.exchange = exchange
+        self._inflight: Dict[int, QueryDispatch] = {}
+        bus.register(MASTER, self._on_message)
+
+    # --------------------------------------------------------------- messages
+    def _on_message(self, message: RpcMessage) -> None:
+        dispatch = self._inflight.get(message.query_id)
+        if dispatch is None:
+            return  # late reply of an aborted or finished query
+        if message.kind == ACK:
+            slice_id, segment = message.payload
+            dispatch.acks[(slice_id, segment)] = message.sender
+        elif message.kind == COMPLETE:
+            report: TaskReport = message.payload
+            dispatch.reports[(report.slice_id, report.segment)] = report
+
+    # ----------------------------------------------------------------- driver
+    def begin(
+        self, plan: PhysicalPlan, sdp: SelfDescribedPlan, ctx: ExecutionContext
+    ) -> QueryDispatch:
+        """Open one plan execution: resolve init plans, register in-flight.
+
+        InitPlans run first (serially, on this same runtime): their
+        single values become the plan's parameters. Parameters are
+        scoped per PhysicalPlan (nested init plans resolve their own),
+        so each runs with a fresh param list.
+        """
+        init_seconds = 0.0
+        if plan.init_plans:
+            params: List[object] = []
+            for init_plan in plan.init_plans:
+                sub = self.execute(
+                    init_plan, sdp, dataclasses.replace(ctx, params=[])
+                )
+                if len(sub.rows) > 1:
+                    raise ExecutorError("InitPlan returned more than one row")
+                params.append(sub.rows[0][0] if sub.rows else None)
+                init_seconds += sub.cost.seconds
+            ctx = dataclasses.replace(ctx, params=params)
+        # Init plans reuse slice ids; never let their streams leak in.
+        self.exchange.clear(ctx.query_id)
+        return QueryDispatch(self, plan, sdp, ctx, init_seconds=init_seconds)
+
+    def execute(
+        self,
+        plan: PhysicalPlan,
+        sdp: SelfDescribedPlan,
+        ctx: ExecutionContext,
+        check=None,
+    ) -> QueryResult:
+        """Dispatch a sliced physical plan synchronously and gather.
+
+        ``check(dispatch, wave_index)`` — when given — runs after each
+        wave settles; it may raise (cancellation, statement timeout) to
+        abort the dispatch at that boundary.
+        """
+        dispatch = self.begin(plan, sdp, ctx)
+        try:
+            for index in range(dispatch.wave_count):
+                dispatch.dispatch_wave(index)
+                # Drain the net: DISPATCH delivery runs each worker's
+                # task synchronously, and their motion streams + control
+                # replies settle before the next (consumer) wave goes out.
+                self.net.run()
+                if check is not None:
+                    check(dispatch, index)
+        except Exception:
+            # Best-effort abort to the surviving workers, then let the
+            # session's restart loop see the original failure. The trace
+            # synthesizes closures for tasks that will never report.
+            dispatch.abort()
+            raise
+        return dispatch.gather()
+
+    def _broadcast_abort(self, query_id: int = 0) -> None:
+        for name, channel in sorted(self.bus.channels.items()):
+            if name == MASTER or not channel.open:
+                continue
+            self.bus.send(
+                MASTER,
+                name,
+                RpcMessage(
+                    kind=ABORT, sender=MASTER, size=ABORT_BYTES,
+                    query_id=query_id,
+                ),
+            )

@@ -473,6 +473,7 @@ class SliceExecutor:
             self.rows_out += len(buffers[target])
             self.bytes_out += buffer_bytes[target]
             self.exchange.send(
+                self.ctx.query_id,
                 self.task.slice_id,
                 segment,
                 target,
@@ -508,7 +509,9 @@ class SliceExecutor:
     def _run_motion_recv(
         self, node: MotionRecv, segment: int, acc: CostAccumulator
     ) -> Iterator[tuple]:
-        rows, nbytes = self.exchange.receive(node.slice_id, segment)
+        rows, nbytes = self.exchange.receive(
+            self.ctx.query_id, node.slice_id, segment
+        )
         model = self.ctx.cost_model
         acc.cpu_bytes(nbytes, model.cpu_net_byte)
         # Bandwidth only: the receive's latency is the scheduler edge

@@ -1,17 +1,19 @@
 """Motion data plane: per-stream tuple exchange over the simulated net.
 
-Each (sending slice, sender segment, receiver segment) triple is one
-**stream**. A worker finishing a motion pushes every stream as a single
-datagram through :class:`~repro.network.simnet.SimNetwork` to the
+Each (query, sending slice, sender segment, receiver segment) tuple is
+one **stream**. A worker finishing a motion pushes every stream as a
+single datagram through :class:`~repro.network.simnet.SimNetwork` to the
 receiver's exchange endpoint, where it lands in a per-stream inbox. The
 consuming slice's MotionRecv leaf drains its inbox — streams are
 concatenated in sender-segment order, so results never depend on
 datagram arrival order.
 
-The fabric also records every stream it carried; the runtime turns those
-records into cross-timeline edges of the event-driven scheduler (sender
-task → receiver task), which is how motion data movement shapes the
-query's critical path.
+The fabric is shared by every in-flight query: inboxes and stream
+records are namespaced by query id, so interleaved dispatch never mixes
+two queries' motion data. The runtime turns each query's records into
+cross-timeline edges of the event-driven scheduler (sender task →
+receiver task), which is how motion data movement shapes the query's
+critical path.
 """
 
 from __future__ import annotations
@@ -19,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.errors import InterconnectError
 from repro.network.simnet import Datagram, SimNetwork
 
 _EXCHANGE_HOST = "exchange"
@@ -35,6 +36,7 @@ class StreamRecord:
     receiver: int
     rows: int
     nbytes: int
+    query_id: int = 0
 
 
 class ExchangeFabric:
@@ -43,8 +45,10 @@ class ExchangeFabric:
     def __init__(self, net: SimNetwork):
         self._net = net
         self._addresses: Dict[int, Tuple[str, int]] = {}
-        #: (slice_id, receiver) -> sender -> (rows, nbytes)
-        self._inbox: Dict[Tuple[int, int], Dict[int, Tuple[List[tuple], int]]] = {}
+        #: (query_id, slice_id, receiver) -> sender -> (rows, nbytes)
+        self._inbox: Dict[
+            Tuple[int, int, int], Dict[int, Tuple[List[tuple], int]]
+        ] = {}
         self.records: List[StreamRecord] = []
         #: Optional passive observers (QueryTrace / MetricsRegistry);
         #: they record streams but never charge the clock.
@@ -52,17 +56,19 @@ class ExchangeFabric:
         self.metrics = None
 
     def attach(self, segment_id: int) -> None:
-        """Bind a segment's exchange endpoint (QD uses segment id -1)."""
+        """Bind a segment's exchange endpoint (QD uses segment id -1).
+
+        Idempotent: a revived worker re-attaches to the same address.
+        """
         if segment_id in self._addresses:
-            raise InterconnectError(
-                f"exchange endpoint already bound for segment {segment_id}"
-            )
+            return
         address = (_EXCHANGE_HOST, _BASE_PORT + 1 + segment_id)
         self._net.register(address, self._deliver)
         self._addresses[segment_id] = address
 
     def send(
         self,
+        query_id: int,
         slice_id: int,
         sender: int,
         receiver: int,
@@ -73,13 +79,16 @@ class ExchangeFabric:
         self._net.send(
             self._addresses[sender],
             self._addresses[receiver],
-            (slice_id, sender, receiver, rows, nbytes),
+            (query_id, slice_id, sender, receiver, rows, nbytes),
             nbytes,
         )
 
     def _deliver(self, datagram: Datagram) -> None:
-        slice_id, sender, receiver, rows, nbytes = datagram.payload
-        self._inbox.setdefault((slice_id, receiver), {})[sender] = (rows, nbytes)
+        query_id, slice_id, sender, receiver, rows, nbytes = datagram.payload
+        self._inbox.setdefault((query_id, slice_id, receiver), {})[sender] = (
+            rows,
+            nbytes,
+        )
         self.records.append(
             StreamRecord(
                 slice_id=slice_id,
@@ -87,21 +96,26 @@ class ExchangeFabric:
                 receiver=receiver,
                 rows=len(rows),
                 nbytes=nbytes,
+                query_id=query_id,
             )
         )
         if self.trace is not None:
-            self.trace.stream(slice_id, sender, receiver, len(rows), nbytes)
+            self.trace.stream(
+                slice_id, sender, receiver, len(rows), nbytes, query_id=query_id
+            )
         if self.metrics is not None:
             self.metrics.counter("motion_streams").inc()
             self.metrics.counter("motion_bytes").inc(nbytes)
 
-    def receive(self, slice_id: int, receiver: int) -> Tuple[List[tuple], int]:
+    def receive(
+        self, query_id: int, slice_id: int, receiver: int
+    ) -> Tuple[List[tuple], int]:
         """Drain every stream of one motion addressed to ``receiver``.
 
         Streams concatenate in sender-segment order — the arrival order
         on the simulated wire never leaks into result rows.
         """
-        streams = self._inbox.pop((slice_id, receiver), {})
+        streams = self._inbox.pop((query_id, slice_id, receiver), {})
         rows: List[tuple] = []
         nbytes = 0
         for sender in sorted(streams):
@@ -110,8 +124,18 @@ class ExchangeFabric:
             nbytes += sender_bytes
         return rows, nbytes
 
+    def clear(self, query_id: int) -> None:
+        """Drop one query's inbox entries and stream records.
+
+        Called between a query's plan executions (init plans reuse
+        slice ids) and on abort — other in-flight queries' streams are
+        untouched.
+        """
+        for key in [k for k in self._inbox if k[0] == query_id]:
+            del self._inbox[key]
+        self.records = [r for r in self.records if r.query_id != query_id]
+
     def reset(self) -> None:
-        """Clear inbox and records between plan executions (init plans
-        reuse slice ids, so leftovers must never leak across plans)."""
+        """Clear every inbox and record (fresh-runtime initialization)."""
         self._inbox.clear()
         self.records.clear()

@@ -670,6 +670,7 @@ class CrossQueryIsolationRule:
     #: multi-query composer, the workers, and the event scheduler run.
     ENTRY_FILES = (
         "executor/concurrent.py",
+        "executor/runner.py",
         "cluster/worker.py",
         "simtime/scheduler.py",
     )
@@ -1013,6 +1014,7 @@ class SchedulerDeterminismRule:
     SCOPE_FILES = (
         "simtime/scheduler.py",
         "executor/concurrent.py",
+        "executor/runner.py",
         "cluster/resqueue.py",
     )
 

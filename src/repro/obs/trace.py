@@ -43,6 +43,9 @@ ABORT = "abort"
 ABORT_CLOSE = "abort-close"
 #: A worker's RPC channel was dropped (the process was killed).
 DROP = "drop"
+#: A dropped endpoint was re-registered: a replacement process revived
+#: the dead segment's name (bounded query restart, paper Section 2.6).
+REVIVE = "revive"
 
 #: Track name of the master (QD) row; QD-gang tasks render here too.
 MASTER_TRACK = "master"
@@ -204,6 +207,22 @@ class QueryTrace:
             )
         )
 
+    def on_revive(self, name: str) -> None:
+        """A replacement process re-registered a dropped endpoint: the
+        segment is alive again — COMPLETEs from it are legitimate."""
+        self.rpc_events.append(
+            RpcEvent(
+                attempt=self.attempts,
+                seq=len(self.rpc_events),
+                kind=REVIVE,
+                slice_id=None,
+                segment=_segment_of(name),
+                sender=name,
+                dest="",
+                query_id=self.query_id,
+            )
+        )
+
     def attempt_aborted(self) -> None:
         """Close every DISPATCH of the current attempt that saw no
         COMPLETE. Idempotent: a second call finds nothing outstanding,
@@ -257,9 +276,19 @@ class QueryTrace:
         )
 
     def stream(
-        self, slice_id: int, sender: int, receiver: int, rows: int, nbytes: int
+        self,
+        slice_id: int,
+        sender: int,
+        receiver: int,
+        rows: int,
+        nbytes: int,
+        query_id: int = 0,
     ) -> None:
-        """One motion stream crossed the exchange fabric."""
+        """One motion stream crossed the exchange fabric.
+
+        ``query_id`` exists for router compatibility on the shared
+        fabric; a per-query trace records only its own streams.
+        """
         self._streams.append(
             _StreamMark(
                 slice_id=slice_id, sender=sender, receiver=receiver,
@@ -462,6 +491,9 @@ def rpc_closure_violations(trace: QueryTrace) -> List[str]:
             if event.kind == DROP:
                 killed.add(event.segment)
                 continue
+            if event.kind == REVIVE:
+                killed.discard(event.segment)
+                continue
             if event.slice_id is None:
                 continue
             key = (event.slice_id, event.segment)
@@ -504,6 +536,60 @@ def trace_query_id_violations(trace: QueryTrace) -> List[str]:
                 f"({event.sender}->{event.dest})"
             )
     return violations
+
+
+class TraceRouter:
+    """Demultiplexes one shared bus/fabric onto per-query traces.
+
+    Under single-pass interleaved dispatch every in-flight query rides
+    the *same* :class:`~repro.cluster.rpc.RpcBus` and
+    :class:`~repro.interconnect.exchange.ExchangeFabric`, but each keeps
+    its own :class:`QueryTrace`. The router sits in the shared ``trace``
+    slot and forwards each event to the trace registered for the query
+    id the event carries. Events tagged with an unregistered id (or id
+    0) are dropped — an untraced statement simply records nothing.
+
+    Channel drops carry no query id (the dying process does not know
+    whose dispatch it holds), so :meth:`on_drop` broadcasts to every
+    registered trace: each query's RPC-closure invariant needs to know
+    its segment died, and a drop event for a segment a query never
+    dispatched to is inert under that invariant.
+    """
+
+    def __init__(self):
+        self._traces: Dict[int, QueryTrace] = {}
+
+    def register(self, query_id: int, trace: QueryTrace) -> None:
+        self._traces[query_id] = trace
+
+    def unregister(self, query_id: int) -> None:
+        self._traces.pop(query_id, None)
+
+    def on_rpc(self, sender: str, dest: str, message) -> None:
+        trace = self._traces.get(getattr(message, "query_id", 0))
+        if trace is not None:
+            trace.on_rpc(sender, dest, message)
+
+    def on_drop(self, name: str) -> None:
+        for query_id in sorted(self._traces):
+            self._traces[query_id].on_drop(name)
+
+    def on_revive(self, name: str) -> None:
+        for query_id in sorted(self._traces):
+            self._traces[query_id].on_revive(name)
+
+    def stream(
+        self,
+        slice_id: int,
+        sender: int,
+        receiver: int,
+        rows: int,
+        nbytes: int,
+        query_id: int = 0,
+    ) -> None:
+        trace = self._traces.get(query_id)
+        if trace is not None:
+            trace.stream(slice_id, sender, receiver, rows, nbytes)
 
 
 class TraceCollector:

@@ -3,6 +3,7 @@
 CI's runtime leg of the concurrency-isolation gate::
 
     python -m repro.sanitize --seeds 10 --streams 4
+    python -m repro.sanitize --seeds 5 --streams 4 --cancel
 
 Each seed builds a fresh chaos-sized cluster, loads the TPC-H subset,
 derives a seeded closed-loop SELECT stream mix (the same generator shape
@@ -53,21 +54,81 @@ def sweep_streams(seed: int, streams: int) -> List[List[str]]:
     return mix
 
 
-def run_seed(seed: int, streams: int) -> DetSan:
+def seeded_cancels(seed: int, mix: List[List[str]]) -> dict:
+    """Seeded mid-flight cancel points: an unsanitized metering run on a
+    twin cluster yields each statement's (admit, finish) window, and two
+    seeded draws pick the targets; cancels arm at window midpoints. A
+    target whose window has shifted past its midpoint by an earlier
+    cancel simply no-ops (the pg_cancel_backend contract), so the sweep
+    asserts *at least one* cancel lands, not all."""
+    meter_engine = build_engine(seed)
+    load_workload(meter_engine, generate_data())
+    reference = ConcurrentRunner(meter_engine, mix).run()
+    windows = {
+        (o.stream, o.index): (o.admit, o.finish)
+        for o in reference.outcomes
+        if o.finish - o.admit > 1e-9
+    }
+    rng = DeterministicRng(seed, "detsan-sweep", "cancel")
+    candidates = sorted(windows)
+    cancel_at = {}
+    for _ in range(min(2, len(candidates))):
+        key = candidates.pop(rng.randrange(len(candidates)))
+        admit, finish = windows[key]
+        cancel_at[key] = (admit + finish) / 2
+    return cancel_at
+
+
+def run_seed(seed: int, streams: int, cancel: bool = False) -> DetSan:
     """One sanitized concurrent batch; raises IsolationViolation on a
-    cross-query mutation outside the shared-state registry."""
+    cross-query mutation outside the shared-state registry. With
+    ``cancel``, seeded mid-flight cancels fire during the batch and the
+    run additionally proves the teardown leaks nothing: every failure
+    is a clean ``QueryCanceled``, every charged scan the aborted
+    attempts opened is closed again, and no queue slot stays occupied."""
     engine = build_engine(seed)
     load_workload(engine, generate_data())
+    mix = sweep_streams(seed, streams)
+    cancel_at = seeded_cancels(seed, mix) if cancel else None
     sanitizer = DetSan()
     runner = ConcurrentRunner(
         engine,
-        sweep_streams(seed, streams),
+        mix,
         detsan=sanitizer,
         allow_failures=True,
+        cancel_at=cancel_at,
     )
     result = runner.run()
     failed = [o for o in result.outcomes if not o.ok]
-    if failed:
+    if cancel:
+        landed = 0
+        for outcome in failed:
+            if (outcome.stream, outcome.index) not in cancel_at or (
+                "cancelled by request" not in (outcome.error or "")
+            ):
+                raise IsolationViolation(
+                    f"seed {seed}: non-cancel failure in cancel sweep: "
+                    f"{outcome.error}"
+                )
+            landed += 1
+        if not landed:
+            raise IsolationViolation(
+                f"seed {seed}: no seeded cancel landed mid-flight"
+            )
+        opened = engine.metrics.counter("charged_scans_opened").value
+        closed = engine.metrics.counter("charged_scans_closed").value
+        if opened != closed:
+            raise IsolationViolation(
+                f"seed {seed}: leaked charged iterators "
+                f"({opened} opened, {closed} closed)"
+            )
+        for queue in ("pg_default",):
+            if runner.manager.depth(queue) or runner.manager.running(queue):
+                raise IsolationViolation(
+                    f"seed {seed}: orphaned slot in queue {queue!r} after "
+                    "cancel sweep"
+                )
+    elif failed:
         raise IsolationViolation(
             f"seed {seed}: {len(failed)} statements failed outside chaos: "
             f"{failed[0].error}"
@@ -84,6 +145,9 @@ def main(argv=None) -> int:
                         help="number of seeds to sweep (default 10)")
     parser.add_argument("--streams", type=int, default=4,
                         help="concurrent streams per seed (default 4)")
+    parser.add_argument("--cancel", action="store_true",
+                        help="fire seeded mid-flight cancels and verify "
+                             "teardown leaks nothing")
     args = parser.parse_args(argv)
 
     totals: dict = {}
@@ -91,7 +155,7 @@ def main(argv=None) -> int:
     started = time.perf_counter()  # lint: allow[R1] — CLI wall time, not simulated cost
     for seed in range(args.seeds):
         try:
-            sanitizer = run_seed(seed, args.streams)
+            sanitizer = run_seed(seed, args.streams, cancel=args.cancel)
         except IsolationViolation as exc:
             print(f"seed {seed}: VIOLATION")
             print(f"  {exc}")
@@ -106,8 +170,9 @@ def main(argv=None) -> int:
             f"{summary['tracked_entries']} tracked entries)"
         )
     elapsed = time.perf_counter() - started  # lint: allow[R1] — CLI wall time
+    mode = " (cancel mode)" if args.cancel else ""
     print(
-        f"\nDetSan sweep: {args.seeds} seeds x {args.streams} streams, "
+        f"\nDetSan sweep{mode}: {args.seeds} seeds x {args.streams} streams, "
         f"0 violations, {mutations} mutations in {elapsed:.1f}s"
     )
     for label in sorted(totals):

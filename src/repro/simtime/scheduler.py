@@ -39,9 +39,15 @@ TaskKey = Tuple[int, int]
 
 #: Event ranks: at equal timestamps every finish is processed before any
 #: slot arrival, so a slot freed at ``t`` is visible to a task whose
-#: ready time is exactly ``t``.
+#: ready time is exactly ``t``; timers fire last, so a timer at ``t``
+#: observes every task state change that happened at ``t``.
 _FINISH = 0
 _ARRIVAL = 1
+_TIMER = 2
+
+
+def _disarmed(_now: float) -> None:
+    """Replacement callback for watchers disarmed by cancellation."""
 
 
 @dataclass
@@ -157,6 +163,10 @@ class EventScheduler:
         self._busy: Dict[object, Optional[TaskKey]] = {}
         self._parked: Dict[object, List[TaskKey]] = {}
         self._deferred: List[TaskKey] = []
+        self._cancelled: set = set()
+        self._timers: Dict[int, Callable[[float], None]] = {}
+        self._timer_ids = itertools.count()
+        self._pending_timers: List[Tuple[float, Callable[[float], None]]] = []
 
     # ------------------------------------------------------------ building
     def add_task(
@@ -202,10 +212,21 @@ class EventScheduler:
             raise ReproError(f"scheduler edge {src}->{dst} references unknown task")
         if delay < 0:
             raise ReproError(f"scheduler edge {src}->{dst} has negative delay")
-        if self._running and (src in self._finish or dst in self._start):
+        if self._running and dst in self._start:
             raise ReproError(
                 f"scheduler edge {src}->{dst} added after its endpoint ran"
             )
+        if self._running and src in self._finish:
+            # Late edge from an already-finished source (event-driven
+            # wave dispatch wires the next wave at the previous wave's
+            # completion event): apply its exact arrival time to the
+            # destination directly — no indegree, the constraint is
+            # already resolved.
+            arrival = self._finish[src] + delay
+            if arrival > self._ready[dst]:
+                self._ready[dst] = arrival
+                self._deciding[dst] = src
+            return
         self._out[src].append((dst, delay))
         self._indegree[dst] += 1
         if self._running:
@@ -259,10 +280,81 @@ class EventScheduler:
         for key in sorted(pending):
             self._watch_index.setdefault(key, []).append(entry)
 
+    def at(self, time: float, callback: Callable[[float], None]) -> None:
+        """Invoke ``callback(now)`` at an absolute simulated time.
+
+        Timers are first-class scheduler events — admission arrivals,
+        statement timeouts, and chaos injections all fire from them.
+        They rank after finishes and arrivals at the same timestamp, so
+        a timer observes every task-state change of its instant. A
+        mid-run timer in the past is clamped to the current time.
+        """
+        if time < 0:
+            raise ReproError(f"scheduler timer at negative time {time}")
+        if not self._running:
+            self._pending_timers.append((time, callback))
+            return
+        self._schedule_timer(max(time, self._now), callback)
+
+    def _schedule_timer(
+        self, time: float, callback: Callable[[float], None]
+    ) -> None:
+        idx = next(self._timer_ids)
+        self._timers[idx] = callback
+        heapq.heappush(
+            self._heap, (time, _TIMER, next(self._counter), ("__timer__", idx))
+        )
+
+    def cancel_tasks(self, keys: Iterable[TaskKey]) -> List[TaskKey]:
+        """Truncate unfinished tasks at the current simulated time.
+
+        Mid-run only. Each cancelled task is recorded as finishing
+        *now* (a running task's remaining duration is forfeited; a task
+        that never started gets a zero-length window), its held slot is
+        freed — waking the best parked waiter, exactly as a natural
+        completion would — and any watcher observing it is disarmed, so
+        the cancelled query's own continuation callbacks never fire.
+        Returns the keys actually cancelled.
+        """
+        if not self._running:
+            raise ReproError("scheduler cancel_tasks outside run()")
+        cancelled: List[TaskKey] = []
+        for key in sorted(keys):
+            if key not in self._tasks or key in self._finish:
+                continue
+            cancelled.append(key)
+            self._cancelled.add(key)
+            if key not in self._start:
+                self._start[key] = self._now
+                self._waits[key] = 0.0
+            self._finish[key] = self._now
+            for entry in self._watch_index.pop(key, []):
+                entry[0].clear()
+                entry[1] = _disarmed  # other keys' completions: no-op
+            slot = self._tasks[key].slot
+            if slot is None:
+                continue
+            parked = self._parked.get(slot)
+            if parked and key in parked:
+                parked.remove(key)
+            if self._busy.get(slot) is key:
+                self._busy[slot] = None
+                if parked:
+                    winner = min(parked, key=lambda k: (self._ready[k], k))
+                    parked.remove(winner)
+                    self._start_task(winner, self._now)
+        return cancelled
+
     @property
     def now(self) -> float:
         """Current simulated time (meaningful inside watch callbacks)."""
         return self._now
+
+    @property
+    def running(self) -> bool:
+        """True while :meth:`run` is replaying events — the window in
+        which mid-run APIs (:meth:`cancel_tasks`) are legal."""
+        return self._running
 
     # ------------------------------------------------------------- running
     def run(self) -> TaskSchedule:
@@ -278,17 +370,33 @@ class EventScheduler:
         self._busy = {}
         self._parked = {}
         self._deferred = []
+        self._cancelled = set()
+        self._timers = {}
         self._now = 0.0
         self._running = True
         if self.detsan is not None:
             self._install_guards()
         try:
+            for time, callback in self._pending_timers:
+                self._schedule_timer(time, callback)
+            self._pending_timers = []
             for key in list(self._tasks):
                 if self._indeg[key] == 0:
-                    self._release_task(key)
+                    scope = self._event_scope(key)
+                    if scope is not None:
+                        with scope:
+                            self._release_task(key)
+                    else:
+                        self._release_task(key)
             while self._heap:
                 now, rank, _seq, key = heapq.heappop(self._heap)
                 self._now = now
+                if rank == _TIMER:
+                    self._timers.pop(key[1])(now)
+                    self._flush_deferred()
+                    continue
+                if key in self._cancelled:
+                    continue  # stale event of a cancelled task
                 scope = self._event_scope(key)
                 if scope is not None:
                     with scope:
@@ -380,6 +488,14 @@ class EventScheduler:
 
     def _arrive(self, key: TaskKey, now: float) -> None:
         """A slotted task's ready time came: take the slot or park."""
+        if now < self._ready[key]:
+            # A late finished-source edge pushed the ready time past
+            # this (stale) arrival; re-arrive at the new ready time.
+            heapq.heappush(
+                self._heap,
+                (self._ready[key], _ARRIVAL, next(self._counter), key),
+            )
+            return
         slot = self._tasks[key].slot
         if self._busy.get(slot) is None:
             self._start_task(key, now)
@@ -389,6 +505,8 @@ class EventScheduler:
     def _complete(self, key: TaskKey, now: float) -> None:
         self._finish[key] = now
         for dst, delay in self._out[key]:
+            if dst in self._cancelled:
+                continue
             arrival = now + delay
             if arrival > self._ready[dst]:
                 self._ready[dst] = arrival
@@ -412,10 +530,19 @@ class EventScheduler:
 
     def _flush_deferred(self) -> None:
         """Launch mid-run additions once the triggering event settled
-        (the adding callback may still have been wiring their edges)."""
+        (the adding callback may still have been wiring their edges).
+
+        Each launch runs under its own task's sanitizer scope — the
+        flush happens after the adding event's scope has exited, but a
+        slot-less task starts (and writes its run state) right here."""
         if not self._deferred:
             return
         added, self._deferred = self._deferred, []
         for key in added:
             if self._indeg[key] == 0 and key not in self._start:
-                self._release_task(key)
+                scope = self._event_scope(key)
+                if scope is not None:
+                    with scope:
+                        self._release_task(key)
+                else:
+                    self._release_task(key)

@@ -91,11 +91,11 @@ class TestExchangeFabric:
         for seg in (QD_SEGMENT, 0, 1, 2):
             fabric.attach(seg)
         # Send out of segment order; receive must still be segment-asc.
-        fabric.send(5, 2, QD_SEGMENT, [("c",)], 8)
-        fabric.send(5, 0, QD_SEGMENT, [("a",)], 8)
-        fabric.send(5, 1, QD_SEGMENT, [("b",)], 8)
+        fabric.send(7, 5, 2, QD_SEGMENT, [("c",)], 8)
+        fabric.send(7, 5, 0, QD_SEGMENT, [("a",)], 8)
+        fabric.send(7, 5, 1, QD_SEGMENT, [("b",)], 8)
         net.run()
-        rows, nbytes = fabric.receive(5, QD_SEGMENT)
+        rows, nbytes = fabric.receive(7, 5, QD_SEGMENT)
         assert rows == [("a",), ("b",), ("c",)]
         assert nbytes == 24
         assert len(fabric.records) == 3
@@ -105,27 +105,43 @@ class TestExchangeFabric:
         fabric = ExchangeFabric(net)
         fabric.attach(0)
         fabric.attach(1)
-        fabric.send(1, 0, 1, [(1,)], 4)
+        fabric.send(7, 1, 0, 1, [(1,)], 4)
         net.run()
-        assert fabric.receive(1, 1)[0] == [(1,)]
-        assert fabric.receive(1, 1) == ([], 0)
+        assert fabric.receive(7, 1, 1)[0] == [(1,)]
+        assert fabric.receive(7, 1, 1) == ([], 0)
+
+    def test_clear_scoped_to_one_query(self):
+        # Two in-flight queries share the fabric; clearing one must not
+        # disturb the other's streams or records.
+        net = SimNetwork()
+        fabric = ExchangeFabric(net)
+        fabric.attach(0)
+        fabric.attach(1)
+        fabric.send(7, 1, 0, 1, [(1,)], 4)
+        fabric.send(8, 1, 0, 1, [(2,)], 4)
+        net.run()
+        fabric.clear(7)
+        assert fabric.receive(7, 1, 1) == ([], 0)
+        assert fabric.receive(8, 1, 1)[0] == [(2,)]
+        assert [r.query_id for r in fabric.records] == [8]
 
     def test_reset_clears_streams_and_records(self):
         net = SimNetwork()
         fabric = ExchangeFabric(net)
         fabric.attach(0)
         fabric.attach(1)
-        fabric.send(1, 0, 1, [(1,)], 4)
+        fabric.send(7, 1, 0, 1, [(1,)], 4)
         net.run()
         fabric.reset()
-        assert fabric.receive(1, 1) == ([], 0)
+        assert fabric.receive(7, 1, 1) == ([], 0)
         assert fabric.records == []
 
-    def test_double_attach_rejected(self):
+    def test_attach_is_idempotent(self):
+        # A revived worker re-attaches to its old exchange endpoint.
         fabric = ExchangeFabric(SimNetwork())
         fabric.attach(0)
-        with pytest.raises(InterconnectError):
-            fabric.attach(0)
+        fabric.attach(0)
+        assert len(fabric._addresses) == 1
 
 
 @pytest.fixture(scope="module")

@@ -45,6 +45,26 @@ REPRO_NO_NUMPY=1 python -m repro.bench --wallclock --check --no-report
 echo "== throughput bench (qps floor, p99/p50 ceiling, serial bit-identity) =="
 python -m repro.bench --throughput --check
 
+echo "== observability gate (system views + Prometheus exposition + R6) =="
+# Prometheus exposition must be well-formed (the exporter self-checks
+# against the text-format grammar) and every system view must answer
+# through the normal SQL path.
+python -m repro.obs --prom --check > /dev/null
+python -m repro.obs --smoke
+# The new obs modules must stay passive: zero R6 findings, enforced
+# even if a future baseline would otherwise absorb them.
+obs_r6=$(python -m repro.lint --select R6 --json \
+    src/repro/obs/sysviews.py src/repro/obs/activity.py || true)
+python - "$obs_r6" <<'PY'
+import json, sys
+report = json.loads(sys.argv[1])
+findings = report.get("findings", [])
+for finding in findings:
+    print(f"  R6 violation: {finding}")
+print(f"  obs passivity: {len(findings)} R6 finding(s)")
+sys.exit(1 if findings else 0)
+PY
+
 # Gated runtime leg: the DetSan chaos sweep replays 10 seeded concurrent
 # workloads x 4 streams and fails on any cross-query mutation outside
 # the shared-state registry. Skip with REPRO_SKIP_DETSAN=1.

@@ -161,6 +161,13 @@ class ResourceQueueManager:
         if query_id in self._owner:
             raise ReproError(f"query {query_id} already admitted or waiting")
         memory = min(memory, state.spec.memory_limit)
+        if self._metrics is not None:
+            # Depth as seen at submission (parked or not): the
+            # distribution of what a newly arriving statement finds in
+            # front of it is the queue-pressure signal.
+            self._metrics.histogram(
+                "resqueue_queue_depth", queue=state.spec.name
+            ).observe(len(state.waiting))
         if not state.waiting and state.fits(memory):
             self._admit(state, query_id, memory, now, now, on_admit)
             return
@@ -187,6 +194,9 @@ class ResourceQueueManager:
             ).inc()
             self._metrics.gauge(
                 "resqueue_depth", queue=state.spec.name
+            ).set(len(state.waiting))
+            self._metrics.gauge(
+                "resqueue_waiters", queue=state.spec.name
             ).set(len(state.waiting))
 
     def _admit(
@@ -236,6 +246,9 @@ class ResourceQueueManager:
             self._metrics.histogram(
                 "resqueue_wait_seconds", queue=state.spec.name
             ).observe(wait)
+            self._metrics.gauge(
+                "resqueue_slots_in_use", queue=state.spec.name
+            ).set(len(state.running))
         on_admit(now)
 
     # --------------------------------------------------------------- release
@@ -263,6 +276,12 @@ class ResourceQueueManager:
             self._metrics.gauge(
                 "resqueue_depth", queue=state.spec.name
             ).set(len(state.waiting))
+            self._metrics.gauge(
+                "resqueue_waiters", queue=state.spec.name
+            ).set(len(state.waiting))
+            self._metrics.gauge(
+                "resqueue_slots_in_use", queue=state.spec.name
+            ).set(len(state.running))
 
     # ---------------------------------------------------------------- cancel
     def cancel(self, query_id: int, now: float) -> bool:
@@ -290,6 +309,9 @@ class ResourceQueueManager:
                     self._metrics.gauge(
                         "resqueue_depth", queue=state.spec.name
                     ).set(len(state.waiting))
+                    self._metrics.gauge(
+                        "resqueue_waiters", queue=state.spec.name
+                    ).set(len(state.waiting))
                 return True
         return False
 
@@ -307,3 +329,34 @@ class ResourceQueueManager:
 
     def queue_of(self, query_id: int) -> Optional[str]:
         return self._owner.get(query_id)
+
+    def occupancy(self) -> List[tuple]:
+        """Passive per-queue occupancy rows for ``pg_resqueue_status``:
+        ``(queue, slots, slots_in_use, memory_limit, memory_used,
+        waiters, head_of_line_query_id)``.
+
+        Head-of-line is the waiter that will be examined first on the
+        next release — highest priority, then earliest arrival — or
+        None when nothing is parked. Reads only; safe mid-run.
+        """
+        out: List[tuple] = []
+        for name, state in sorted(self._queues.items()):
+            head = None
+            if state.waiting:
+                front = min(
+                    state.waiting,
+                    key=lambda w: (-w.priority, w.arrival, w.query_id),
+                )
+                head = front.query_id
+            out.append(
+                (
+                    name,
+                    state.spec.slots,
+                    len(state.running),
+                    float(state.spec.memory_limit),
+                    float(state.memory_used),
+                    len(state.waiting),
+                    head,
+                )
+            )
+        return out

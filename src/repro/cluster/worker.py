@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List
 
 from repro.catalog.service import CATALOG_RELATION_COLUMNS
+from repro.obs.sysviews import SYSTEM_VIEW_COLUMNS
 from repro.cluster.rpc import (
     ABORT,
     ACK,
@@ -76,6 +77,9 @@ class WorkerServices:
     #: :meth:`~repro.engine.Engine.is_cancelled`). Workers refuse new
     #: slices and scan lanes for a cancelled query. None disables.
     is_cancelled: Callable[[int], bool] = None
+    #: ``view_name -> rows`` for master-only system-view scans
+    #: (:mod:`repro.obs.sysviews`) — live telemetry read at scan time.
+    sysview_rows: Callable[[str], List] = None
 
 
 class SegmentWorker:
@@ -203,6 +207,15 @@ class SegmentWorker:
                         table_source.table_name, sdp.snapshot
                     )
                 return
+            if (
+                services.sysview_rows is not None
+                and table_source.table_name in SYSTEM_VIEW_COLUMNS
+            ):
+                # System views are master-only telemetry: zero-cost,
+                # served by one QE at scan time (live state).
+                if segment_id == 0:
+                    yield from services.sysview_rows(table_source.table_name)
+                return
             names = (
                 partitions if partitions is not None else [table_source.table_name]
             )
@@ -236,6 +249,8 @@ class SegmentWorker:
         def provider(table_source, partitions, segment_id, columns, acc):
             if table_source.table_name in CATALOG_RELATION_COLUMNS:
                 return None  # master-only catalog data: row fallback
+            if table_source.table_name in SYSTEM_VIEW_COLUMNS:
+                return None  # system views only exist as rows
             names = (
                 partitions if partitions is not None else [table_source.table_name]
             )

@@ -70,7 +70,13 @@ from repro.executor.runner import (
 from repro.hdfs import Hdfs
 from repro.interconnect.exchange import ExchangeFabric
 from repro.network.simnet import NetworkConditions, SimNetwork
+from repro.obs.activity import ClusterTelemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.sysviews import (
+    SYSTEM_VIEW_COLUMNS,
+    system_view_rows,
+    system_view_schema,
+)
 from repro.obs.trace import TraceCollector
 from repro.planner.analyzer import Analyzer, RelationInfo
 from repro.planner.dispatch import QD_SEGMENT, build_self_described_plan
@@ -193,6 +199,16 @@ class Engine:
         self.pxf = PxfRegistry()
         self.pxf.attach_hdfs(self.hdfs)
         self.security = SecurityManager()
+        #: Passive cluster telemetry behind the pg_stat_* system views
+        #: (:mod:`repro.obs.sysviews`): the serial dispatcher and the
+        #: concurrent driver publish live statement/queue/segment state
+        #: into it, and every settled statement lands in its workload
+        #: repository. Reads only — lint R6 keeps the views passive.
+        self.telemetry = ClusterTelemetry(
+            segments=self.segments,
+            security=self.security,
+            is_cancelled=self.is_cancelled,
+        )
         self._load_rng = itertools.count()  # round-robin for random dist
         #: Engine-wide statement id allocator: every dispatched query
         #: gets a unique id so RPCs and traces from concurrent sessions
@@ -348,6 +364,7 @@ class Engine:
             catalog_rows=lambda name, snapshot: catalog_relation_rows(
                 self.catalog, name, snapshot
             ),
+            sysview_rows=lambda name: system_view_rows(self.telemetry, name),
             chaos_point=self.chaos_point,
             chaos_progress=self.chaos_progress,
             num_segments=self.num_segments,
@@ -403,6 +420,9 @@ class Session:
         result: Optional[QueryResult] = None
         for stmt in statements:
             result = self._execute_statement(stmt)
+        # Workload repository: every serially-executed statement lands
+        # in pg_stat_statements under its normalized fingerprint.
+        self.engine.telemetry.record_statement(sql, result)
         return result
 
     def query(self, sql: str) -> List[tuple]:
@@ -610,8 +630,8 @@ class Session:
         analyzer = Analyzer(_CatalogAdapter(engine.catalog, snapshot))
         query = analyzer.analyze(stmt)
         for name in _tables_of(query):
-            if name in CATALOG_RELATION_COLUMNS:
-                continue  # catalog reads are unlocked and world-readable
+            if name in CATALOG_RELATION_COLUMNS or name in SYSTEM_VIEW_COLUMNS:
+                continue  # catalog/system-view reads are unlocked
             txn.lock(f"rel:{name}", LockMode.ACCESS_SHARE)
             self._check_privilege("select", name, txn)
         plan = self._plan(query, snapshot)
@@ -650,8 +670,11 @@ class Session:
             analyzer = Analyzer(_CatalogAdapter(engine.catalog, snapshot))
             query = analyzer.analyze(stmt)
             for name in _tables_of(query):
-                if name in CATALOG_RELATION_COLUMNS:
-                    continue  # catalog reads are unlocked, world-readable
+                if (
+                    name in CATALOG_RELATION_COLUMNS
+                    or name in SYSTEM_VIEW_COLUMNS
+                ):
+                    continue  # catalog/system-view reads are unlocked
                 txn.lock(f"rel:{name}", LockMode.ACCESS_SHARE)
                 self._check_privilege("select", name, txn)
             plan = self._plan(query, snapshot)
@@ -684,6 +707,7 @@ class Session:
             plan=plan,
             sdp=sdp,
             ctx=ctx,
+            sql=sql,
             query_id=query_id,
             trace=trace,
             queue_name=queue.name,
@@ -751,8 +775,10 @@ class Session:
         )
         retries = 0
         backoff_seconds = 0.0
+        engine.telemetry.serial_begin(query_id, self._resource_queue().name)
         try:
             while True:
+                engine.telemetry.serial_attempt(query_id, retries + 1)
                 if engine.run_fault_detection():
                     # Sessions randomly fail down segments over to live
                     # hosts.
@@ -786,6 +812,7 @@ class Session:
                     result.trace = trace
                 return result
         finally:
+            engine.telemetry.serial_end(query_id)
             # A pending cancel is consumed with the statement — a later
             # query must never inherit it.
             engine._cancel_requests.discard(query_id)
@@ -1445,6 +1472,21 @@ class Session:
                             f"  (actual time={timing.finish:.4f}s, "
                             f"rows sent={timing.rows})"
                         )
+                        if stmt.verbose:
+                            gang = [
+                                timing.tasks[seg].seconds
+                                for seg in sorted(timing.tasks)
+                                if seg != QD_SEGMENT
+                            ]
+                            if len(gang) >= 2:
+                                # Skew attribution across the gang: how
+                                # unevenly the slice's work landed.
+                                annotated.append(
+                                    f"  (skew: max={max(gang):.4f}s "
+                                    f"mean={sum(gang) / len(gang):.4f}s "
+                                    f"min={min(gang):.4f}s "
+                                    f"across {len(gang)} tasks)"
+                                )
                         for segment in sorted(timing.tasks):
                             task = timing.tasks[segment]
                             who = (
@@ -1494,6 +1536,8 @@ class PreparedSelect:
     plan: object
     sdp: object
     ctx: ExecutionContext
+    #: Original statement text (pg_stat_statements fingerprinting).
+    sql: str
     query_id: int
     trace: Optional[object]
     queue_name: str
@@ -1521,6 +1565,7 @@ class PreparedSelect:
         if self.trace is not None:
             self.trace.finalize(result)
             result.trace = self.trace
+        engine.telemetry.record_statement(self.sql, result)
         self.session.last_plan = result.plan
         engine._cancel_requests.discard(self.query_id)
 
@@ -1575,6 +1620,12 @@ class _CatalogAdapter:
             # Standard SQL over the system catalog (paper Section 2.2).
             return RelationInfo(
                 kind="table", schema=catalog_relation_schema(name.lower())
+            )
+        if name.lower() in SYSTEM_VIEW_COLUMNS:
+            # System views: master-only telemetry relations, queryable
+            # with ordinary SQL just like the catalog projections.
+            return RelationInfo(
+                kind="table", schema=system_view_schema(name.lower())
             )
         relation = self.catalog.lookup_relation(name, self.snapshot)
         if relation is None:

@@ -289,12 +289,17 @@ class ConcurrentRunner:
         previous_runtime = engine._active_runtime
         engine._cancel_notify = self._on_cancel
         engine._active_runtime = runtime
+        # Lend the live registries (in-flight statements, queue manager,
+        # scheduler timelines) to the telemetry facade for the duration
+        # of the batch: system-view scans read them mid-schedule.
+        engine.telemetry.attach_batch(self)
         try:
             for stream_id in range(len(self.streams)):
                 if self.streams[stream_id]:
                     self._submit(stream_id, 0)
             schedule = scheduler.run()
         finally:
+            engine.telemetry.detach_batch(self)
             engine._cancel_notify = previous_notify
             engine._active_runtime = previous_runtime
             engine.metrics.counter(

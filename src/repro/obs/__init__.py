@@ -19,7 +19,10 @@ CLI: ``python -m repro.obs --query 3 --export trace.json`` traces a
 TPC-H query and writes Chrome trace_event JSON for Perfetto.
 """
 
+from repro.obs.activity import ClusterTelemetry, StatementStats, fingerprint
 from repro.obs.export import (
+    prometheus_violations,
+    render_prometheus,
     render_summary,
     to_chrome_trace,
     validate_chrome_trace,
@@ -31,6 +34,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.sysviews import (
+    SYSTEM_VIEW_COLUMNS,
+    render_top,
+    system_view_rows,
+    system_view_schema,
+)
 from repro.obs.trace import (
     Instant,
     QueryTrace,
@@ -41,6 +50,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "SYSTEM_VIEW_COLUMNS",
+    "ClusterTelemetry",
     "Counter",
     "Gauge",
     "Histogram",
@@ -50,9 +61,16 @@ __all__ = [
     "QueryTrace",
     "RpcEvent",
     "Span",
+    "StatementStats",
     "TraceCollector",
+    "fingerprint",
+    "prometheus_violations",
+    "render_prometheus",
     "render_summary",
+    "render_top",
     "rpc_closure_violations",
+    "system_view_rows",
+    "system_view_schema",
     "to_chrome_trace",
     "validate_chrome_trace",
 ]

@@ -1,0 +1,354 @@
+"""Live cluster activity and the session workload repository.
+
+:class:`ClusterTelemetry` is the passive facade behind the SQL system
+views (:mod:`repro.obs.sysviews`). The runtime *publishes* into it —
+the concurrent driver attaches itself for the duration of a batch, the
+serial dispatcher registers each statement around its restart loop, and
+every settled statement lands in the :class:`StatementStats` workload
+repository — and the views *read* from it. Nothing here charges the
+simulated clock or mutates any engine structure the executor reads
+(lint R6 obs-passivity holds for this whole package), so interleaving
+system-view queries with a workload leaves every row and every charged
+second bit-identical.
+
+All mutable state is instance-held (created in ``__init__``): the
+facade is engine-scoped, never module-global, so concurrent engines
+never share telemetry (and the R7 isolation lint has nothing to flag).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: The master's own loopback worker (gang "1" slices) — excluded from
+#: per-segment utilization, matching EXPLAIN's QD/segN distinction.
+_QD_SEGMENT = -1
+
+_LITERAL = re.compile(r"'(?:[^']|'')*'")
+_NUMBER = re.compile(r"(?<![\w.])\d+(?:\.\d+)?")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def fingerprint(sql: str) -> str:
+    """Normalize one statement to its pg_stat_statements identity.
+
+    String and numeric literals become ``?`` placeholders, whitespace
+    collapses, case folds, and a trailing semicolon is dropped — so
+    ``SELECT * FROM t WHERE a = 7`` and ``select *  from t where a=19``
+    with different constants accumulate into one repository entry.
+    """
+    text = _LITERAL.sub("?", sql)
+    text = _NUMBER.sub("?", text)
+    text = _WHITESPACE.sub(" ", text).strip()
+    if text.endswith(";"):
+        text = text[:-1].rstrip()
+    return text.lower()
+
+
+class _StatementEntry:
+    """Accumulated facts for one normalized statement."""
+
+    __slots__ = (
+        "calls",
+        "charged_total",
+        "row_total",
+        "queue_wait_total",
+        "retry_total",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.charged_total = 0.0
+        self.row_total = 0
+        self.queue_wait_total = 0.0
+        self.retry_total = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+class StatementStats:
+    """The session-lifetime workload repository (pg_stat_statements).
+
+    Fed one ``(sql, QueryResult)`` pair per settled statement; charged
+    time is the statement's accounted ``cost.seconds`` (which already
+    includes queue wait under the concurrent accounting contract), and
+    cache deltas come from the statement's own metrics snapshot diff.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, _StatementEntry] = {}
+
+    def observe_statement(self, sql: str, result) -> None:
+        key = fingerprint(sql)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _StatementEntry()
+            self._entries[key] = entry
+        entry.calls += 1
+        cost = getattr(result, "cost", None)
+        if cost is not None:
+            entry.charged_total += cost.seconds
+        entry.row_total += len(result.rows or [])
+        entry.queue_wait_total += getattr(result, "queue_wait_seconds", 0.0)
+        entry.retry_total += getattr(result, "retries", 0)
+        metrics = getattr(result, "metrics", None)
+        if metrics is not None:
+            entry.cache_hits += int(metrics.total("cache_hits"))
+            entry.cache_misses += int(metrics.total("cache_misses"))
+
+    def statement_rows(self) -> List[tuple]:
+        out: List[tuple] = []
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            mean = entry.charged_total / entry.calls if entry.calls else 0.0
+            out.append(
+                (
+                    key,
+                    entry.calls,
+                    entry.charged_total,
+                    mean,
+                    entry.row_total,
+                    entry.queue_wait_total,
+                    entry.retry_total,
+                    entry.cache_hits,
+                    entry.cache_misses,
+                )
+            )
+        return out
+
+
+class ClusterTelemetry:
+    """Engine-scoped publication point for live and historical state.
+
+    Three producers feed it:
+
+    * :meth:`attach_batch` / :meth:`detach_batch` — the concurrent
+      driver lends its live registries (in-flight statements, resource
+      queue manager, event scheduler) for the duration of one batch.
+    * :meth:`serial_begin` / :meth:`serial_attempt` / :meth:`serial_end`
+      — the serial dispatcher brackets each statement's restart loop.
+    * :meth:`record_statement` — every settled statement (serial or
+      concurrent) lands in the workload repository and the cumulative
+      per-segment timeline aggregates.
+
+    Every reader (:func:`repro.obs.sysviews.system_view_rows`) only
+    inspects; the facade never calls back into the runtime.
+    """
+
+    def __init__(
+        self,
+        segments: List,
+        security=None,
+        is_cancelled: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        self._segments = list(segments)
+        self._security = security
+        self._is_cancelled = is_cancelled
+        #: The live ConcurrentRunner while a batch is in flight.
+        self._runner = None
+        #: Serially-dispatched statements currently inside their
+        #: restart loop: query_id -> {"queue": str, "attempt": int}.
+        self._serial: Dict[int, Dict[str, object]] = {}
+        self.statements = StatementStats()
+        # Cumulative per-segment timeline aggregates (the fallback when
+        # no batch is live): task counts, busy seconds, and the total
+        # observed makespan they are a fraction of.
+        self._segment_tasks: Dict[int, int] = {}
+        self._segment_busy: Dict[int, float] = {}
+        self._observed_span = 0.0
+
+    # -------------------------------------------------------- batch plumbing
+    def attach_batch(self, runner) -> None:
+        """A concurrent batch starts: lend its live registries."""
+        self._runner = runner
+
+    def detach_batch(self, runner) -> None:
+        if self._runner is runner:
+            self._runner = None
+
+    # ------------------------------------------------------- serial plumbing
+    def serial_begin(self, query_id: int, queue_name: str) -> None:
+        self._serial[query_id] = {"queue": queue_name, "attempt": 1}
+
+    def serial_attempt(self, query_id: int, attempt: int) -> None:
+        entry = self._serial.get(query_id)
+        if entry is not None:
+            entry["attempt"] = attempt
+
+    def serial_end(self, query_id: int) -> None:
+        self._serial.pop(query_id, None)
+
+    # --------------------------------------------------- workload repository
+    def record_statement(self, sql: str, result) -> None:
+        """Fold one settled statement into the repository and the
+        cumulative segment aggregates."""
+        self.statements.observe_statement(sql, result)
+        slices = getattr(result, "slices", None) or {}
+        for slice_id in sorted(slices):
+            timing = slices[slice_id]
+            for segment_id in sorted(timing.tasks):
+                if segment_id == _QD_SEGMENT:
+                    continue
+                task = timing.tasks[segment_id]
+                self._segment_tasks[segment_id] = (
+                    self._segment_tasks.get(segment_id, 0) + 1
+                )
+                self._segment_busy[segment_id] = (
+                    self._segment_busy.get(segment_id, 0.0) + task.seconds
+                )
+        self._observed_span += getattr(result, "makespan", 0.0) or 0.0
+
+    # ------------------------------------------------------------- view rows
+    def activity_rows(self) -> List[tuple]:
+        """pg_stat_activity: one row per live statement.
+
+        Batch statements come from the attached runner's in-flight
+        registry (queued/running on the shared clock, with the slice
+        dispatch ledger); serial statements from the dispatcher's
+        bracket (always running — serial admission never parks). A
+        statement with a pending cancel request shows as ``cancelling``
+        until its teardown event settles it.
+        """
+        rows: List[tuple] = []
+        runner = self._runner
+        if runner is not None and runner.scheduler is not None:
+            now = runner.scheduler.now
+            for query_id in sorted(runner._by_qid):
+                state = runner._by_qid[query_id]
+                if state.settled:
+                    continue
+                outcome = state.outcome
+                if state.admitted:
+                    status = "running"
+                    wait_so_far = outcome.queue_wait
+                else:
+                    status = "queued"
+                    wait_so_far = now - outcome.submit
+                if self._cancel_pending(query_id):
+                    status = "cancelling"
+                dispatched, completed = self._slice_progress(runner, state)
+                rows.append(
+                    (
+                        query_id,
+                        status,
+                        outcome.queue,
+                        wait_so_far,
+                        max(state.attempt, 1),
+                        dispatched,
+                        completed,
+                    )
+                )
+        for query_id in sorted(self._serial):
+            entry = self._serial[query_id]
+            status = (
+                "cancelling" if self._cancel_pending(query_id) else "running"
+            )
+            rows.append(
+                (query_id, status, entry["queue"], 0.0, entry["attempt"], 0, 0)
+            )
+        rows.sort(key=lambda row: row[0])
+        return rows
+
+    def _cancel_pending(self, query_id: int) -> bool:
+        return self._is_cancelled is not None and self._is_cancelled(query_id)
+
+    @staticmethod
+    def _slice_progress(runner, state) -> Tuple[int, int]:
+        """(slices dispatched, slices completed) for one statement.
+
+        Task keys are attempt-namespaced ``(qid, stride+slice, seg)``;
+        grouping by the namespaced slice id counts a retried wave as a
+        re-dispatch, which is the honest operator-facing number.
+        """
+        by_slice: Dict[int, List[tuple]] = {}
+        for key in state.keys:
+            by_slice.setdefault(key[1], []).append(key)
+        completed = 0
+        for slice_id in sorted(by_slice):
+            keys = by_slice[slice_id]
+            if runner.scheduler.finished_count(keys) == len(keys):
+                completed += 1
+        return len(by_slice), completed
+
+    def resqueue_rows(self) -> List[tuple]:
+        """pg_resqueue_status: per-queue occupancy.
+
+        Live from the batch's ResourceQueueManager when one is
+        attached; otherwise from the catalog's declarative queues (the
+        serial path admits through those directly).
+        """
+        runner = self._runner
+        if runner is not None and runner.manager is not None:
+            return runner.manager.occupancy()
+        rows: List[tuple] = []
+        if self._security is not None:
+            for name in sorted(self._security.queues):
+                queue = self._security.queues[name]
+                rows.append(
+                    (
+                        name,
+                        queue.active_statements,
+                        queue.running,
+                        float(queue.memory_limit),
+                        0.0,
+                        0,
+                        None,
+                    )
+                )
+        return rows
+
+    def segment_rows(self) -> List[tuple]:
+        """pg_stat_segments: per-segment timeline occupancy.
+
+        During a batch, straight off the event scheduler's slot
+        timelines (utilization = busy seconds / current clock);
+        otherwise the cumulative aggregates over every recorded
+        statement (utilization = busy / total observed makespan).
+        """
+        runner = self._runner
+        live = (
+            runner is not None
+            and runner.scheduler is not None
+            and runner.scheduler.running
+        )
+        if live:
+            usage = runner.scheduler.slot_usage()
+            now = runner.scheduler.now
+            span = now if now > 0 else 0.0
+        else:
+            usage = {
+                segment_id: (
+                    self._segment_tasks[segment_id],
+                    self._segment_busy.get(segment_id, 0.0),
+                )
+                for segment_id in sorted(self._segment_tasks)
+            }
+            span = self._observed_span
+        rows: List[tuple] = []
+        for segment in self._segments:
+            tasks, busy = usage.get(segment.segment_id, (0, 0.0))
+            utilization = busy / span if span > 0 else 0.0
+            rows.append(
+                (segment.segment_id, segment.host, tasks, busy, utilization)
+            )
+        return rows
+
+    def statement_rows(self) -> List[tuple]:
+        return self.statements.statement_rows()
+
+    # ------------------------------------------------------------- dashboard
+    def overview(self) -> Dict[str, object]:
+        """One coherent snapshot for the ``--top`` dashboard."""
+        runner = self._runner
+        now = 0.0
+        if runner is not None and runner.scheduler is not None:
+            now = runner.scheduler.now
+        return {
+            "now": now,
+            "activity": self.activity_rows(),
+            "queues": self.resqueue_rows(),
+            "segments": self.segment_rows(),
+        }

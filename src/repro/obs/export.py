@@ -10,6 +10,7 @@ trace_event format.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional
 
 from repro.obs.trace import MASTER_TRACK, QueryTrace, Span
@@ -166,3 +167,118 @@ def validate_chrome_trace(document: dict) -> Optional[str]:
         if event["ph"] == "X" and "dur" not in event:
             return f"complete event missing dur: {event}"
     return None
+
+
+# --------------------------------------------------------------- prometheus
+#: One exposition sample: metric name, optional {label="value",...}
+#: block, one numeric value.
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\})?"
+    r" [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$"
+)
+
+_PROM_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _prom_value(value: float) -> str:
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_labels(labels: Optional[str]) -> str:
+    """Render a registry label string (``k=v,...``) as an exposition
+    label block with values quoted and escaped."""
+    if not labels:
+        return ""
+    parts = []
+    for pair in labels.split(","):
+        key, _, value = pair.partition("=")
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{key}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry) -> str:
+    """The MetricsRegistry in Prometheus text exposition format.
+
+    Counters and gauges render one sample per label combination under
+    a single ``# TYPE`` comment. Histograms expand the standard way:
+    ``name_count`` / ``name_sum`` as counters plus ``name_min`` /
+    ``name_max`` gauges. Output is sorted (deterministic) and purely a
+    rendering of current state — nothing is charged or mutated.
+    """
+    from repro.obs.metrics import Histogram, _parse_series
+
+    groups: Dict[str, list] = {}
+    for key in sorted(registry._metrics):
+        name, labels, _suffix = _parse_series(key)
+        groups.setdefault(name, []).append((labels, registry._metrics[key]))
+    lines: List[str] = []
+    for name in sorted(groups):
+        series = groups[name]
+        if isinstance(series[0][1], Histogram):
+            for part, kind in (
+                ("count", "counter"), ("sum", "counter"),
+                ("min", "gauge"), ("max", "gauge"),
+            ):
+                samples = []
+                for labels, metric in series:
+                    value = {
+                        "count": metric.count, "sum": metric.total,
+                        "min": metric.min, "max": metric.max,
+                    }[part]
+                    if value is None:
+                        continue  # min/max of a never-observed histogram
+                    samples.append(
+                        f"{name}_{part}{_prom_labels(labels)} "
+                        f"{_prom_value(value)}"
+                    )
+                if samples:
+                    lines.append(f"# TYPE {name}_{part} {kind}")
+                    lines.extend(samples)
+            continue
+        kind = "counter" if type(series[0][1]).__name__ == "Counter" else "gauge"
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, metric in series:
+            lines.append(
+                f"{name}{_prom_labels(labels)} {_prom_value(metric.value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def prometheus_violations(text: str) -> List[str]:
+    """Line-level validation of Prometheus text exposition format.
+
+    Returns one message per malformed line: bad ``# TYPE`` comments,
+    samples that do not parse, and samples whose metric name was never
+    typed. Empty list means the exposition is well-formed.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            problems.append(f"line {number}: blank line inside exposition")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in _PROM_TYPES:
+                problems.append(
+                    f"line {number}: malformed TYPE comment: {line!r}"
+                )
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP/free comments are legal
+        if _PROM_SAMPLE.match(line) is None:
+            problems.append(f"line {number}: malformed sample: {line!r}")
+            continue
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        if name not in typed:
+            problems.append(
+                f"line {number}: sample {name!r} precedes its TYPE comment"
+            )
+    return problems

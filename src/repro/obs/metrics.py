@@ -31,6 +31,41 @@ def _key(name: str, labels: Dict[str, object]) -> str:
     return f"{name}{{{inner}}}"
 
 
+#: Scalar series a snapshot expands each Histogram into.
+_HISTOGRAM_SUFFIXES = ("count", "total", "min", "max")
+
+
+def _parse_series(key: str) -> Tuple[str, Optional[str], Optional[str]]:
+    """Split a snapshot key into (name, labels, histogram-suffix).
+
+    ``"h{queue=q1}.count"`` -> ``("h", "queue=q1", "count")``;
+    ``"n{node=seg0}"`` -> ``("n", "node=seg0", None)``; ``"n"`` ->
+    ``("n", None, None)``. A dot inside a label value never splits
+    (the suffix must follow the closing brace or a brace-less name).
+    """
+    suffix = None
+    if "." in key:
+        head, _, tail = key.rpartition(".")
+        if tail in _HISTOGRAM_SUFFIXES and (head.endswith("}") or "{" not in head):
+            key, suffix = head, tail
+    if key.endswith("}") and "{" in key:
+        name, _, labels = key.partition("{")
+        return name, labels[:-1], suffix
+    return key, None, suffix
+
+
+def _series_matches(key: str, name: str) -> bool:
+    """True when snapshot ``key`` belongs to the queried series
+    ``name`` (optionally suffix-qualified), any labels."""
+    want_base, want_suffix = name, None
+    if "." in name:
+        head, _, tail = name.rpartition(".")
+        if tail in _HISTOGRAM_SUFFIXES:
+            want_base, want_suffix = head, tail
+    base, _labels, suffix = _parse_series(key)
+    return base == want_base and suffix == want_suffix
+
+
 class Counter:
     """A monotonically increasing count (events, bytes, rows)."""
 
@@ -158,22 +193,34 @@ class MetricsSnapshot(Mapping):
         return MetricsSnapshot(out)
 
     def total(self, name: str) -> float:
-        """Sum one metric across all label combinations."""
+        """Sum one series across all label combinations.
+
+        ``name`` is either a bare metric (counters/gauges) or one
+        histogram component qualified with its suffix — ``h.count``,
+        ``h.total``, ``h.min``, ``h.max``. Histogram components never
+        leak into a bare-name sum: ``total("h")`` of a histogram is 0,
+        while ``total("h.count")`` is the observation count — so a
+        mean is always ``total("h.total") / total("h.count")``.
+        """
         out = 0.0
         for key, value in self._data.items():
-            if key == name or key.startswith(name + "{"):
+            if _series_matches(key, name):
                 out += value
         return out
 
     def by_label(self, name: str) -> Dict[str, float]:
-        """``labels-suffix -> value`` for every series of one metric."""
+        """``labels -> value`` for every series of one metric.
+
+        The unlabeled series maps from ``""``. Histogram components
+        use the same suffix qualification as :meth:`total`:
+        ``by_label("h.count")`` gives per-label observation counts
+        with the label string intact (no suffix mangling).
+        """
         out: Dict[str, float] = {}
-        prefix = name + "{"
         for key, value in self._data.items():
-            if key == name:
-                out[""] = value
-            elif key.startswith(prefix):
-                out[key[len(prefix):-1]] = value
+            if _series_matches(key, name):
+                _base, labels, _suffix = _parse_series(key)
+                out[labels or ""] = value
         return out
 
     def items(self) -> Iterator[Tuple[str, float]]:  # type: ignore[override]

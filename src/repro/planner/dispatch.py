@@ -162,11 +162,12 @@ def build_self_described_plan(
 ) -> SelfDescribedPlan:
     """Decorate a plan with the metadata its QEs will need."""
     from repro.catalog.service import CATALOG_RELATION_COLUMNS
+    from repro.obs.sysviews import SYSTEM_VIEW_COLUMNS
 
     metadata: Dict[str, TableMetadata] = {}
     for name in sorted(tables_in_plan(plan)):
-        if name in CATALOG_RELATION_COLUMNS:
-            continue  # system tables live on the master, never dispatched
+        if name in CATALOG_RELATION_COLUMNS or name in SYSTEM_VIEW_COLUMNS:
+            continue  # system tables/views live on the master only
         relation = catalog.lookup_relation(name, snapshot)
         if relation is None:
             raise PlannerError(f"table {name!r} vanished before dispatch")

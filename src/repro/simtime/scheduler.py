@@ -356,6 +356,35 @@ class EventScheduler:
         which mid-run APIs (:meth:`cancel_tasks`) are legal."""
         return self._running
 
+    # ----------------------------------------------------------- telemetry
+    def finished_count(self, keys: Iterable[TaskKey]) -> int:
+        """How many of ``keys`` have finished (passive, mid-run safe)."""
+        return sum(1 for key in keys if key in self._finish)
+
+    def slot_usage(self) -> Dict[object, Tuple[int, float]]:
+        """Per-slot occupancy so far: ``slot -> (tasks started, busy
+        seconds)``.
+
+        Busy time is the summed duration of finished tasks plus the
+        elapsed portion of a still-running task at the current clock.
+        Slotless tasks (master-side synthetics) are excluded. Purely
+        passive — reads the timeline maps, mutates nothing — so the
+        pg_stat_segments view can sample it mid-run.
+        """
+        out: Dict[object, List] = {}
+        for key in sorted(self._start):
+            task = self._tasks.get(key)
+            if task is None or task.slot is None:
+                continue
+            entry = out.setdefault(task.slot, [0, 0.0])
+            entry[0] += 1
+            end = self._finish.get(key, self._now)
+            entry[1] += end - self._start[key]
+        return {
+            slot: (count, busy)
+            for slot, (count, busy) in sorted(out.items())
+        }
+
     # ------------------------------------------------------------- running
     def run(self) -> TaskSchedule:
         """Replay the DAG; raises :class:`ReproError` on a dependency cycle."""
